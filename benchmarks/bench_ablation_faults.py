@@ -1,0 +1,98 @@
+"""Ablation: shard throughput under fail-stop validators.
+
+The paper runs fault-free performance experiments; this ablation
+quantifies the robustness margin its BFT substrate carries: a shard
+keeps processing the SCoin workload with up to f < n/3 crashed
+validators (crashed proposers cost round-timeouts), and halts — rather
+than forking — beyond the quorum bound.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit, once
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.chain.tx import TransferPayload, sign_transaction
+from repro.consensus.tendermint import TendermintEngine
+from repro.crypto.keys import KeyPair
+from repro.metrics.report import format_table
+from repro.net.latency import LatencyModel
+from repro.net.sim import Simulator
+from repro.net.transport import Network
+
+VALIDATORS = 10
+DURATION = 400.0
+CLIENTS = 30
+
+
+def _run_with_crashes(crashed: int):
+    sim = Simulator(seed=31 + crashed)
+    net = Network(sim)
+    chain = Chain(burrow_params(1), verify_signatures=False)
+    regions = LatencyModel().assign_regions(VALIDATORS, sim.rng)
+    engine = TendermintEngine(sim, net, chain, regions)
+    for validator in engine.validators[:crashed]:
+        engine.crash(validator)
+    engine.start()
+
+    users = [KeyPair.from_name(f"fault-user-{i}") for i in range(CLIENTS)]
+    chain.fund({u.address: 10_000 for u in users})
+    done = [0]
+
+    def client_loop(user):
+        tx = sign_transaction(user, TransferPayload(to=users[0].address, amount=1))
+
+        def after(_receipt):
+            done[0] += 1
+            if sim.now < DURATION:
+                client_loop(user)
+
+        chain.wait_for(tx.tx_id, after)
+        sim.schedule(0.2, lambda: chain.submit(tx))
+
+    for user in users:
+        client_loop(user)
+    sim.run(until=DURATION)
+    return {
+        "blocks": chain.height,
+        "txs": done[0],
+        "tx_per_s": done[0] / DURATION,
+        "rounds_advanced": engine.rounds_advanced,
+    }
+
+
+def test_ablation_validator_faults(benchmark):
+    def run():
+        return {crashed: _run_with_crashes(crashed) for crashed in (0, 1, 3, 4)}
+
+    results = once(benchmark, run)
+
+    rows = [
+        [
+            crashed,
+            f"{VALIDATORS - crashed}/{VALIDATORS}",
+            stats["blocks"],
+            round(stats["tx_per_s"], 1),
+            stats["rounds_advanced"],
+        ]
+        for crashed, stats in results.items()
+    ]
+    emit(
+        "ablation_faults",
+        format_table(
+            ["crashed", "alive", "blocks", "tx/s", "round timeouts"], rows
+        )
+        + "\n\nquorum = 7/10: f<=3 keeps committing; f=4 halts (safety over liveness)",
+    )
+
+    # f <= 3: live, with modest throughput cost from proposer timeouts.
+    assert results[0]["tx_per_s"] > 0
+    for crashed in (1, 3):
+        assert results[crashed]["blocks"] > 30
+        assert results[crashed]["tx_per_s"] > 0.5 * results[0]["tx_per_s"]
+    # Crashed proposers show up as round timeouts.
+    assert results[3]["rounds_advanced"] > results[0]["rounds_advanced"]
+    # f = 4 (quorum lost): the chain halts instead of forking.
+    assert results[4]["blocks"] <= 1
+    assert results[4]["txs"] == 0

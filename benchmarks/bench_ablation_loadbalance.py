@@ -1,0 +1,105 @@
+"""Ablation: decentralized load balancing via contract moves (§IV-B/§X).
+
+The paper's conclusion names "decentralized load balancing smart
+contracts for sharded blockchains" as an application the Move primitive
+opens up.  This benchmark quantifies it: a deliberately skewed
+deployment (every account on shard 0 of a 4-shard cluster, shard 0
+saturated) is measured, then every client applies the
+:class:`~repro.sharding.balancer.LoadBalancingPolicy` — computed purely
+from the public block stream — and moves its own account accordingly;
+the same workload is measured again.
+
+Expected: aggregate throughput recovers by well over 1.5× and
+single-shard latency drops back toward one block time, because the
+hot shard's queueing delay disappears.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit, full_scale, once
+
+from repro.metrics.report import format_table
+from repro.sharding.balancer import LoadBalancingPolicy, ShardLoadMonitor
+from repro.sharding.cluster import ShardedCluster
+from repro.workload.clients import ScoinWorkload
+
+SHARDS = 4
+#: low per-block capacity so the skewed shard actually saturates
+BLOCK_CAPACITY = 40
+
+
+def _params():
+    if full_scale():
+        return dict(clients=60, duration=400.0)
+    return dict(clients=30, duration=300.0)
+
+
+def _run_experiment():
+    params = _params()
+    cluster = ShardedCluster(
+        num_shards=SHARDS, seed=77, max_block_txs=BLOCK_CAPACITY
+    )
+    workload = ScoinWorkload(
+        cluster,
+        clients_per_shard=params["clients"],
+        cross_rate=0.0,
+        seed=5,
+        placement="home0",  # skew: everyone on shard 0
+    )
+    monitor = ShardLoadMonitor(cluster.shards, window_blocks=8)
+    before = workload.run(params["duration"], warmup=60.0)
+    util_before = monitor.utilizations()
+
+    # Every client runs the same public policy and moves itself.
+    policy = LoadBalancingPolicy(monitor, hot_threshold=0.8, min_gap=0.3)
+    pending = [0]
+    for index, client in enumerate(workload.clients):
+        target = policy.suggest_move(client.shard, client.keypair.address)
+        if target is not None:
+            pending[0] += 1
+            workload.relocate(index, target, lambda _ph: pending.__setitem__(0, pending[0] - 1))
+    moved = pending[0]
+    while pending[0] > 0:
+        cluster.sim.run(until=cluster.sim.now + 10.0)
+
+    after = workload.measure_again(params["duration"], warmup=30.0)
+    util_after = monitor.utilizations()
+    return before, after, util_before, util_after, moved
+
+
+def test_ablation_load_balancing(benchmark):
+    before, after, util_before, util_after, moved = once(benchmark, _run_experiment)
+
+    rows = [
+        [
+            "skewed (all on shard 0)",
+            round(before.ops_per_second, 1),
+            round(before.latency.mean("single-shard"), 1),
+            " ".join(f"{u:.2f}" for u in util_before),
+        ],
+        [
+            f"after rebalancing ({moved} accounts moved)",
+            round(after.ops_per_second, 1),
+            round(after.latency.mean("single-shard"), 1),
+            " ".join(f"{u:.2f}" for u in util_after),
+        ],
+    ]
+    emit(
+        "ablation_loadbalance",
+        format_table(
+            ["deployment", "ops/s", "mean latency (s)", "per-shard utilization"], rows
+        ),
+    )
+
+    total_clients = SHARDS * _params()["clients"]
+    # The skewed run saturates shard 0...
+    assert util_before[0] > 0.8
+    assert max(util_before[1:]) < 0.3
+    # ...rebalancing moves roughly the excess fraction, not everyone
+    # (the stay-probability rule prevents abandoning the hot shard)...
+    assert 0.4 * total_clients < moved < 0.95 * total_clients
+    # ...and recovers throughput and latency.
+    assert after.ops_per_second > 1.5 * before.ops_per_second
+    assert after.latency.mean("single-shard") < before.latency.mean("single-shard")
+    # Load is visibly more even afterwards.
+    assert max(util_after) - min(util_after) < max(util_before) - min(util_before)

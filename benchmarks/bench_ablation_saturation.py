@@ -1,0 +1,66 @@
+"""Ablation: a shard's saturation curve under open-loop load.
+
+The paper's closed-loop clients self-throttle; offering load at a fixed
+Poisson rate instead exposes the capacity knee directly.  A shard with
+``max_block_txs = 130`` and ~5.4 s block cadence can absorb ≈24 tx/s:
+below the knee achieved = offered and latency sits near half a block;
+above it, achieved flattens at capacity and the backlog (and therefore
+latency) grows without bound — the congestion that §IV-B says drives
+users to move their contracts to underused shards.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit, once
+
+from repro.metrics.report import format_table
+from repro.sharding.cluster import ShardedCluster
+from repro.workload.generators import OpenLoopTransferWorkload
+
+BLOCK_CAPACITY = 130
+#: capacity 130 txs / ~5.4 s commit cadence
+CAPACITY_TPS = 24.0
+OFFERED = (5.0, 15.0, 22.0, 35.0, 60.0)
+DURATION = 400.0
+
+
+def _sweep():
+    out = {}
+    for rate in OFFERED:
+        cluster = ShardedCluster(num_shards=1, seed=91, max_block_txs=BLOCK_CAPACITY)
+        workload = OpenLoopTransferWorkload(cluster, offered_rate=rate, seed=3)
+        out[rate] = workload.run(DURATION, warmup=60.0)
+    return out
+
+
+def test_ablation_saturation_curve(benchmark):
+    reports = once(benchmark, _sweep)
+
+    rows = [
+        [
+            rate,
+            round(report.achieved_rate, 1),
+            round(report.mean_latency, 1),
+            report.backlog_at_end,
+        ]
+        for rate, report in reports.items()
+    ]
+    emit(
+        "ablation_saturation",
+        format_table(
+            ["offered (tx/s)", "achieved (tx/s)", "mean latency (s)", "backlog"], rows
+        )
+        + f"\n\ncapacity = {BLOCK_CAPACITY} txs / ~5.4 s blocks ≈ {CAPACITY_TPS} tx/s",
+    )
+
+    # Below the knee: achieved tracks offered, latency ~ block time.
+    for rate in (5.0, 15.0):
+        assert abs(reports[rate].achieved_rate - rate) < 0.15 * rate
+        assert reports[rate].mean_latency < 8.0
+        assert reports[rate].backlog_at_end < 40
+    # Above the knee: achieved clamps at capacity...
+    for rate in (35.0, 60.0):
+        assert reports[rate].achieved_rate < CAPACITY_TPS * 1.1
+    # ...latency and backlog blow up monotonically with overload.
+    assert reports[60.0].backlog_at_end > reports[35.0].backlog_at_end > 200
+    assert reports[60.0].mean_latency > reports[35.0].mean_latency > 3 * reports[15.0].mean_latency

@@ -1,0 +1,78 @@
+"""Ablation: move cost vs. moved state size (Fig. 9's underlying law).
+
+Sweeps the Store-N contract from N = 1 to N = 200 slots and fits the
+per-slot cost of Move2: gas should grow by ~SSTORE_SET (20 000) per
+32-byte slot plus a near-constant proof/creation overhead, and the
+proof bundle's byte size should grow by ~64+ bytes per slot.  This is
+the quantitative basis for the paper's advice (Section I) to split
+large-state contracts into one-contract-per-user objects before moving
+them.
+"""
+
+from __future__ import annotations
+
+from bench_common import emit, once
+
+from repro.apps.store import StateStore
+from repro.chain.tx import DeployPayload, Move2Payload
+from repro.metrics.report import format_table
+from tests.helpers import ALICE, ManualClock, full_move, make_chain_pair, produce, run_tx
+
+SLOT_COUNTS = (1, 5, 10, 25, 50, 100, 200)
+
+
+def _measure():
+    rows = {}
+    for slots in SLOT_COUNTS:
+        burrow, ethereum = make_chain_pair()
+        clock = ManualClock()
+        store = run_tx(
+            burrow, clock, ALICE,
+            DeployPayload(code_hash=StateStore.CODE_HASH, args=(slots,)),
+        ).return_value
+        # Build the proof by hand to capture its size.
+        from repro.chain.tx import Move1Payload
+
+        receipt1 = run_tx(
+            burrow, clock, ALICE,
+            Move1Payload(contract=store, target_chain=ethereum.chain_id),
+        )
+        while burrow.height < burrow.proof_ready_height(receipt1.block_height):
+            produce(burrow, clock)
+        bundle = burrow.prove_contract_at(store, receipt1.block_height)
+        receipt2 = run_tx(ethereum, clock, ALICE, Move2Payload(bundle=bundle))
+        assert receipt2.success, receipt2.error
+        rows[slots] = (receipt2.gas_used, bundle.size_bytes())
+    return rows
+
+
+def test_ablation_state_size(benchmark):
+    rows = once(benchmark, _measure)
+
+    table = format_table(
+        ["slots", "Move2 gas", "gas/slot (marginal)", "proof bytes"],
+        [
+            [
+                slots,
+                rows[slots][0],
+                round(
+                    (rows[slots][0] - rows[SLOT_COUNTS[0]][0])
+                    / max(slots - SLOT_COUNTS[0], 1)
+                ),
+                rows[slots][1],
+            ]
+            for slots in SLOT_COUNTS
+        ],
+    )
+    emit("ablation_statesize", table)
+
+    gas = {slots: g for slots, (g, _b) in rows.items()}
+    size = {slots: b for slots, (_g, b) in rows.items()}
+    # Monotone growth in both dimensions.
+    assert all(gas[a] < gas[b] for a, b in zip(SLOT_COUNTS, SLOT_COUNTS[1:]))
+    assert all(size[a] < size[b] for a, b in zip(SLOT_COUNTS, SLOT_COUNTS[1:]))
+    # The marginal slot costs ~SSTORE_SET plus small proof overhead.
+    marginal = (gas[200] - gas[100]) / 100
+    assert 20_000 <= marginal < 23_000
+    # Proof bytes grow by at least key+value (64 B) per slot.
+    assert (size[200] - size[100]) / 100 >= 64

@@ -1,0 +1,34 @@
+"""Shared utilities for the figure-reproduction benchmarks.
+
+Every benchmark prints the same rows/series the paper's figure reports
+and also writes them to ``benchmarks/results/<name>.txt`` so the output
+survives pytest's capture.  Set ``REPRO_BENCH_SCALE=full`` for
+paper-scale populations (slower); the default ``small`` keeps each
+benchmark in the tens of seconds while preserving every trend.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def full_scale() -> bool:
+    return SCALE == "full"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's output and persist it under results/."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run a heavy simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

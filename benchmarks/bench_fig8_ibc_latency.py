@@ -1,0 +1,104 @@
+"""Figure 8: latency of five inter-blockchain applications.
+
+For SCoin, ScalableKitties and Store 1/10/100, time the four phases of
+a cross-chain move in both directions between the Burrow-flavoured
+chain (Tendermint, 5 s blocks, two-block proof wait) and the
+Ethereum-flavoured chain (PoW, 15 s expected blocks, p = 6):
+
+* **move1** — submission to inclusion at the source;
+* **wait + proof** — until the Move1 block is provable to the target;
+* **move2** — submission to inclusion at the target;
+* **complete** — the application's completion transactions.
+
+Paper shape: Burrow→Ethereum totals tens of seconds; in the
+Ethereum→Burrow direction "to execute Move2 ... one is required to wait
+for 6 Ethereum blocks that translates to approximately 90 seconds and
+ends up dominating the overall time for every operation".
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from bench_common import emit, full_scale, once
+
+from repro.ibc.scenarios import (
+    APPS,
+    APP_LABELS,
+    BURROW_ID,
+    ETHEREUM_ID,
+    IBCExperiment,
+)
+from repro.metrics.report import format_table
+
+DIRECTIONS = (
+    ("Burrow -> Ethereum", BURROW_ID, ETHEREUM_ID),
+    ("Ethereum -> Burrow", ETHEREUM_ID, BURROW_ID),
+)
+
+
+def _seeds():
+    return range(5) if full_scale() else range(3)
+
+
+def _run_all():
+    results = {}
+    for app in APPS:
+        for label, src, dst in DIRECTIONS:
+            runs = [IBCExperiment(seed=seed).run_app(app, src, dst) for seed in _seeds()]
+            results[(app, label)] = runs
+    return results
+
+
+def _mean_phases(runs):
+    return (
+        statistics.mean(p.move1_time for p in runs),
+        statistics.mean(p.wait_proof_time for p in runs),
+        statistics.mean(p.move2_time for p in runs),
+        statistics.mean(p.complete_time for p in runs),
+    )
+
+
+def test_fig8_ibc_latency(benchmark):
+    results = once(benchmark, _run_all)
+
+    sections = []
+    means = {}
+    for label, _src, _dst in DIRECTIONS:
+        rows = []
+        for app in APPS:
+            move1, wait, move2, complete = _mean_phases(results[(app, label)])
+            means[(app, label)] = (move1, wait, move2, complete)
+            rows.append(
+                [
+                    APP_LABELS[app],
+                    round(move1, 1),
+                    round(wait, 1),
+                    round(move2, 1),
+                    round(complete, 1),
+                    round(move1 + wait + move2 + complete, 1),
+                ]
+            )
+        sections.append(f"--- Time from {label} ---")
+        sections.append(
+            format_table(
+                ["application", "move1 (s)", "wait+proof (s)", "move2 (s)", "complete (s)", "total (s)"],
+                rows,
+            )
+        )
+        sections.append("")
+    emit("fig8_ibc_latency", "\n".join(sections))
+
+    for app in APPS:
+        b2e = means[(app, "Burrow -> Ethereum")]
+        e2b = means[(app, "Ethereum -> Burrow")]
+        # Burrow->Ethereum: the proof wait is two 5-s Burrow blocks.
+        assert 8.0 < b2e[1] < 16.0
+        # Ethereum->Burrow: six ~15-s PoW blocks dominate everything.
+        assert 60.0 < e2b[1] < 160.0
+        assert e2b[1] > max(e2b[0], e2b[2], e2b[3])
+        # Totals: tens of seconds vs roughly two minutes.
+        assert sum(b2e) < sum(e2b)
+    # Completion work ranks: kitties (2 txs) > scoin (1 tx) > stores (0).
+    assert means[("kitties", "Burrow -> Ethereum")][3] > means[("scoin", "Burrow -> Ethereum")][3]
+    assert means[("store1", "Burrow -> Ethereum")][3] == 0.0

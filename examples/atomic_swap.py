@@ -1,0 +1,83 @@
+"""Atomic cross-chain currency swap built on the Move primitive (§IX).
+
+Alice on chain 1 swaps 500 of chain-1 currency against 800 of chain-2
+currency from Bob — no trusted third party, no way for either side to
+keep both amounts.  The escrow is a movable contract: born locked
+toward Bob's chain, filled there (paying Alice instantly), then moved
+home by Bob to claim the escrowed amount.
+
+Run:  python examples/atomic_swap.py
+"""
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params, ethereum_params
+from repro.chain.tx import CallPayload, DeployPayload, Move1Payload, Move2Payload, sign_transaction
+from repro.core.registry import ChainRegistry
+from repro.core.swap import SwapFactory
+from repro.crypto.keys import KeyPair
+from repro.ibc.headers import connect_chains
+
+
+def run_tx(chain, keypair, payload, clock):
+    tx = sign_transaction(keypair, payload)
+    chain.submit(tx)
+    clock[0] += 5.0
+    chain.produce_block(clock[0])
+    receipt = chain.receipts[tx.tx_id]
+    assert receipt.success, receipt.error
+    return receipt
+
+
+def ship(source, target, mover, contract, inclusion, clock):
+    while source.height < source.proof_ready_height(inclusion):
+        clock[0] += 5.0
+        source.produce_block(clock[0])
+    bundle = source.prove_contract_at(contract, inclusion)
+    return run_tx(target, mover, Move2Payload(bundle=bundle), clock)
+
+
+def main() -> None:
+    alice = KeyPair.from_name("alice")
+    bob = KeyPair.from_name("bob")
+    clock = [0.0]
+
+    registry = ChainRegistry()
+    chain1 = Chain(burrow_params(1), registry)
+    chain2 = Chain(ethereum_params(2), registry)
+    connect_chains([chain1, chain2])
+    chain1.fund({alice.address: 1_000})
+    chain2.fund({bob.address: 1_000})
+    print("Alice: 1000 on chain 1   |   Bob: 1000 on chain 2")
+
+    factory = run_tx(chain1, alice, DeployPayload(code_hash=SwapFactory.CODE_HASH), clock).return_value
+    receipt = run_tx(
+        chain1, alice,
+        CallPayload(factory, "open", (2, bob.address, 800, 100_000), value=500),
+        clock,
+    )
+    escrow = receipt.return_value
+    print(f"Alice opened swap escrow {escrow}: 500(chain1) for 800(chain2), "
+          f"born locked toward chain 2")
+
+    ship(chain1, chain2, bob, escrow, receipt.block_height, clock)
+    fill = run_tx(chain2, bob, CallPayload(escrow, "fill", value=800), clock)
+    print(f"Bob filled on chain 2: Alice instantly received "
+          f"{chain2.balance_of(alice.address)} there")
+
+    move1 = run_tx(chain2, bob, Move1Payload(contract=escrow, target_chain=1), clock)
+    ship(chain2, chain1, bob, escrow, move1.block_height, clock)
+    run_tx(chain1, bob, CallPayload(escrow, "claim"), clock)
+    print(f"Bob moved the escrow home and claimed "
+          f"{chain1.balance_of(bob.address)} on chain 1")
+
+    print("\nfinal balances:")
+    print(f"  chain 1: Alice {chain1.balance_of(alice.address)}, "
+          f"Bob {chain1.balance_of(bob.address)}")
+    print(f"  chain 2: Alice {chain2.balance_of(alice.address)}, "
+          f"Bob {chain2.balance_of(bob.address)}")
+    assert chain1.balance_of(bob.address) == 500
+    assert chain2.balance_of(alice.address) == 800
+
+
+if __name__ == "__main__":
+    main()

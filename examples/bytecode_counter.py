@@ -1,0 +1,163 @@
+"""A raw bytecode contract that moves itself between chains.
+
+The deepest view of the Move protocol: no Solidity-like layer at all.
+The contract below is hand-written assembly; its ``move`` entry point
+checks the caller against the stored owner and executes the paper's new
+``OP_MOVE`` opcode itself.  The standard Move2 proof then recreates the
+bytecode and storage on the other chain, where the same code keeps
+running.
+
+Run:  python examples/bytecode_counter.py
+"""
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params, ethereum_params
+from repro.chain.tx import (
+    BytecodeCallPayload,
+    DeployBytecodePayload,
+    Move2Payload,
+    sign_transaction,
+)
+from repro.core.registry import ChainRegistry
+from repro.crypto.keys import KeyPair
+from repro.ibc.headers import connect_chains
+from repro.vm.assembler import assemble, disassemble
+
+# slot 0 = count, slot 1 = owner.
+# calldata word 0: 1=increment, 2=read, 3=move(word 1 = target), 4=claim.
+SOURCE = """
+    PUSH1 0
+    CALLDATALOAD
+    DUP1
+    PUSH1 1
+    EQ
+    PUSH @inc
+    JUMPI
+    DUP1
+    PUSH1 2
+    EQ
+    PUSH @read
+    JUMPI
+    DUP1
+    PUSH1 3
+    EQ
+    PUSH @move
+    JUMPI
+    DUP1
+    PUSH1 4
+    EQ
+    PUSH @init
+    JUMPI
+    PUSH1 0
+    PUSH1 0
+    REVERT
+
+    inc:
+    PUSH1 0
+    SLOAD
+    PUSH1 1
+    ADD
+    PUSH1 0
+    SSTORE
+    STOP
+
+    read:
+    PUSH1 0
+    SLOAD
+    PUSH1 0
+    MSTORE
+    PUSH1 32
+    PUSH1 0
+    RETURN
+
+    init:
+    PUSH1 1
+    SLOAD
+    ISZERO
+    PUSH @doinit
+    JUMPI
+    PUSH1 0
+    PUSH1 0
+    REVERT
+    doinit:
+    CALLER
+    PUSH1 1
+    SSTORE
+    STOP
+
+    move:
+    PUSH1 1
+    SLOAD
+    CALLER
+    EQ
+    PUSH @domove
+    JUMPI
+    PUSH1 0
+    PUSH1 0
+    REVERT
+    domove:
+    PUSH1 32
+    CALLDATALOAD
+    MOVE
+    STOP
+"""
+
+
+def call_data(selector, arg=None):
+    data = selector.to_bytes(32, "big")
+    if arg is not None:
+        data += arg.to_bytes(32, "big")
+    return data
+
+
+def run_tx(chain, keypair, payload, clock):
+    tx = sign_transaction(keypair, payload)
+    chain.submit(tx)
+    clock[0] += 5.0
+    chain.produce_block(clock[0])
+    receipt = chain.receipts[tx.tx_id]
+    assert receipt.success, receipt.error
+    return receipt
+
+
+def main() -> None:
+    code = assemble(SOURCE)
+    print(f"assembled {len(code)} bytes of bytecode; first instructions:")
+    for offset, text in disassemble(code)[:6]:
+        print(f"  {offset:04x}  {text}")
+
+    alice = KeyPair.from_name("alice")
+    clock = [0.0]
+    registry = ChainRegistry()
+    burrow = Chain(burrow_params(1), registry)
+    ethereum = Chain(ethereum_params(2), registry)
+    connect_chains([burrow, ethereum])
+
+    counter = run_tx(burrow, alice, DeployBytecodePayload(code=code), clock).return_value
+    run_tx(burrow, alice, BytecodeCallPayload(counter, call_data(4)), clock)  # claim
+    run_tx(burrow, alice, BytecodeCallPayload(counter, call_data(1)), clock)
+    run_tx(burrow, alice, BytecodeCallPayload(counter, call_data(1)), clock)
+    count = run_tx(burrow, alice, BytecodeCallPayload(counter, call_data(2)), clock).return_value
+    print(f"\ndeployed at {counter}, incremented twice: count = "
+          f"{int.from_bytes(count, 'big')}")
+
+    # The contract moves ITSELF: its own code runs OP_MOVE.
+    moved = run_tx(burrow, alice, BytecodeCallPayload(counter, call_data(3, 2)), clock)
+    print(f"contract executed OP_MOVE toward chain 2 "
+          f"(locked on chain 1: {burrow.state.is_locked(counter)})")
+
+    inclusion = moved.block_height
+    while burrow.height < burrow.proof_ready_height(inclusion):
+        clock[0] += 5.0
+        burrow.produce_block(clock[0])
+    bundle = burrow.prove_contract_at(counter, inclusion)
+    run_tx(ethereum, alice, Move2Payload(bundle=bundle), clock)
+
+    run_tx(ethereum, alice, BytecodeCallPayload(counter, call_data(1)), clock)
+    count = run_tx(ethereum, alice, BytecodeCallPayload(counter, call_data(2)), clock).return_value
+    print(f"recreated on chain 2 and incremented again: count = "
+          f"{int.from_bytes(count, 'big')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Fig. 3 walkthrough: relay native currency across blockchains.
+
+client1 locks 700 units on the Burrow chain toward the Ethereum chain;
+client2 completes the move with a Merkle proof, mints a provably-backed
+pegged token on Ethereum, later burns it, moves the escrow home and
+redeems the original native units.
+
+Run:  python examples/currency_relay.py
+"""
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params, ethereum_params
+from repro.chain.tx import CallPayload, DeployPayload, Move1Payload, Move2Payload, sign_transaction
+from repro.core.registry import ChainRegistry
+from repro.core.relay import CurrencyRelay
+from repro.crypto.keys import KeyPair
+from repro.ibc.headers import connect_chains
+
+
+def run_tx(chain, keypair, payload, clock):
+    tx = sign_transaction(keypair, payload)
+    chain.submit(tx)
+    clock[0] += 5.0
+    chain.produce_block(clock[0])
+    receipt = chain.receipts[tx.tx_id]
+    assert receipt.success, receipt.error
+    return receipt
+
+
+def complete_move(source, target, mover, contract, inclusion, clock):
+    while source.height < source.proof_ready_height(inclusion):
+        clock[0] += 5.0
+        source.produce_block(clock[0])
+    bundle = source.prove_contract_at(contract, inclusion)
+    return run_tx(target, mover, Move2Payload(bundle=bundle), clock)
+
+
+def main() -> None:
+    client1 = KeyPair.from_name("client1")
+    client2 = KeyPair.from_name("client2")
+    clock = [0.0]
+
+    registry = ChainRegistry()
+    burrow = Chain(burrow_params(1), registry)
+    ethereum = Chain(ethereum_params(2), registry)
+    connect_chains([burrow, ethereum])
+    burrow.fund({client1.address: 1_000})
+
+    # The relay factory contract c of Fig. 3 lives on the source chain.
+    relay = run_tx(burrow, client1, DeployPayload(code_hash=CurrencyRelay.CODE_HASH), clock).return_value
+
+    # Tcreate: client1 locks 700 units toward Ethereum for client2.
+    receipt = run_tx(
+        burrow, client1, CallPayload(relay, "create", (2, client2.address), value=700), clock
+    )
+    escrow = receipt.return_value
+    print(f"escrow {escrow} created holding {burrow.balance_of(escrow)} units, "
+          f"born locked (L_c = {burrow.location_of(escrow)})")
+
+    # Tmove2: client2 proves the lock and recreates the escrow on Ethereum.
+    complete_move(burrow, ethereum, client2, escrow, receipt.block_height, clock)
+
+    # Tmint: pegged tokens backed by the locked source currency.
+    minted = run_tx(ethereum, client2, CallPayload(escrow, "mint"), clock).return_value
+    print(f"client2 minted {minted} pegged units on chain 2 "
+          f"(backed by {minted} locked units on chain 1)")
+
+    # Going home: burn the peg, move back, redeem the native units.
+    run_tx(ethereum, client2, CallPayload(escrow, "burn"), clock)
+    move1 = run_tx(ethereum, client2, Move1Payload(contract=escrow, target_chain=1), clock)
+    complete_move(ethereum, burrow, client2, escrow, move1.block_height, clock)
+    before = burrow.balance_of(client2.address)
+    redeemed = run_tx(burrow, client2, CallPayload(escrow, "redeem"), clock).return_value
+    after = burrow.balance_of(client2.address)
+    print(f"client2 redeemed {redeemed} native units on chain 1 "
+          f"(balance {before} -> {after})")
+    assert after - before == 700
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""The paper's applications (Section V) plus the state-transfer probes.
+
+* :mod:`repro.apps.scoin` — **SCoin**: a movable ERC20-style token with
+  one ``SAccount`` contract per user and create2-salt origin
+  attestation between sibling accounts;
+* :mod:`repro.apps.kitties` — **ScalableKitties**: the CryptoKitties
+  clone whose cats are individual movable contracts that breed across
+  shards; gene mixing in :mod:`repro.apps.genes`, the sale auction in
+  :mod:`repro.apps.auction`;
+* :mod:`repro.apps.store` — **Store 1/10/100**: contracts holding N
+  32-byte state variables, the state-transfer workload of Section VIII.
+"""
+
+from repro.apps.auction import ClockAuction
+from repro.apps.kitties import Kitty, KittyRegistry
+from repro.apps.scoin import SAccount, SCoin
+from repro.apps.store import StateStore, make_store_deploy_args
+
+__all__ = [
+    "SCoin",
+    "SAccount",
+    "Kitty",
+    "KittyRegistry",
+    "ClockAuction",
+    "StateStore",
+    "make_store_deploy_args",
+]

@@ -1,0 +1,51 @@
+"""Gene mixing for ScalableKitties.
+
+CryptoKitties' real ``geneScience`` contract is closed-source; this is
+the usual open reimplementation shape: a 256-bit genome of 4-bit genes,
+each child gene drawn from one of the parents with occasional mutation,
+all derived deterministically from a seed so replicas agree.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import keccak
+
+GENOME_BITS = 256
+GENE_BITS = 4
+GENE_COUNT = GENOME_BITS // GENE_BITS
+_GENE_MASK = (1 << GENE_BITS) - 1
+
+#: 1-in-16 chance a gene mutates instead of inheriting
+_MUTATION_ONE_IN = 16
+
+
+def mix_genes(matron_genes: int, sire_genes: int, seed: int) -> int:
+    """Deterministically combine two genomes.
+
+    Every replica executing ``giveBirth`` derives the same child genome
+    from the same on-chain seed (block height + kitty ids in practice).
+    """
+    entropy = keccak(
+        matron_genes.to_bytes(32, "big"),
+        sire_genes.to_bytes(32, "big"),
+        seed.to_bytes(32, "big"),
+    )
+    child = 0
+    for i in range(GENE_COUNT):
+        byte = entropy[i % len(entropy)]
+        roll = (byte + i) % _MUTATION_ONE_IN
+        matron_gene = (matron_genes >> (i * GENE_BITS)) & _GENE_MASK
+        sire_gene = (sire_genes >> (i * GENE_BITS)) & _GENE_MASK
+        if roll == 0:
+            gene = (matron_gene + sire_gene + byte) & _GENE_MASK  # mutation
+        elif byte % 2 == 0:
+            gene = matron_gene
+        else:
+            gene = sire_gene
+        child |= gene << (i * GENE_BITS)
+    return child
+
+
+def promo_genes(index: int) -> int:
+    """Deterministic genome for promotional (generation-0) cats."""
+    return int.from_bytes(keccak(b"promo-kitty", index.to_bytes(8, "big")), "big")

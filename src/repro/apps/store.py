@@ -1,0 +1,54 @@
+"""Store 1 / Store 10 / Store 100: the state-transfer probes.
+
+Section VIII moves contracts holding 1, 10 and 100 32-byte state
+variables between Ethereum and Burrow to measure how move latency and
+gas scale with state size (Figs. 8 and 9: Move2's SSTORE recreation
+grows linearly, Store 100 ≈ 2 Mgas).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.crypto.hashing import keccak
+from repro.lang.movable import MovableContract
+from repro.runtime.contract import MapSlot, Slot, external, require, view
+from repro.runtime.registry import register_contract
+
+
+@register_contract
+class StateStore(MovableContract):
+    """A movable contract holding ``slot_count`` 32-byte variables."""
+
+    slot_count = Slot(int)
+    data = MapSlot(int, bytes)
+
+    def init(self, slot_count: int) -> None:
+        """Fill ``slot_count`` 32-byte variables deterministically."""
+        self.owner = self.msg.sender
+        self.slot_count = slot_count
+        for i in range(slot_count):
+            self.data[i] = keccak(b"store-value", i.to_bytes(8, "big"))
+
+    @view
+    def value_at(self, index: int) -> bytes:
+        """The 32-byte value in slot ``index``."""
+        return self.data[index]
+
+    @view
+    def size(self) -> int:
+        """The declared number of variables."""
+        return self.slot_count
+
+    @external
+    def rewrite(self, index: int, value: bytes) -> None:
+        """Owner-only overwrite of one variable."""
+        require(self.msg.sender == self.owner, "only the owner writes")
+        require(index < self.slot_count, "index out of range")
+        require(len(value) == 32, "values are 32 bytes")
+        self.data[index] = value
+
+
+def make_store_deploy_args(n: int) -> Tuple[int]:
+    """Constructor args for a Store-N contract (paper uses 1/10/100)."""
+    return (n,)

@@ -1,0 +1,50 @@
+"""Blockchain substrate: blocks, transactions, mempool, execution.
+
+A :class:`~repro.chain.chain.Chain` is the logical replicated state
+machine: it executes committed blocks against the world state and
+assigns each block header its ``state_root``.  *When* blocks commit is
+decided by a consensus engine from :mod:`repro.consensus` driving the
+chain over the simulated network.
+
+Chain flavours (paper Section VI):
+
+* **Burrow-flavoured** — Tendermint consensus, 5 s blocks, IAVL state
+  tree, confirmation depth p = 2, and the Tendermint quirk that the
+  application state root of block *n* is only carried by header *n+1*;
+* **Ethereum-flavoured** — PoW, 15 s expected blocks, Patricia-trie
+  state, p = 6, per-byte code deposit charged on contract creation.
+"""
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.chain import Chain
+from repro.chain.lightclient import HeaderStore, LightClient
+from repro.chain.mempool import Mempool
+from repro.chain.params import BURROW_PARAMS, ETHEREUM_PARAMS, ChainParams
+from repro.chain.tx import (
+    CallPayload,
+    DeployPayload,
+    Move1Payload,
+    Move2Payload,
+    Transaction,
+    TransferPayload,
+    sign_transaction,
+)
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "Chain",
+    "ChainParams",
+    "BURROW_PARAMS",
+    "ETHEREUM_PARAMS",
+    "Mempool",
+    "HeaderStore",
+    "LightClient",
+    "Transaction",
+    "sign_transaction",
+    "CallPayload",
+    "DeployPayload",
+    "TransferPayload",
+    "Move1Payload",
+    "Move2Payload",
+]

@@ -1,0 +1,368 @@
+"""The chain facade: one replicated state machine.
+
+A :class:`Chain` owns the world state, runtime, mempool and block list;
+a consensus engine (:mod:`repro.consensus`) decides *when*
+:meth:`produce_block` fires.  The chain also serves the Move protocol's
+data needs:
+
+* it retains an O(1) tree snapshot per block so clients can extract
+  **historical** account proofs (a Move2 proof targets the root of the
+  Move1 block, which is ``p`` blocks behind the head by the time the
+  proof is usable);
+* it exposes the header stream that peer chains' light clients consume;
+* its own :class:`~repro.chain.lightclient.LightClient` holds the peer
+  headers that ``VS`` checks during Move2 execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.chain.block import GENESIS_PARENT, Block, BlockHeader, transactions_root
+from repro.chain.executor import TransactionExecutor
+from repro.chain.lightclient import LightClient
+from repro.chain.mempool import Mempool
+from repro.chain.params import ChainParams
+from repro.chain.tx import Transaction
+from repro.core.proofs import ContractStateProof
+from repro.core.registry import ChainRegistry
+from repro.crypto.hashing import keccak
+from repro.crypto.keys import Address
+from repro.errors import ProofError, StateError
+from repro.runtime.context import BlockEnv
+from repro.runtime.runtime import Runtime
+from repro.statedb.receipts import Receipt
+from repro.statedb.state import WorldState, compute_storage_root, encode_contract_leaf
+
+BlockListener = Callable[[Block, List[Receipt]], None]
+
+
+class Chain:
+    """One blockchain: state machine + ledger + light clients."""
+
+    def __init__(
+        self,
+        params: ChainParams,
+        registry: Optional[ChainRegistry] = None,
+        verify_signatures: bool = True,
+    ):
+        self.params = params
+        self.registry = registry if registry is not None else ChainRegistry()
+        if params.chain_id not in self.registry:
+            self.registry.register(params)
+        self.state = WorldState(params.chain_id, params.tree_factory)
+        self.runtime = Runtime(self.state, params.gas_schedule)
+        self.light_client = LightClient()
+        self.executor = TransactionExecutor(
+            self.runtime,
+            self.light_client,
+            self.registry,
+            verify_signatures,
+            gas_price=params.gas_price,
+        )
+        self.mempool = Mempool()
+        self.blocks: List[Block] = []
+        self.receipts: Dict[str, Receipt] = {}
+        self._tree_snapshots: Dict[int, object] = {}
+        self._post_roots: Dict[int, bytes] = {}
+        self._listeners: List[BlockListener] = []
+        self._waiters: Dict[str, List[Callable[[Receipt], None]]] = {}
+        self._make_genesis()
+
+    # ------------------------------------------------------------------
+    # Genesis / identity
+    # ------------------------------------------------------------------
+
+    @property
+    def chain_id(self) -> int:
+        return self.params.chain_id
+
+    @property
+    def height(self) -> int:
+        return self.blocks[-1].height if self.blocks else -1
+
+    @property
+    def head(self) -> Block:
+        return self.blocks[-1]
+
+    def _make_genesis(self) -> None:
+        root = self.state.commit()
+        header = BlockHeader(
+            chain_id=self.chain_id,
+            height=0,
+            parent_hash=GENESIS_PARENT,
+            state_root=root,
+            txs_root=transactions_root([]),
+            timestamp=0.0,
+            proposer="genesis",
+        )
+        self.blocks.append(Block(header=header, transactions=[]))
+        self._post_roots[0] = root
+        self._tree_snapshots[0] = self.state.snapshot_tree()
+
+    def fund(self, allocations: Dict[Address, int]) -> None:
+        """Credit genesis balances (call before the experiment starts).
+
+        Re-commits the state so the head's root reflects the funding.
+        """
+        for address, amount in allocations.items():
+            self.state.add_balance(address, amount)
+        root = self.state.commit()
+        self._post_roots[self.height] = root
+        self._tree_snapshots[self.height] = self.state.snapshot_tree()
+
+    # ------------------------------------------------------------------
+    # Transactions and blocks
+    # ------------------------------------------------------------------
+
+    def submit(self, tx: Transaction) -> bool:
+        """Queue a transaction for inclusion; False for duplicates."""
+        return self.mempool.add(tx)
+
+    def subscribe(self, listener: BlockListener) -> None:
+        """Invoke ``listener(block, receipts)`` after each block."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: BlockListener) -> None:
+        """Detach a block listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def wait_for(self, tx_id: str, callback: Callable[[Receipt], None]) -> None:
+        """Invoke ``callback(receipt)`` when the transaction executes.
+
+        Fires immediately if the transaction is already in a block.
+        """
+        receipt = self.receipts.get(tx_id)
+        if receipt is not None:
+            callback(receipt)
+            return
+        self._waiters.setdefault(tx_id, []).append(callback)
+
+    def produce_block(
+        self,
+        timestamp: float,
+        proposer: str = "",
+        txs: Optional[List[Transaction]] = None,
+    ) -> Block:
+        """Execute the next block (consensus calls this at commit time).
+
+        ``txs`` lets the consensus engine fix the block contents at
+        proposal time (Tendermint semantics); when omitted, the block
+        takes the mempool head at commit time (PoW-style, where the
+        winning miner assembled the block just before finding it).
+        """
+        height = self.height + 1
+        env = BlockEnv(chain_id=self.chain_id, height=height, timestamp=timestamp)
+        if txs is None:
+            txs = self.mempool.take(self.params.max_block_txs)
+        receipts: List[Receipt] = []
+        for tx in txs:
+            receipt = self.executor.execute(tx, env)
+            receipt.block_height = height
+            receipt.block_time = timestamp
+            receipts.append(receipt)
+            self.receipts[tx.tx_id] = receipt
+
+        post_root = self.state.commit()
+        self._post_roots[height] = post_root
+        self._tree_snapshots[height] = self.state.snapshot_tree()
+
+        # Header root: Burrow-flavoured chains publish the *previous*
+        # block's post-state root (state_root_lag = 1).
+        root_height = height - self.params.state_root_lag
+        header_root = self._post_roots.get(root_height, self._post_roots[0])
+        header = BlockHeader(
+            chain_id=self.chain_id,
+            height=height,
+            parent_hash=self.head.hash(),
+            state_root=header_root,
+            txs_root=transactions_root(txs),
+            timestamp=timestamp,
+            proposer=proposer,
+        )
+        block = Block(header=header, transactions=txs)
+        self.blocks.append(block)
+
+        for receipt in receipts:
+            for callback in self._waiters.pop(receipt.tx_id, ()):
+                callback(receipt)
+        for listener in list(self._listeners):
+            listener(block, receipts)
+        return block
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def view(self, target: Address, method: str, *args: Any) -> Any:
+        """Read-only contract query at the current head (the contract
+        sees the head's height and timestamp)."""
+        env = BlockEnv(
+            chain_id=self.chain_id,
+            height=self.height,
+            timestamp=self.head.header.timestamp,
+        )
+        return self.runtime.view(target, method, args, env=env)
+
+    def location_of(self, address: Address) -> Optional[int]:
+        """The contract's ``L_c`` as recorded here, or None."""
+        record = self.state.contract(address)
+        return record.location if record is not None else None
+
+    def balance_of(self, address: Address) -> int:
+        """Native balance at the current head."""
+        return self.state.balance_of(address)
+
+    # ------------------------------------------------------------------
+    # Move protocol support
+    # ------------------------------------------------------------------
+
+    def proof_header_height(self, inclusion_height: int) -> int:
+        """Own-chain header height whose root commits the post-state of
+        ``inclusion_height`` (applies the Burrow lag)."""
+        return inclusion_height + self.params.state_root_lag
+
+    def proof_ready_height(self, inclusion_height: int) -> int:
+        """Own-chain head height at which a Move1 included at
+        ``inclusion_height`` becomes provable to peers (header published
+        and ``p``-confirmed)."""
+        return self.proof_header_height(inclusion_height) + self.params.confirmation_depth
+
+    def prove_contract_at(self, address: Address, state_height: int) -> ContractStateProof:
+        """Build a Move2 proof bundle against the post-state of block
+        ``state_height`` (normally the Move1 inclusion height).
+
+        The contract must be locked (moved away) so its live record
+        still equals the historical one — which the resulting bundle's
+        self-verification guarantees.
+        """
+        record = self.state.contract(address)
+        if record is None:
+            raise ProofError(f"no contract at {address}")
+        tree = self._tree_snapshots.get(state_height)
+        if tree is None:
+            raise ProofError(f"no state snapshot at height {state_height}")
+        account_proof = tree.prove(address.raw)  # type: ignore[attr-defined]
+        code = self.state.code_store.get(record.code_hash)
+        if code is None:
+            raise ProofError("contract code missing from the code store")
+        bundle = ContractStateProof(
+            source_chain=self.chain_id,
+            contract=address,
+            code=code,
+            storage=dict(record.storage),
+            balance=record.balance,
+            location=record.location,
+            move_nonce=record.move_nonce,
+            account_proof=account_proof,
+            proof_height=self.proof_header_height(state_height),
+        )
+        expected_root = self._post_roots[state_height]
+        if not bundle.verify_against_root(expected_root, self.params.tree_factory):
+            raise ProofError(
+                f"contract state at head no longer matches height {state_height} "
+                "(was it modified after the proof height?)"
+            )
+        return bundle
+
+    def prove_storage_entry(self, container: Address, key: bytes, state_height: int):
+        """Build a :class:`~repro.core.proofs.RemoteStateProof` that
+        ``container``'s storage maps ``key`` at block ``state_height``.
+
+        This is the generic attestation primitive of Section V-A: any
+        contract on any peer chain can verify the entry against this
+        chain's p-confirmed headers (via the light-client builtin).
+        Like :meth:`prove_contract_at`, it requires the container's
+        current storage to still match the historical root.
+        """
+        from repro.core.proofs import RemoteStateProof
+
+        record = self.state.contract(container)
+        if record is None:
+            raise ProofError(f"no contract at {container}")
+        tree = self._tree_snapshots.get(state_height)
+        if tree is None:
+            raise ProofError(f"no state snapshot at height {state_height}")
+        account_proof = tree.prove(container.raw)  # type: ignore[attr-defined]
+        storage_tree = self.params.tree_factory()
+        for storage_key in sorted(record.storage):
+            storage_tree.set(storage_key, record.storage[storage_key])  # type: ignore[attr-defined]
+        try:
+            storage_proof = storage_tree.prove(key)  # type: ignore[attr-defined]
+        except KeyError:
+            raise ProofError(f"container has no storage entry {key.hex()[:16]}…") from None
+        proof = RemoteStateProof(
+            chain_id=self.chain_id,
+            height=self.proof_header_height(state_height),
+            container=container,
+            account_proof=account_proof,
+            storage_proof=storage_proof,
+        )
+        expected_root = self._post_roots[state_height]
+        if account_proof.computed_root() != expected_root or (
+            account_proof.value[-32:] != storage_tree.root_hash  # type: ignore[attr-defined]
+        ):
+            raise ProofError(
+                f"container storage at head no longer matches height {state_height}"
+            )
+        return proof
+
+    def gc_stale(self, min_age_blocks: int = 0):
+        """Collect storage of moved-away contracts (paper §III-G c).
+
+        Runs between blocks; the reclaimed leaves re-commit on the next
+        block.  Replay protection survives: tombstones keep each
+        contract's move nonce and forwarding location.  Returns the
+        :class:`~repro.core.gc.GCReport`.
+        """
+        from repro.core.gc import collect_stale_contracts
+
+        return collect_stale_contracts(
+            self.state, current_height=self.height, min_age_blocks=min_age_blocks
+        )
+
+    def prune_snapshots(self, keep_last: int) -> int:
+        """Drop per-block tree snapshots older than ``keep_last`` blocks
+        (historical proofs beyond that horizon become unavailable —
+        safe once peers' confirmation windows have passed).  Returns
+        how many snapshots were dropped."""
+        horizon = self.height - keep_last
+        # Height 0 stays: it is the header-root fallback for the first
+        # lagged blocks.
+        stale = [h for h in self._tree_snapshots if 0 < h < horizon]
+        for height in stale:
+            del self._tree_snapshots[height]
+            self._post_roots.pop(height, None)
+        return len(stale)
+
+    def verify_chain(self) -> bool:
+        """Structural self-audit of the ledger.
+
+        Checks what a syncing full node would: every header links to
+        its parent by hash, heights are contiguous, and every header's
+        ``txs_root`` recommits to the block body.  (State roots require
+        re-execution to check and are covered by the replica-determinism
+        tests instead.)  Raises :class:`StateError` on the first
+        violation; returns True otherwise.
+        """
+        for previous, block in zip(self.blocks, self.blocks[1:]):
+            if block.header.parent_hash != previous.hash():
+                raise StateError(f"broken parent link at height {block.height}")
+            if block.height != previous.height + 1:
+                raise StateError(f"non-contiguous height at {block.height}")
+            if block.header.txs_root != transactions_root(block.transactions):
+                raise StateError(f"txs_root mismatch at height {block.height}")
+        return True
+
+    def observe_chain(self, params: ChainParams) -> None:
+        """Start maintaining a light client of a peer chain."""
+        if params.chain_id not in self.registry:
+            self.registry.register(params)
+        self.light_client.observe(params.chain_id, params.confirmation_depth)
+
+    def ingest_header(self, header: BlockHeader) -> None:
+        """Feed a peer-chain header to this chain's light client."""
+        self.light_client.add_header(header)

@@ -1,0 +1,244 @@
+"""Transaction execution against the world state.
+
+One :class:`TransactionExecutor` per chain.  Every transaction runs
+inside a journal snapshot: aborts (revert, out of gas, locked contract,
+Move protocol violations) roll the state back exactly and yield a
+failed receipt — the chain never crashes on bad transactions.
+
+Gas categories: each transaction's charges land in a category chosen
+from its kind (``move1`` / ``move2`` / ``execution``) or overridden by
+``tx.meta["gas_category"]`` — how the Fig. 8/9 harness attributes the
+``complete`` phase.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chain.bytecode import execute_bytecode_call
+from repro.chain.lightclient import LightClient
+from repro.chain.tx import (
+    BytecodeCallPayload,
+    CallPayload,
+    DeployBytecodePayload,
+    DeployPayload,
+    Move1Payload,
+    Move2Payload,
+    Transaction,
+    TransferPayload,
+)
+from repro.core.move import apply_move1, apply_move2
+from repro.core.registry import ChainRegistry
+from repro.crypto.hashing import keccak
+from repro.crypto.keys import Address, contract_address, create2_address
+from repro.errors import ContractLocked, Revert, TransactionAborted
+from repro.runtime.context import BlockEnv
+from repro.runtime.registry import lookup_code
+from repro.runtime.runtime import Runtime
+from repro.statedb.receipts import Receipt
+from repro.vm.gas import GasMeter
+from repro.vm.machine import Machine
+
+#: Per-transaction gas allowance; generous so only runaway transactions
+#: (or deliberately tight tests) hit it.
+DEFAULT_TX_GAS_LIMIT = 50_000_000
+
+
+class TransactionExecutor:
+    """Executes signed transactions for one chain."""
+
+    #: where fees accumulate (stands in for the proposer/miner reward
+    #: flow; one well-known sink address per chain)
+    FEE_POOL = Address(b"\xfe" * 20)
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        light_client: LightClient,
+        registry: ChainRegistry,
+        verify_signatures: bool = True,
+        tx_gas_limit: int = DEFAULT_TX_GAS_LIMIT,
+        gas_price: int = 0,
+    ):
+        self.runtime = runtime
+        self.light_client = light_client
+        self.registry = registry
+        self.verify_signatures = verify_signatures
+        self.tx_gas_limit = tx_gas_limit
+        self.gas_price = gas_price
+        self.machine = Machine(runtime.schedule)
+
+    def _charge_fee(self, sender, gas_used: int) -> int:
+        """Deduct the gas fee (EVM semantics: failed transactions pay
+        too).  The deduction is clamped to the sender's balance; fees
+        accrue to the chain's fee pool."""
+        if not self.gas_price:
+            return 0
+        state = self.runtime.state
+        fee = min(gas_used * self.gas_price, state.balance_of(sender))
+        if fee:
+            state.sub_balance(sender, fee)
+            state.add_balance(self.FEE_POOL, fee)
+        return fee
+
+    def _category(self, tx: Transaction) -> str:
+        override = tx.meta.get("gas_category")
+        if override:
+            return override
+        if isinstance(tx.payload, Move1Payload):
+            return "move1"
+        if isinstance(tx.payload, Move2Payload):
+            return "move2"
+        return "execution"
+
+    def execute(self, tx: Transaction, env: BlockEnv) -> Receipt:
+        """Run one transaction; always returns a receipt."""
+        state = self.runtime.state
+        schedule = self.runtime.schedule
+        meter = GasMeter(limit=self.tx_gas_limit, schedule=schedule)
+        category = self._category(tx)
+        ctx = self.runtime.make_context(tx.sender, env, meter, category)
+        ctx.light_client = self.light_client  # enable the proof builtin
+        snap = state.snapshot()
+        try:
+            if self.verify_signatures and not tx.verify():
+                raise Revert("invalid transaction signature")
+            meter.charge(schedule.tx_base, category)
+            result = self._dispatch(tx, ctx)
+            fee = self._charge_fee(tx.sender, meter.used)
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=True,
+                gas_used=meter.used,
+                return_value=result,
+                logs=list(ctx.events),
+                gas_by_category=dict(meter.by_category),
+                fee_paid=fee,
+            )
+        except TransactionAborted as exc:
+            state.revert(snap)
+            # Failed transactions pay for the gas they burned (the fee
+            # lands outside the reverted journal region).
+            fee = self._charge_fee(tx.sender, meter.used)
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                gas_used=meter.used,
+                error=f"{type(exc).__name__}: {exc}",
+                gas_by_category=dict(meter.by_category),
+                fee_paid=fee,
+            )
+        except Exception as exc:  # noqa: BLE001 — contract-fault boundary
+            # EVM semantics: *any* fault inside contract execution
+            # (malformed arguments, a bug in contract code, ...) aborts
+            # the transaction — a hostile transaction must never crash
+            # the node.
+            state.revert(snap)
+            fee = self._charge_fee(tx.sender, meter.used)
+            return Receipt(
+                tx_id=tx.tx_id,
+                success=False,
+                gas_used=meter.used,
+                error=f"ContractFault({type(exc).__name__}): {exc}",
+                gas_by_category=dict(meter.by_category),
+                fee_paid=fee,
+            )
+
+    def _dispatch(self, tx: Transaction, ctx) -> object:
+        payload = tx.payload
+        state = self.runtime.state
+
+        if isinstance(payload, TransferPayload):
+            if state.balance_of(tx.sender) < payload.amount:
+                raise Revert("insufficient balance for transfer")
+            state.sub_balance(tx.sender, payload.amount)
+            state.add_balance(payload.to, payload.amount)
+            return None
+
+        if isinstance(payload, DeployPayload):
+            cls = lookup_code(payload.code_hash)
+            return self.runtime.deploy(
+                ctx,
+                cls,
+                payload.args,
+                sender=tx.sender,
+                salt=payload.salt,
+                value=payload.value,
+            )
+
+        if isinstance(payload, CallPayload):
+            return self.runtime.call(
+                ctx,
+                payload.target,
+                payload.method,
+                payload.args,
+                sender=tx.sender,
+                value=payload.value,
+            )
+
+        if isinstance(payload, DeployBytecodePayload):
+            code_hash = keccak(payload.code)
+            ctx.charge(self.runtime.schedule.create, "create")
+            schedule = self.runtime.schedule
+            if not (schedule.code_deposit_dedup and state.has_code(code_hash)):
+                ctx.charge(schedule.code_deposit(len(payload.code)), "code_deposit")
+            if payload.salt is None:
+                nonce = state.bump_nonce(tx.sender)
+                address = contract_address(ctx.env.chain_id, tx.sender, nonce)
+            else:
+                address = create2_address(
+                    ctx.env.chain_id, tx.sender, payload.salt, code_hash
+                )
+            state.create_contract(address, code_hash, payload.code)
+            if payload.value:
+                if state.balance_of(tx.sender) < payload.value:
+                    raise Revert("insufficient balance for deployment value")
+                state.sub_balance(tx.sender, payload.value)
+                state.add_balance(address, payload.value)
+            return address
+
+        if isinstance(payload, BytecodeCallPayload):
+            record = state.contract(payload.target)
+            if record is None:
+                raise Revert(f"no contract at {payload.target}")
+            # Bytecode calls may always mutate, so the Move lock blocks
+            # every call to a moved-away contract.
+            if state.is_locked(payload.target):
+                raise ContractLocked(
+                    f"contract {payload.target} moved to chain {record.location}"
+                )
+            ctx.charge(self.runtime.schedule.call)
+            if payload.value:
+                if state.balance_of(tx.sender) < payload.value:
+                    raise Revert("insufficient balance for call value")
+                state.sub_balance(tx.sender, payload.value)
+                state.add_balance(payload.target, payload.value)
+            result = execute_bytecode_call(
+                state,
+                self.machine,
+                payload.target,
+                tx.sender,
+                payload.calldata,
+                payload.value,
+                ctx.env,
+                ctx.meter,
+                self._category(tx),
+            )
+            return result.return_data
+
+        if isinstance(payload, Move1Payload):
+            apply_move1(ctx, self.runtime, payload.contract, payload.target_chain, tx.sender)
+            return None
+
+        if isinstance(payload, Move2Payload):
+            apply_move2(
+                ctx,
+                self.runtime,
+                payload.bundle,
+                self.light_client,
+                self.registry,
+                tx.sender,
+            )
+            return None
+
+        raise Revert(f"unknown payload type {type(payload).__name__}")

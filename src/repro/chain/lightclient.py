@@ -1,0 +1,165 @@
+"""Light clients: header stores and the ``VS`` predicate.
+
+Validators/miners of chains that interoperate maintain a light client of
+each peer chain (paper Section IV-A): they hold only block headers —
+hundreds of bytes, ~2 % of block bodies — and accept a state root ``m``
+as trusted only when the header carrying it is at least ``p`` blocks
+behind that chain's head.  ``p`` is per-observed-chain configuration
+agreed by the interoperating chains (six for Ethereum's fork window,
+two for Burrow).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.chain.block import BlockHeader
+from repro.errors import StateError
+
+
+class HeaderStore:
+    """Headers of *one* observed chain, with confirmation tracking."""
+
+    def __init__(self, chain_id: int, confirmation_depth: int):
+        self.chain_id = chain_id
+        self.confirmation_depth = confirmation_depth
+        self._headers: Dict[int, BlockHeader] = {}
+        self.head_height = -1
+
+    def add_header(self, header: BlockHeader) -> None:
+        """Ingest a header (relayed or downloaded)."""
+        if header.chain_id != self.chain_id:
+            raise StateError(
+                f"header of chain {header.chain_id} fed to store of {self.chain_id}"
+            )
+        self._headers[header.height] = header
+        self.head_height = max(self.head_height, header.height)
+
+    def header_at(self, height: int) -> Optional[BlockHeader]:
+        """The stored header at ``height``, if any."""
+        return self._headers.get(height)
+
+    def is_confirmed(self, height: int) -> bool:
+        """Is the block at ``height`` at least ``p`` behind the head?"""
+        return height + self.confirmation_depth <= self.head_height
+
+    def trusted_state_root(self, height: int) -> Optional[bytes]:
+        """The root ``m`` carried by the header at ``height`` — only if
+        that header is known *and* sufficiently confirmed; else None.
+
+        This is one half of ``VS(B, m)``; the caller compares the
+        returned root with the one the proof claims.
+        """
+        header = self._headers.get(height)
+        if header is None or not self.is_confirmed(height):
+            return None
+        return header.state_root
+
+
+class ForkAwareHeaderStore(HeaderStore):
+    """Header store that tracks competing branches of a forking chain.
+
+    Permissionless chains fork momentarily (Section II); interoperating
+    peers therefore wait ``p`` blocks before trusting a header
+    (Section IV-A).  This store makes the mechanism concrete:
+
+    * headers must link to a known parent (by hash) — detached headers
+      are rejected;
+    * competing headers at one height coexist as branches;
+    * the **canonical** chain is the longest branch (first-seen wins a
+      tie, like a node that mines on what it saw first);
+    * ``trusted_state_root`` answers only for canonical, ``p``-deep
+      headers — a root from an orphaned branch is never trusted, and a
+      root that *was* canonical stops validating after a reorg.
+    """
+
+    def __init__(self, chain_id: int, confirmation_depth: int):
+        super().__init__(chain_id, confirmation_depth)
+        self._by_hash: Dict[bytes, BlockHeader] = {}
+        self._tip: Optional[BlockHeader] = None
+        self._canonical: Dict[int, bytes] = {}  # height -> canonical hash
+        self.reorgs = 0
+
+    def add_header(self, header: BlockHeader) -> None:
+        """Ingest a linked header; competing branches are tracked."""
+        if header.chain_id != self.chain_id:
+            raise StateError(
+                f"header of chain {header.chain_id} fed to store of {self.chain_id}"
+            )
+        if header.height > 0 and header.parent_hash not in self._by_hash:
+            raise StateError(
+                f"detached header at height {header.height}: unknown parent"
+            )
+        digest = header.hash()
+        self._by_hash[digest] = header
+        self._headers[header.height] = header  # latest writer, superseded below
+        if self._tip is None or header.height > self._tip.height:
+            old_tip = self._tip
+            self._tip = header
+            self.head_height = header.height
+            self._rebuild_canonical()
+            if old_tip is not None and self._canonical.get(old_tip.height) != old_tip.hash():
+                self.reorgs += 1
+
+    def _rebuild_canonical(self) -> None:
+        self._canonical.clear()
+        cursor = self._tip
+        while cursor is not None:
+            self._canonical[cursor.height] = cursor.hash()
+            self._headers[cursor.height] = cursor
+            if cursor.height == 0:
+                break
+            cursor = self._by_hash.get(cursor.parent_hash)
+
+    def is_canonical(self, header: BlockHeader) -> bool:
+        """Is this header on the current longest branch?"""
+        return self._canonical.get(header.height) == header.hash()
+
+    def trusted_state_root(self, height: int) -> Optional[bytes]:
+        """The canonical, p-confirmed root at ``height`` (else None)."""
+        canonical_hash = self._canonical.get(height)
+        if canonical_hash is None or not self.is_confirmed(height):
+            return None
+        return self._by_hash[canonical_hash].state_root
+
+
+class LightClient:
+    """A node's collection of header stores, one per observed chain."""
+
+    def __init__(self) -> None:
+        self._stores: Dict[int, HeaderStore] = {}
+
+    def observe(
+        self, chain_id: int, confirmation_depth: int, fork_aware: bool = False
+    ) -> HeaderStore:
+        """Start (or fetch) the store for a peer chain.
+
+        ``fork_aware=True`` builds a :class:`ForkAwareHeaderStore` —
+        appropriate when the observed chain can fork (PoW peers).
+        """
+        store = self._stores.get(chain_id)
+        if store is None:
+            cls = ForkAwareHeaderStore if fork_aware else HeaderStore
+            store = cls(chain_id, confirmation_depth)
+            self._stores[chain_id] = store
+        return store
+
+    def store_for(self, chain_id: int) -> Optional[HeaderStore]:
+        """The header store of an observed chain, or None."""
+        return self._stores.get(chain_id)
+
+    def add_header(self, header: BlockHeader) -> None:
+        """Route a header to its chain's store (must be observed)."""
+        store = self._stores.get(header.chain_id)
+        if store is None:
+            raise StateError(f"not observing chain {header.chain_id}")
+        store.add_header(header)
+
+    def valid_state_root(self, chain_id: int, height: int, claimed_root: bytes) -> bool:
+        """``VS(B, m)``: is ``claimed_root`` the confirmed root of
+        chain ``B`` at ``height``?"""
+        store = self._stores.get(chain_id)
+        if store is None:
+            return False
+        trusted = store.trusted_state_root(height)
+        return trusted is not None and trusted == claimed_root

@@ -1,0 +1,44 @@
+"""Transaction mempool: FIFO with de-duplication."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.chain.tx import Transaction
+
+
+class Mempool:
+    """Pending transactions awaiting inclusion.
+
+    FIFO order approximates the gossip arrival order the paper's
+    clients observe; duplicates (same tx id) are dropped.
+    """
+
+    def __init__(self) -> None:
+        self._pending: "OrderedDict[str, Transaction]" = OrderedDict()
+
+    def add(self, tx: Transaction) -> bool:
+        """Queue a transaction; returns False for duplicates."""
+        if tx.tx_id in self._pending:
+            return False
+        self._pending[tx.tx_id] = tx
+        return True
+
+    def take(self, limit: int) -> List[Transaction]:
+        """Dequeue up to ``limit`` transactions (oldest first)."""
+        out: List[Transaction] = []
+        while self._pending and len(out) < limit:
+            _tx_id, tx = self._pending.popitem(last=False)
+            out.append(tx)
+        return out
+
+    def remove(self, tx_id: str) -> Optional[Transaction]:
+        """Drop a specific pending transaction (e.g. seen in a block)."""
+        return self._pending.pop(tx_id, None)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._pending

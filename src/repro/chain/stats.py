@@ -1,0 +1,134 @@
+"""Chain introspection: the numbers an explorer front-end would show.
+
+Aggregates per-chain statistics from blocks and state — block cadence,
+transaction mix and success rate, gas, contract census, Move-protocol
+activity — used by the CLI's ``inspect`` views and by experiment
+post-mortems.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.chain.chain import Chain
+from repro.chain.tx import (
+    BytecodeCallPayload,
+    CallPayload,
+    DeployBytecodePayload,
+    DeployPayload,
+    Move1Payload,
+    Move2Payload,
+    TransferPayload,
+)
+
+_KIND_NAMES = {
+    TransferPayload: "transfer",
+    DeployPayload: "deploy",
+    CallPayload: "call",
+    DeployBytecodePayload: "deploy-bytecode",
+    BytecodeCallPayload: "bytecode-call",
+    Move1Payload: "move1",
+    Move2Payload: "move2",
+}
+
+
+@dataclass
+class ChainStats:
+    """A snapshot of one chain's history and state."""
+
+    chain_id: int
+    name: str
+    flavor: str
+    height: int
+    total_txs: int = 0
+    failed_txs: int = 0
+    tx_kinds: Dict[str, int] = field(default_factory=dict)
+    total_gas: int = 0
+    mean_block_interval: Optional[float] = None
+    mean_block_fill: float = 0.0
+    contracts_total: int = 0
+    contracts_active: int = 0
+    contracts_locked: int = 0
+    moves_in: int = 0
+    moves_out: int = 0
+    storage_slots: int = 0
+    storage_bytes: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        if not self.total_txs:
+            return 1.0
+        return 1.0 - self.failed_txs / self.total_txs
+
+    def lines(self) -> List[str]:
+        """Human-readable summary block."""
+        out = [
+            f"chain {self.chain_id} ({self.name}, {self.flavor}-flavoured)",
+            f"  height          : {self.height}",
+            f"  transactions    : {self.total_txs} "
+            f"({self.success_rate * 100:.1f}% success)",
+        ]
+        if self.tx_kinds:
+            mix = ", ".join(f"{k}:{v}" for k, v in sorted(self.tx_kinds.items()))
+            out.append(f"  tx mix          : {mix}")
+        if self.mean_block_interval is not None:
+            out.append(f"  block interval  : {self.mean_block_interval:.2f} s mean")
+        out.append(f"  block fill      : {self.mean_block_fill * 100:.1f}% of capacity")
+        out.append(f"  gas             : {self.total_gas:,} total")
+        out.append(
+            f"  contracts       : {self.contracts_total} "
+            f"({self.contracts_active} active, {self.contracts_locked} moved away)"
+        )
+        out.append(f"  moves           : {self.moves_in} in, {self.moves_out} out")
+        out.append(
+            f"  storage         : {self.storage_slots} slots, {self.storage_bytes:,} bytes"
+        )
+        return out
+
+
+def collect_chain_stats(chain: Chain) -> ChainStats:
+    """Walk a chain's blocks, receipts and state into a snapshot."""
+    stats = ChainStats(
+        chain_id=chain.chain_id,
+        name=chain.params.name,
+        flavor=chain.params.flavor,
+        height=chain.height,
+    )
+    kinds: Counter = Counter()
+    fills: List[float] = []
+    timestamps: List[float] = []
+    for block in chain.blocks[1:]:
+        timestamps.append(block.header.timestamp)
+        fills.append(len(block.transactions) / chain.params.max_block_txs)
+        for tx in block.transactions:
+            stats.total_txs += 1
+            kinds[_KIND_NAMES.get(type(tx.payload), "other")] += 1
+            receipt = chain.receipts.get(tx.tx_id)
+            if receipt is not None:
+                stats.total_gas += receipt.gas_used
+                if not receipt.success:
+                    stats.failed_txs += 1
+                elif isinstance(tx.payload, Move2Payload):
+                    stats.moves_in += 1
+            if isinstance(tx.payload, Move1Payload) and receipt and receipt.success:
+                stats.moves_out += 1
+    stats.tx_kinds = dict(kinds)
+    if len(timestamps) >= 2:
+        gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+        stats.mean_block_interval = sum(gaps) / len(gaps)
+    if fills:
+        stats.mean_block_fill = sum(fills) / len(fills)
+
+    for record in chain.state.contracts.values():
+        stats.contracts_total += 1
+        if record.location == chain.chain_id:
+            stats.contracts_active += 1
+        else:
+            stats.contracts_locked += 1
+        stats.storage_slots += len(record.storage)
+        stats.storage_bytes += sum(
+            len(k) + len(v) for k, v in record.storage.items()
+        )
+    return stats

@@ -1,0 +1,295 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro info
+    python -m repro move-demo
+    python -m repro relay-demo
+    python -m repro trace  --shards 4 --ops 2000
+    python -m repro scoin  --shards 4 --clients 40 --cross 0.10 --duration 300
+    python -m repro ibc    --app store10 --direction e2b
+
+Every command prints the same quantities the paper's corresponding
+section reports.  Heavier, assertion-checked versions of these runs
+live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_info(_args) -> int:
+    from repro import __doc__ as package_doc
+
+    print("Smart Contracts on the Move — DSN 2020 reproduction")
+    print()
+    inventory = [
+        ("repro.core", "Move1/Move2, proof bundles, replay guard, relay, swap, GC"),
+        ("repro.vm", "EVM-flavoured VM + gas schedule + OP_MOVE"),
+        ("repro.merkle", "binary Merkle / IAVL / Patricia trie + {v} -> m proofs"),
+        ("repro.consensus", "Tendermint-style BFT + Nakamoto PoW over simulated WAN"),
+        ("repro.apps", "SCoin, ScalableKitties, Store-N"),
+        ("repro.traces", "synthetic CryptoKitties trace + dependency-DAG replay"),
+        ("repro.sharding", "hash partitioning, N-shard clusters, load balancer"),
+        ("repro.ibc", "header relays, cross-chain bridge, Fig. 8/9 scenarios"),
+    ]
+    for name, what in inventory:
+        print(f"  {name:17s} {what}")
+    print()
+    print("benchmarks: pytest benchmarks/ --benchmark-only")
+    print("tests:      pytest tests/")
+    return 0
+
+
+def _demo_world():
+    from repro.chain.chain import Chain
+    from repro.chain.params import burrow_params, ethereum_params
+    from repro.core.registry import ChainRegistry
+    from repro.ibc.headers import connect_chains
+
+    registry = ChainRegistry()
+    burrow = Chain(burrow_params(1), registry)
+    ethereum = Chain(ethereum_params(2), registry)
+    connect_chains([burrow, ethereum])
+    return burrow, ethereum
+
+
+def _demo_tx(chain, keypair, payload, clock):
+    from repro.chain.tx import sign_transaction
+
+    tx = sign_transaction(keypair, payload)
+    chain.submit(tx)
+    clock[0] += 5.0
+    chain.produce_block(clock[0])
+    receipt = chain.receipts[tx.tx_id]
+    if not receipt.success:
+        raise SystemExit(f"demo transaction failed: {receipt.error}")
+    return receipt
+
+
+def _cmd_move_demo(_args) -> int:
+    from repro.apps.store import StateStore
+    from repro.chain.tx import CallPayload, DeployPayload, Move1Payload, Move2Payload
+    from repro.crypto.keys import KeyPair
+
+    burrow, ethereum = _demo_world()
+    alice = KeyPair.from_name("alice")
+    clock = [0.0]
+
+    store = _demo_tx(burrow, alice, DeployPayload(code_hash=StateStore.CODE_HASH, args=(3,)), clock).return_value
+    print(f"deployed Store-3 at {store} on chain {burrow.chain_id} (Burrow-flavoured)")
+
+    receipt = _demo_tx(burrow, alice, Move1Payload(contract=store, target_chain=2), clock)
+    inclusion = receipt.block_height
+    print(f"Move1 included at height {inclusion}: contract locked, L_c = 2")
+
+    while burrow.height < burrow.proof_ready_height(inclusion):
+        clock[0] += 5.0
+        burrow.produce_block(clock[0])
+    bundle = burrow.prove_contract_at(store, inclusion)
+    print(f"proof ready after {burrow.height - inclusion} blocks "
+          f"({len(bundle.storage)} slots, {bundle.size_bytes()} bytes)")
+
+    move2 = _demo_tx(ethereum, alice, Move2Payload(bundle=bundle), clock)
+    print(f"Move2 executed on chain {ethereum.chain_id} "
+          f"({move2.gas_used:,} gas); contract active there:")
+    print(f"  value_at(0) = {ethereum.view(store, 'value_at', 0).hex()[:16]}…")
+    print(f"  source copy locked, reads still served (L_c = {burrow.location_of(store)})")
+    return 0
+
+
+def _cmd_relay_demo(_args) -> int:
+    from repro.chain.tx import CallPayload, DeployPayload, Move1Payload, Move2Payload
+    from repro.core.relay import CurrencyRelay
+    from repro.crypto.keys import KeyPair
+
+    burrow, ethereum = _demo_world()
+    client1, client2 = KeyPair.from_name("client1"), KeyPair.from_name("client2")
+    clock = [0.0]
+    burrow.fund({client1.address: 1_000})
+
+    relay = _demo_tx(burrow, client1, DeployPayload(code_hash=CurrencyRelay.CODE_HASH), clock).return_value
+    receipt = _demo_tx(
+        burrow, client1, CallPayload(relay, "create", (2, client2.address), value=700), clock
+    )
+    escrow = receipt.return_value
+    print(f"locked 700 units on chain 1 in escrow {escrow} (born locked toward chain 2)")
+
+    inclusion = receipt.block_height
+    while burrow.height < burrow.proof_ready_height(inclusion):
+        clock[0] += 5.0
+        burrow.produce_block(clock[0])
+    _demo_tx(ethereum, client2, Move2Payload(bundle=burrow.prove_contract_at(escrow, inclusion)), clock)
+    minted = _demo_tx(ethereum, client2, CallPayload(escrow, "mint"), clock).return_value
+    print(f"client2 minted {minted} pegged units on chain 2, provably backed by chain 1")
+
+    _demo_tx(ethereum, client2, CallPayload(escrow, "burn"), clock)
+    move1 = _demo_tx(ethereum, client2, Move1Payload(contract=escrow, target_chain=1), clock)
+    while ethereum.height < ethereum.proof_ready_height(move1.block_height):
+        clock[0] += 5.0
+        ethereum.produce_block(clock[0])
+    _demo_tx(burrow, client2, Move2Payload(
+        bundle=ethereum.prove_contract_at(escrow, move1.block_height)), clock)
+    redeemed = _demo_tx(burrow, client2, CallPayload(escrow, "redeem"), clock).return_value
+    print(f"escrow returned home; client2 redeemed {redeemed} native units "
+          f"(balance: {burrow.balance_of(client2.address)})")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.metrics.report import format_series
+    from repro.sharding.cluster import ShardedCluster
+    from repro.traces.cryptokitties import TraceConfig, generate_trace
+    from repro.traces.dag import DependencyDAG
+    from repro.traces.io import load_trace, save_trace
+    from repro.traces.replay import KittiesReplayer
+
+    if args.load:
+        trace = load_trace(args.load)
+        print(f"loaded trace from {args.load}")
+    else:
+        config = TraceConfig(
+            n_ops=args.ops,
+            n_promo=max(args.ops // 10, 50),
+            n_users=max(args.ops // 20, 30),
+            seed=args.seed,
+        )
+        trace = generate_trace(config)
+    if args.save:
+        save_trace(trace, args.save)
+        print(f"saved trace to {args.save}")
+    dag = DependencyDAG(trace)
+    print(f"trace: {len(trace)} ops, DAG depth {dag.depth()}, {dag.ready_count()} leaves")
+    cluster = ShardedCluster(num_shards=args.shards, seed=args.seed, max_block_txs=130)
+    replayer = KittiesReplayer(cluster, trace=trace, outstanding_limit=args.outstanding)
+    report = replayer.run(max_time=200_000)
+    print(f"replayed on {args.shards} shard(s) in {report.finished_at:.0f} sim-seconds")
+    print(f"  committed txs : {report.txs_committed} ({report.failed_txs} failures)")
+    print(f"  throughput    : {report.avg_throughput():.1f} tx/s")
+    print(f"  cross-shard   : {report.cross_rate * 100:.2f}% of operations")
+    if args.series:
+        print(format_series(
+            report.throughput.series(bucket=30.0, end=report.finished_at),
+            x_label="time (s)", y_label="tx/s", width=40,
+        ))
+    if args.inspect:
+        from repro.chain.stats import collect_chain_stats
+
+        for shard in cluster.shards:
+            print("\n".join(collect_chain_stats(shard).lines()))
+    return 0
+
+
+def _cmd_scoin(args) -> int:
+    from repro.metrics.cdf import percentile
+    from repro.sharding.cluster import ShardedCluster
+    from repro.workload.clients import ScoinWorkload
+
+    cluster = ShardedCluster(num_shards=args.shards, seed=args.seed)
+    workload = ScoinWorkload(
+        cluster,
+        clients_per_shard=args.clients,
+        cross_rate=args.cross,
+        retry_mode=args.retry,
+        seed=args.seed,
+    )
+    report = workload.run(args.duration, warmup=args.duration * 0.15)
+    print(f"{args.shards} shard(s) x {args.clients} clients, "
+          f"{args.cross * 100:.0f}% cross-shard"
+          + (", retry mode" if args.retry else " (oracle mode)"))
+    print(f"  throughput : {report.ops_per_second:.1f} ops/s "
+          f"({report.ops_completed} ops in {report.duration:.0f}s)")
+    print(f"  cross mix  : {report.observed_cross_rate * 100:.1f}% observed")
+    for kind in sorted(report.latency.kinds()):
+        samples = report.latency.samples(kind)
+        print(f"  {kind:13s}: mean {report.latency.mean(kind):5.1f}s "
+              f"p50 {percentile(samples, 0.5):5.1f}s p99 {percentile(samples, 0.99):6.1f}s")
+    if args.retry:
+        hist = report.retry_histogram()
+        print(f"  conflicts  : {report.failures}; retry histogram: "
+              f"{dict(sorted(hist.items()))}")
+    return 0
+
+
+def _cmd_ibc(args) -> int:
+    from repro.ibc.costs import gas_to_mgas, gas_to_usd
+    from repro.ibc.scenarios import APPS, BURROW_ID, ETHEREUM_ID, IBCExperiment
+
+    if args.direction == "b2e":
+        src, dst, label = BURROW_ID, ETHEREUM_ID, "Burrow -> Ethereum"
+    else:
+        src, dst, label = ETHEREUM_ID, BURROW_ID, "Ethereum -> Burrow"
+    experiment = IBCExperiment(seed=args.seed)
+    phases = experiment.run_app(args.app, src, dst)
+    total_gas = sum(phases.gas.values())
+    print(f"{args.app} {label}")
+    print(f"  move1        : {phases.move1_time:7.1f} s")
+    print(f"  wait + proof : {phases.wait_proof_time:7.1f} s")
+    print(f"  move2        : {phases.move2_time:7.1f} s")
+    print(f"  complete     : {phases.complete_time:7.1f} s")
+    print(f"  total        : {phases.total_time:7.1f} s")
+    print(f"  gas          : {gas_to_mgas(total_gas):.2f} Mgas  (${gas_to_usd(total_gas):.2f})")
+    for bucket, amount in sorted(phases.gas.items()):
+        print(f"    {bucket:8s}: {amount:>10,}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Smart Contracts on the Move' (DSN 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="system inventory").set_defaults(fn=_cmd_info)
+    sub.add_parser("move-demo", help="move a contract between two chains").set_defaults(
+        fn=_cmd_move_demo
+    )
+    sub.add_parser("relay-demo", help="Fig. 3 currency relay walkthrough").set_defaults(
+        fn=_cmd_relay_demo
+    )
+
+    trace = sub.add_parser("trace", help="replay a synthetic CryptoKitties trace")
+    trace.add_argument("--shards", type=int, default=2)
+    trace.add_argument("--ops", type=int, default=2_000)
+    trace.add_argument("--outstanding", type=int, default=250)
+    trace.add_argument("--seed", type=int, default=5)
+    trace.add_argument("--series", action="store_true", help="print tx/s over time")
+    trace.add_argument("--save", metavar="PATH", help="write the trace as JSON")
+    trace.add_argument("--load", metavar="PATH", help="replay a saved trace")
+    trace.add_argument("--inspect", action="store_true", help="per-shard statistics")
+    trace.set_defaults(fn=_cmd_trace)
+
+    scoin = sub.add_parser("scoin", help="closed-loop SCoin workload (Fig. 6/7)")
+    scoin.add_argument("--shards", type=int, default=4)
+    scoin.add_argument("--clients", type=int, default=40, help="per shard")
+    scoin.add_argument("--cross", type=float, default=0.10)
+    scoin.add_argument("--duration", type=float, default=300.0)
+    scoin.add_argument("--retry", action="store_true", help="conflict/retry mode")
+    scoin.add_argument("--seed", type=int, default=7)
+    scoin.set_defaults(fn=_cmd_scoin)
+
+    ibc = sub.add_parser("ibc", help="one cross-chain application run (Fig. 8/9)")
+    from repro.ibc.scenarios import APPS
+
+    ibc.add_argument("--app", choices=APPS, default="store10")
+    ibc.add_argument("--direction", choices=["b2e", "e2b"], default="b2e")
+    ibc.add_argument("--seed", type=int, default=1)
+    ibc.set_defaults(fn=_cmd_ibc)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Consensus engines driving block production over the simulated WAN.
+
+Two engines mirror the two systems modified in the paper:
+
+* :class:`~repro.consensus.tendermint.TendermintEngine` — Burrow's
+  consensus: a proposer broadcasts, validators prevote then precommit,
+  the block commits on a 2/3 quorum; a configurable wait (5 s in the
+  paper) separates consecutive blocks.  Observed block latency is the
+  wait plus the quorum round-trips — "slightly higher" than 5 s, as the
+  paper reports.
+* :class:`~repro.consensus.pow.PowEngine` — Nakamoto-style mining with
+  exponentially distributed inter-block times (mean 15 s), the fork
+  window being the reason Ethereum's confirmation depth is p = 6.
+"""
+
+from repro.consensus.pow import PowEngine
+from repro.consensus.tendermint import TendermintEngine
+
+__all__ = ["TendermintEngine", "PowEngine"]

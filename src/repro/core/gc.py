@@ -1,0 +1,88 @@
+"""Garbage collection of stale moved-away state (paper §III-G c).
+
+"Every time a contract is moved it leaves behind stale state on the
+original blockchain, which could be garbage collected, paying attention
+to guard against the attack previously described.  Designing fee
+incentives to clean the state is left as future work."
+
+This module implements the collection itself, with the safety property
+the paper demands: the **tombstone keeps the contract's move nonce and
+location**, so the replay attack of Fig. 2 stays impossible after the
+storage is reclaimed — a stale Move2 still compares against the
+tombstone's nonce and aborts.  What is lost is only read availability
+of the stale copy (reads of a collected contract see empty storage),
+which is the documented trade-off.
+
+Collection runs at block boundaries through :meth:`Chain.gc_stale` (see
+:mod:`repro.chain.chain`), optionally only for contracts that moved
+away at least ``min_age_blocks`` ago so pending Move2 proofs elsewhere
+are never raced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.crypto.keys import Address
+from repro.statedb.state import WorldState
+
+
+@dataclass
+class GCReport:
+    """What one collection pass reclaimed."""
+
+    collected: List[Address] = field(default_factory=list)
+    slots_freed: int = 0
+    bytes_freed: int = 0
+    code_blobs_freed: int = 0
+
+    @property
+    def contracts_collected(self) -> int:
+        return len(self.collected)
+
+
+def collect_stale_contracts(
+    state: WorldState,
+    current_height: Optional[int] = None,
+    min_age_blocks: int = 0,
+) -> GCReport:
+    """Reclaim storage of contracts whose ``L_c`` points elsewhere.
+
+    The contract *record* survives as a tombstone: balance stays locked
+    (it moved with the contract via the proof), ``location`` keeps the
+    forwarding pointer clients use to find the contract (§III-G b), and
+    ``move_nonce`` keeps the replay guard alive.  Orphaned code blobs
+    (no remaining contract references them) are dropped from the code
+    store.
+    """
+    report = GCReport()
+    for address, record in state.contracts.items():
+        if record.location == state.chain_id:
+            continue  # active here — never collect
+        if not record.storage:
+            continue  # already collected (or stateless)
+        if (
+            min_age_blocks
+            and current_height is not None
+            and record.moved_at_height is not None
+            and current_height - record.moved_at_height < min_age_blocks
+        ):
+            continue
+        report.collected.append(address)
+        report.slots_freed += len(record.storage)
+        report.bytes_freed += sum(
+            len(key) + len(value) for key, value in record.storage.items()
+        )
+        # Direct clear (not journaled): GC runs between blocks, outside
+        # any transaction, exactly like a state-pruning pass would.
+        record.storage.clear()
+        state.mark_dirty(address)
+
+    # Drop code blobs no live record references.
+    referenced = {record.code_hash for record in state.contracts.values()}
+    orphaned = [code_hash for code_hash in state.code_store if code_hash not in referenced]
+    for code_hash in orphaned:
+        del state.code_store[code_hash]
+        report.code_blobs_freed += 1
+    return report

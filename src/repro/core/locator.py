@@ -1,0 +1,70 @@
+"""Client-side contract discovery (paper Section III-G b).
+
+``L_c`` has two logical states: "here" or "moved to chain X".  A client
+that lost track of a contract follows the trail: query the last known
+chain; if the record says it moved, hop to the named chain; repeat.
+With correctly implemented ``moveTo``/``moveFinish`` the trail always
+terminates at the active copy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.crypto.keys import Address
+from repro.errors import StateError
+
+#: callback: chain_id -> (exists, location) for a contract address
+LocationQuery = Callable[[int, Address], Optional[int]]
+
+
+class ContractLocator:
+    """Follows the ``L_c`` trail across a set of queryable chains.
+
+    ``query(chain_id, address)`` must return the contract's ``L_c`` as
+    recorded on that chain, or ``None`` when the chain has no record.
+    """
+
+    def __init__(self, query: LocationQuery, max_hops: int = 16):
+        self._query = query
+        self._max_hops = max_hops
+
+    @classmethod
+    def over_chains(cls, chains, max_hops: int = 16) -> "ContractLocator":
+        """Locator backed by live :class:`~repro.chain.chain.Chain`
+        objects (a client holding light connections to each)."""
+        by_id = {chain.chain_id: chain for chain in chains}
+
+        def query(chain_id: int, address: Address) -> Optional[int]:
+            chain = by_id.get(chain_id)
+            if chain is None:
+                return None
+            return chain.location_of(address)
+
+        return cls(query, max_hops=max_hops)
+
+    def locate(self, address: Address, start_chain: int) -> int:
+        """Return the chain id where the contract is currently active.
+
+        Raises :class:`StateError` when no chain on the trail knows the
+        contract or the trail does not terminate (cycle without an
+        active copy — impossible with correct hooks, but bounded here).
+        """
+        chain = start_chain
+        seen: Dict[int, int] = {}
+        for _hop in range(self._max_hops):
+            location = self._query(chain, address)
+            if location is None:
+                raise StateError(
+                    f"chain {chain} has no record of contract {address}"
+                )
+            if location == chain:
+                return chain
+            if seen.get(chain) == location:
+                raise StateError(
+                    f"location trail cycles between {chain} and {location} "
+                    "without an active copy (incomplete move?)"
+                )
+            seen[chain] = location
+            chain = location
+        raise StateError(f"location trail exceeded {self._max_hops} hops")

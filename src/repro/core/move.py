@@ -1,0 +1,192 @@
+"""Move1 / Move2 — Algorithm 1 of the paper.
+
+``apply_move1`` (executed at the source chain ``B_i``):
+
+1. run the contract's custom ``moveTo(target)`` guard (Listing 1) —
+   a revert here refuses the move;
+2. assign ``L_c := B_j`` (the effect of the new ``OP_MOVE`` opcode),
+   blocking all further mutation at ``B_i``;
+3. bump the contract's **move nonce** so the locked state — which the
+   Move2 proof will carry — is distinguishable from every earlier
+   residency (replay guard, Fig. 2).
+
+``apply_move2`` (executed at the target chain ``B_j``):
+
+1. abort unless the proven ``L_c`` equals ``B_j`` (line 5);
+2. ``VS(B_i, m)`` via the node's light client: the root must belong to
+   a sufficiently confirmed source header (line 7);
+3. ``VP(V ↦ m)``: the proof bundle must reconstruct ``m`` (line 9);
+4. abort stale bundles: an existing local record with
+   ``move_nonce >= bundle.move_nonce`` means this state was already
+   recreated here (or superseded) — the replay attack of Fig. 2;
+5. recreate the storage via SSTORE (paying gas per slot) and the code
+   (paying CREATE + code deposit on Ethereum-flavoured chains when the
+   code is not already on-chain);
+6. run the custom ``moveFinish()`` hook (line 13).
+
+Any client may submit Move2 — the protocol needs no 2PC, and a client
+crash between the two transactions leaves a move any third party can
+complete (Section III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chain.lightclient import LightClient
+from repro.chain.params import ChainParams
+from repro.core.proofs import ContractStateProof
+from repro.core.registry import ChainRegistry
+from repro.crypto.hashing import keccak
+from repro.crypto.keys import Address
+from repro.errors import CodeNotFound, MoveError, ProofError, ReplayError, UnknownRootError
+from repro.runtime.context import Msg, TxContext
+from repro.runtime.registry import lookup_code
+from repro.runtime.runtime import Runtime
+
+
+def apply_move1(
+    ctx: TxContext,
+    runtime: Runtime,
+    contract: Address,
+    target_chain: int,
+    sender: Address,
+) -> None:
+    """Execute Move1 at the source chain (Algorithm 1, lines 1–3)."""
+    state = runtime.state
+    record = state.contract(contract)
+    if record is None:
+        raise MoveError(f"no contract at {contract}")
+    if record.location != state.chain_id:
+        raise MoveError(
+            f"contract {contract} is not active here (L_c = {record.location})"
+        )
+    if target_chain == state.chain_id:
+        raise MoveError("target blockchain is the current one")
+
+    # Custom guard first (line 2): the developer's moveTo may revert.
+    try:
+        cls = lookup_code(record.code_hash)
+    except CodeNotFound:
+        # Raw bytecode contracts have no Python-level hook: they move
+        # themselves by executing OP_MOVE inside a regular call, so a
+        # Move1 transaction against them is meaningless.
+        raise MoveError(
+            "bytecode contracts move via their own OP_MOVE, not Move1"
+        ) from None
+    instance = cls(ctx, contract)
+    ctx.push_msg(Msg(sender=sender, value=0))
+    try:
+        instance.move_to(target_chain)
+    finally:
+        ctx.pop_msg()
+
+    # OP_MOVE (line 3): L_c <- B_j, plus the move-nonce bump that makes
+    # this locked snapshot unique among the contract's residencies.
+    ctx.charge(ctx.meter.schedule.move_op)
+    state.set_location(contract, target_chain, height=ctx.env.height)
+    state.bump_move_nonce(contract)
+
+
+def validate_move2(
+    state,
+    bundle: ContractStateProof,
+    light_client: LightClient,
+    source_params: ChainParams,
+) -> None:
+    """All Move2 abort conditions (Algorithm 1, lines 5–10 + replay).
+
+    Raises a specific :class:`~repro.errors.MoveError` subclass per
+    failure; returns silently when the bundle is acceptable.
+    """
+    if bundle.location != state.chain_id:
+        raise MoveError(
+            f"contract is being moved to chain {bundle.location}, not here "
+            f"({state.chain_id})"
+        )
+    if bundle.source_chain == state.chain_id:
+        raise MoveError("source and target chains are the same")
+    root = bundle.account_proof.computed_root()
+    if not light_client.valid_state_root(bundle.source_chain, bundle.proof_height, root):
+        raise UnknownRootError(
+            f"state root at source height {bundle.proof_height} is unknown "
+            "or not yet p-confirmed (VS failed)"
+        )
+    if not bundle.verify_against_root(root, source_params.tree_factory):
+        raise ProofError("proof bundle fails verification (VP failed)")
+    existing = state.contract(bundle.contract)
+    if existing is not None and existing.move_nonce >= bundle.move_nonce:
+        raise ReplayError(
+            f"stale move: local move nonce {existing.move_nonce} >= "
+            f"proven {bundle.move_nonce} (replay prevented)"
+        )
+
+
+def apply_move2(
+    ctx: TxContext,
+    runtime: Runtime,
+    bundle: ContractStateProof,
+    light_client: LightClient,
+    registry: ChainRegistry,
+    sender: Address,
+) -> None:
+    """Execute Move2 at the target chain (Algorithm 1, lines 4–13)."""
+    state = runtime.state
+    source_params = registry.params_for(bundle.source_chain)
+
+    # Verifying the Merkle proof costs gas proportional to its size.
+    ctx.charge(ctx.meter.schedule.proof_verification(bundle.size_bytes()))
+    validate_move2(state, bundle, light_client, source_params)
+
+    code_hash = keccak(bundle.code)
+    existing = state.contract(bundle.contract)
+    if existing is None:
+        # Recreating the contract pays CREATE, and — on chains that
+        # charge it — the per-byte code deposit (Fig. 9's hatched bars:
+        # "every recreated contract pays a constant gas based on the
+        # size of the moved code").
+        ctx.charge(ctx.meter.schedule.create, "create")
+        if not (ctx.meter.schedule.code_deposit_dedup and state.has_code(code_hash)):
+            ctx.charge(ctx.meter.schedule.code_deposit(len(bundle.code)), "create")
+        record = state.create_contract(
+            bundle.contract,
+            code_hash,
+            bundle.code,
+            location=state.chain_id,
+            move_nonce=bundle.move_nonce,
+            balance=bundle.balance,
+        )
+    else:
+        # The contract lived here before: refresh the stale record.
+        for key in list(existing.storage):
+            state.storage_set(bundle.contract, key, b"")
+        state.set_location(bundle.contract, state.chain_id)
+        delta = bundle.move_nonce - existing.move_nonce
+        for _ in range(delta):
+            state.bump_move_nonce(bundle.contract)
+        balance_diff = bundle.balance - existing.balance
+        if balance_diff > 0:
+            state.add_balance(bundle.contract, balance_diff)
+        elif balance_diff < 0:
+            state.sub_balance(bundle.contract, -balance_diff)
+        record = existing
+
+    # Line 12: SSTORE every proven slot, at full storage-write cost.
+    schedule = ctx.meter.schedule
+    for key in sorted(bundle.storage):
+        ctx.charge(schedule.sstore_set)
+        state.storage_set(bundle.contract, key, bundle.storage[key])
+
+    # Line 13: the developer's moveFinish hook.  Raw bytecode contracts
+    # have no Python hook — their post-move logic, if any, runs inside
+    # their own code on the next call.
+    try:
+        cls = lookup_code(record.code_hash)
+    except CodeNotFound:
+        return
+    instance = cls(ctx, bundle.contract)
+    ctx.push_msg(Msg(sender=sender, value=0))
+    try:
+        instance.move_finish()
+    finally:
+        ctx.pop_msg()

@@ -1,0 +1,120 @@
+"""Currency relay: transferring native currency across chains (§III-F).
+
+Fig. 3's choreography, built purely on the Move primitive:
+
+1. ``client1`` calls ``CurrencyRelay.create(target, recipient)`` on the
+   source chain with ``e`` units of value attached.  The relay creates
+   a :class:`RelayedFunds` contract ``r`` holding ``e`` and ``r``
+   executes **OP_MOVE on creation** — it is born locked toward the
+   target chain, so the ``e`` units can never be spent at the source.
+2. Anyone (normally ``client2``) ships the Move2 proof of ``r`` to the
+   target chain, recreating ``r`` there.
+3. ``client2`` calls ``mint()`` on ``r``: the locked source currency is
+   now represented by ``minted`` pegged tokens at the target —
+   "provably backed by e" in the paper's words.
+4. To unlock, the recipient burns the pegged tokens (``burn()``), moves
+   ``r`` back to the source chain, and calls ``redeem()`` there, which
+   pays out the original ``e`` in native currency.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import Address
+from repro.lang.movable import MovableContract
+from repro.runtime.contract import Contract, Slot, external, payable, require, view
+from repro.runtime.registry import register_contract
+
+
+@register_contract
+class RelayedFunds(MovableContract):
+    """The movable escrow ``r`` of Fig. 3."""
+
+    home_chain = Slot(int)
+    amount = Slot(int)
+    minted = Slot(int)
+
+    def init(self, recipient: Address, target_chain: int) -> None:
+        """Escrow ``msg.value`` and lock toward the target chain."""
+        self.owner = recipient
+        self.home_chain = self.chain_id
+        self.amount = self.msg.value
+        # Fig. 3: "it executes Move1(Bj) on creation" — born locked.
+        self.op_move(target_chain)
+
+    @view
+    def locked_amount(self) -> int:
+        """The escrowed native units."""
+        return self.amount
+
+    @view
+    def minted_amount(self) -> int:
+        """Live pegged tokens (0 before mint / after burn)."""
+        return self.minted
+
+    @external
+    def mint(self) -> int:
+        """At the target chain: issue pegged tokens backed by the
+        currency locked at the home chain (Fig. 3's ``Tmint``)."""
+        require(self.msg.sender == self.owner, "only the recipient mints")
+        require(self.chain_id != self.home_chain, "mint only away from home")
+        require(self.minted == 0, "already minted")
+        self.minted = self.amount
+        self.emit("Minted", amount=self.amount)
+        return self.minted
+
+    @external
+    def burn(self) -> None:
+        """Destroy the pegged tokens, making the escrow movable home
+        without double representation."""
+        require(self.msg.sender == self.owner, "only the recipient burns")
+        self.minted = 0
+
+    @external
+    def redeem(self) -> int:
+        """Back at the home chain: pay out the native currency."""
+        require(self.msg.sender == self.owner, "only the recipient redeems")
+        require(self.chain_id == self.home_chain, "redeem only at home")
+        require(self.minted == 0, "burn the pegged tokens first")
+        amount = self.amount
+        require(amount > 0, "nothing to redeem")
+        self.amount = 0
+        self.transfer(self.owner, amount)
+        self.emit("Redeemed", amount=amount)
+        return amount
+
+    def move_to(self, target_chain: int) -> None:
+        """Owner moves the escrow, but never with live pegged tokens."""
+        super().move_to(target_chain)
+        require(self.minted == 0, "burn the pegged tokens before moving")
+
+
+@register_contract
+class CurrencyRelay(Contract):
+    """The factory contract ``c`` of Fig. 3 — one per source chain."""
+
+    relays_created = Slot(int)
+
+    @payable
+    def create(self, target_chain: int, recipient: Address) -> Address:
+        """Lock ``msg.value`` toward ``target_chain`` for ``recipient``;
+        returns the escrow contract to prove and recreate there."""
+        require(self.msg.value > 0, "attach the currency to relay")
+        require(target_chain != self.chain_id, "target must be another chain")
+        salt = self.relays_created
+        self.relays_created = salt + 1
+        escrow = self.create_escrow(recipient, target_chain, salt)
+        self.emit(
+            "RelayCreated",
+            escrow=escrow.hex,
+            amount=self.msg.value,
+            target=target_chain,
+        )
+        return escrow
+
+    def create_escrow(self, recipient: Address, target_chain: int, salt: int) -> Address:
+        """Deploy the RelayedFunds escrow (CREATE2 by relay count)."""
+        # The external `create` above shadows the base deploy helper, so
+        # reach it explicitly.
+        return Contract.create(
+            self, RelayedFunds, recipient, target_chain, salt=salt, value=self.msg.value
+        )

@@ -1,0 +1,174 @@
+"""Atomic cross-chain swaps on top of the Move primitive (§IX).
+
+The paper notes that "our protocol could be used to implement atomic
+swaps in a similar way as shown in III-F" (the currency relay).  This
+module is that construction: a maker on chain ``A`` swaps ``e1`` of
+A-native currency against ``e2`` of B-native currency from a taker on
+chain ``B``, with no trusted third party and no way for either side to
+end up with both amounts.
+
+Choreography::
+
+    maker @A: SwapFactory.open(target=B, taker, ask=e2) + e1 attached
+              -> escrow born holding e1, OP_MOVEd toward B on creation
+    anyone:   Move2(escrow proof) @B
+    taker @B: escrow.fill() + e2 attached
+              -> e2 paid to the maker immediately (same address on all
+                 chains, Section III-G); state = FILLED
+    taker:    Move1(escrow -> A)  (only the taker may move it now)
+    anyone:   Move2 @A
+    taker @A: escrow.claim() -> receives the e1 held by the escrow
+
+If the taker never fills, the maker waits out the deadline, moves the
+escrow home and calls ``refund()``.  Safety comes from the state
+machine + the Move lock: while OFFERED and before the deadline only the
+taker benefits from moving it (and gains nothing); after FILLED only
+the taker may move; the escrowed ``e1`` can leave the contract solely
+through ``claim`` (taker, after paying) or ``refund`` (maker, after an
+unfilled deadline).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import Address
+from repro.lang.movable import MovableContract
+from repro.runtime.contract import Contract, Slot, external, payable, require, view
+from repro.runtime.registry import register_contract
+
+# escrow states
+OFFERED = 0
+FILLED = 1
+CLOSED = 2
+
+
+@register_contract
+class SwapEscrow(MovableContract):
+    """The movable swap escrow."""
+
+    maker = Slot(Address)
+    taker = Slot(Address)
+    home_chain = Slot(int)
+    offered_amount = Slot(int)
+    ask_amount = Slot(int)
+    deadline = Slot(int)
+    state = Slot(int)
+
+    def init(self, maker: Address, taker: Address, ask: int, deadline: int,
+             target_chain: int) -> None:
+        """Escrow ``msg.value`` against ``ask`` on the target chain."""
+        require(self.msg.value > 0, "attach the offered currency")
+        require(ask > 0, "ask must be positive")
+        self.maker = maker
+        self.taker = taker
+        self.owner = maker
+        self.home_chain = self.chain_id
+        self.offered_amount = self.msg.value
+        self.ask_amount = ask
+        self.deadline = deadline
+        self.state = OFFERED
+        # Born locked toward the taker's chain, like the Fig. 3 relay.
+        self.op_move(target_chain)
+
+    # -- views -----------------------------------------------------------
+
+    @view
+    def status(self) -> tuple:
+        """(state, offered, ask, deadline) for clients."""
+        return (self.state, self.offered_amount, self.ask_amount, self.deadline)
+
+    # -- the swap ---------------------------------------------------------
+
+    @payable
+    def fill(self) -> None:
+        """Taker pays the ask on the away chain; maker is paid at once."""
+        require(self.state == OFFERED, "not open")
+        require(self.chain_id != self.home_chain, "fill on the away chain")
+        require(self.msg.sender == self.taker, "only the designated taker")
+        require(self.msg.value >= self.ask_amount, "ask not met")
+        require(int(self.now) <= self.deadline, "offer expired")
+        self.state = FILLED
+        self.transfer(self.maker, self.ask_amount)
+        overpay = self.msg.value - self.ask_amount
+        if overpay:
+            self.transfer(self.taker, overpay)
+        self.emit("Filled", taker=self.taker.hex, paid=self.ask_amount)
+
+    @external
+    def claim(self) -> int:
+        """Taker collects the escrowed amount back on the home chain."""
+        require(self.state == FILLED, "not filled")
+        require(self.chain_id == self.home_chain, "claim at the home chain")
+        require(self.msg.sender == self.taker, "only the taker claims")
+        amount = self.offered_amount
+        self.state = CLOSED
+        self.offered_amount = 0
+        self.transfer(self.taker, amount)
+        self.emit("Claimed", amount=amount)
+        return amount
+
+    @external
+    def refund(self) -> int:
+        """Maker reclaims an unfilled offer after the deadline."""
+        require(self.state == OFFERED, "not refundable")
+        require(self.chain_id == self.home_chain, "refund at the home chain")
+        require(self.msg.sender == self.maker, "only the maker refunds")
+        require(int(self.now) > self.deadline, "deadline not passed")
+        amount = self.offered_amount
+        self.state = CLOSED
+        self.offered_amount = 0
+        self.transfer(self.maker, amount)
+        self.emit("Refunded", amount=amount)
+        return amount
+
+    # -- move policy --------------------------------------------------------
+
+    def move_to(self, target_chain: int) -> None:
+        """Who may move the escrow depends on the swap state.
+
+        * FILLED  — only the taker, and only toward the home chain
+          (to claim);
+        * OFFERED — the taker any time (hurts nobody: the offer can
+          only be filled on the away chain, and moving forfeits their
+          chance), or the maker toward home *after* the deadline
+          (refund path);
+        * CLOSED  — only the maker (it is an empty shell).
+        """
+        if self.state == FILLED:
+            require(self.msg.sender == self.taker, "only the taker moves a filled swap")
+            require(target_chain == self.home_chain, "filled swaps go home")
+            return
+        if self.state == OFFERED:
+            if self.msg.sender == self.taker:
+                return
+            require(self.msg.sender == self.maker, "not a swap party")
+            require(int(self.now) > self.deadline, "maker must wait out the deadline")
+            require(target_chain == self.home_chain, "refunds go home")
+            return
+        require(self.msg.sender == self.maker, "only the maker moves a closed swap")
+
+
+@register_contract
+class SwapFactory(Contract):
+    """Opens swap escrows (one per swap) on the maker's chain."""
+
+    swaps_opened = Slot(int)
+
+    @payable
+    def open(self, target_chain: int, taker: Address, ask: int, deadline: int) -> Address:
+        """Escrow ``msg.value`` against ``ask`` units on ``target_chain``."""
+        require(target_chain != self.chain_id, "target must be another chain")
+        salt = self.swaps_opened
+        self.swaps_opened = salt + 1
+        escrow = Contract.create(
+            self,
+            SwapEscrow,
+            self.msg.sender,
+            taker,
+            ask,
+            deadline,
+            target_chain,
+            salt=salt,
+            value=self.msg.value,
+        )
+        self.emit("SwapOpened", escrow=escrow.hex, ask=ask, target=target_chain)
+        return escrow

@@ -1,0 +1,42 @@
+"""Hash functions.
+
+All commitments in the substrate (block hashes, Merkle roots, addresses)
+go through :func:`keccak`, which is SHA3-256 — the standardized sibling
+of the Keccak-256 used by Ethereum.  Digests are 32 bytes.
+
+Merkle-tree hashing is domain-separated: leaves and internal nodes are
+hashed with distinct prefixes so that a proof cannot present an internal
+node as a leaf (second-preimage attack on naive Merkle trees).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+DIGEST_SIZE = 32
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def keccak(*chunks: bytes) -> bytes:
+    """Return the 32-byte SHA3-256 digest of the concatenated chunks."""
+    h = hashlib.sha3_256()
+    for chunk in chunks:
+        h.update(chunk)
+    return h.digest()
+
+
+def keccak_hex(*chunks: bytes) -> str:
+    """Hex form of :func:`keccak`, convenient for ids and logs."""
+    return keccak(*chunks).hex()
+
+
+def merkle_hash_leaf(payload: bytes) -> bytes:
+    """Hash a Merkle-tree leaf (domain-separated)."""
+    return keccak(_LEAF_PREFIX, payload)
+
+
+def merkle_hash_node(left: bytes, right: bytes) -> bytes:
+    """Hash an internal Merkle-tree node from its children's digests."""
+    return keccak(_NODE_PREFIX, left, right)

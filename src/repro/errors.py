@@ -1,0 +1,92 @@
+"""Exception hierarchy for the Move-protocol reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause.
+Errors that abort a transaction inside the execution environment derive
+from :class:`TransactionAborted`; the chain converts them into failed
+receipts rather than letting them escape the block-execution loop.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class TransactionAborted(ReproError):
+    """Base class for errors that abort the executing transaction."""
+
+
+class Revert(TransactionAborted):
+    """Raised by ``require(...)`` or explicit reverts inside contracts."""
+
+
+class OutOfGas(TransactionAborted):
+    """The transaction's gas allowance was exhausted."""
+
+
+class ContractLocked(TransactionAborted):
+    """A transaction tried to mutate a contract whose ``L_c`` points
+    to another blockchain (it was moved away via Move1)."""
+
+
+class MoveError(TransactionAborted):
+    """A Move1/Move2 transaction violated the Move protocol rules."""
+
+
+class ReplayError(MoveError):
+    """A Move2 carried a stale move-nonce (replay attack, paper Fig. 2)."""
+
+
+class ProofError(TransactionAborted):
+    """A Merkle proof failed to verify (``VP`` returned false).
+
+    Aborts the carrying Move2 transaction when raised during execution;
+    client-side proof construction raises it too (callers catch it
+    directly there)."""
+
+
+class UnknownRootError(ProofError):
+    """``VS(B, m)`` failed: the Merkle root is not known to be a valid,
+    sufficiently-confirmed root of the source blockchain."""
+
+
+class VMError(TransactionAborted):
+    """Base class for low-level virtual-machine faults."""
+
+
+class StackUnderflow(VMError):
+    """A VM instruction popped more items than the stack holds."""
+
+
+class StackOverflow(VMError):
+    """The VM stack exceeded its maximum depth."""
+
+
+class InvalidOpcode(VMError):
+    """The VM met an undefined opcode byte."""
+
+
+class InvalidJump(VMError):
+    """A JUMP/JUMPI landed on a non-JUMPDEST position."""
+
+
+class CodeNotFound(ReproError):
+    """A contract referenced a code hash absent from the code registry."""
+
+
+class StateError(ReproError):
+    """Inconsistent or missing world-state entries."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulator."""
+
+
+class SignatureError(ReproError):
+    """Signature verification failed or a key was malformed."""
+
+
+class AssemblerError(ReproError):
+    """The VM assembler met an unknown mnemonic or malformed operand."""

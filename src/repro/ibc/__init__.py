@@ -1,0 +1,14 @@
+"""Inter-blockchain communication harness.
+
+Wires pairs (or sets) of chains together the way Section IV-A
+prescribes: every chain's validators maintain light clients of the peer
+chains, fed by a header relay; the :class:`~repro.ibc.bridge.IBCBridge`
+then provides the client-side choreography for a full cross-chain move
+(Move1 → wait p blocks → extract proof → Move2 → completion calls),
+which Section VIII measures.
+"""
+
+from repro.ibc.headers import HeaderRelay, connect_chains
+from repro.ibc.bridge import IBCBridge, MovePhases
+
+__all__ = ["HeaderRelay", "connect_chains", "IBCBridge", "MovePhases"]

@@ -1,0 +1,193 @@
+"""Client-side choreography of a full cross-chain move.
+
+This is the sequence Section VIII times (Fig. 8) and meters (Fig. 9):
+
+1. **move1** — submit Move1 at the source chain, wait for inclusion;
+2. **wait + proof** — wait until the source head is ``p`` blocks past
+   the header carrying the Move1 block's state root (plus Burrow's
+   one-block root lag), then extract the Merkle proof bundle;
+3. **move2** — submit Move2 carrying the bundle at the target chain,
+   wait for inclusion;
+4. **complete** — any application-level completion transactions at the
+   target (SCoin: one transfer; ScalableKitties: breed + giveBirth;
+   the Store-N state transfers: none).
+
+The bridge is fully event-driven over the simulator, mirroring a client
+that listens to headers of both chains at once (Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.chain.chain import Chain
+from repro.chain.tx import Move1Payload, Move2Payload, Transaction, sign_transaction
+from repro.crypto.keys import Address, KeyPair
+from repro.net.sim import Simulator
+from repro.statedb.receipts import Receipt
+
+#: builds the i-th completion transaction, given the mover's keypair
+CompletionFactory = Callable[[KeyPair], Transaction]
+
+
+@dataclass
+class MovePhases:
+    """Timeline and gas breakdown of one cross-chain move."""
+
+    contract: Address
+    source_chain: int
+    target_chain: int
+    started_at: float
+    move1_included_at: Optional[float] = None
+    proof_ready_at: Optional[float] = None
+    move2_included_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    gas: Dict[str, int] = field(default_factory=dict)
+    success: bool = True
+    error: Optional[str] = None
+
+    # -- phase durations (Fig. 8's stacked bars) ----------------------
+
+    @property
+    def move1_time(self) -> float:
+        return (self.move1_included_at or 0.0) - self.started_at
+
+    @property
+    def wait_proof_time(self) -> float:
+        return (self.proof_ready_at or 0.0) - (self.move1_included_at or 0.0)
+
+    @property
+    def move2_time(self) -> float:
+        return (self.move2_included_at or 0.0) - (self.proof_ready_at or 0.0)
+
+    @property
+    def complete_time(self) -> float:
+        if self.completed_at is None or self.move2_included_at is None:
+            return 0.0
+        return self.completed_at - self.move2_included_at
+
+    @property
+    def total_time(self) -> float:
+        end = self.completed_at or self.move2_included_at or self.started_at
+        return end - self.started_at
+
+    def add_gas(self, breakdown: Dict[str, int], fallback: str) -> None:
+        """Merge a receipt's category split; uncategorized charges and
+        create/code_deposit roll up the way Fig. 9 stacks them."""
+        for category, amount in breakdown.items():
+            if category in ("create", "code_deposit"):
+                bucket = "create"
+            elif category in ("move1", "move2", "complete"):
+                bucket = category
+            else:
+                bucket = fallback
+            self.gas[bucket] = self.gas.get(bucket, 0) + amount
+
+
+class IBCBridge:
+    """Drives cross-chain moves between registered chains."""
+
+    def __init__(self, sim: Simulator, chains: Sequence[Chain], submit_latency: float = 0.05):
+        self.sim = sim
+        self.chains: Dict[int, Chain] = {chain.chain_id: chain for chain in chains}
+        self.submit_latency = submit_latency
+
+    def chain(self, chain_id: int) -> Chain:
+        """The registered chain object for an id."""
+        return self.chains[chain_id]
+
+    def _submit(self, chain: Chain, tx: Transaction) -> None:
+        self.sim.schedule(self.submit_latency, lambda: chain.submit(tx))
+
+    def move_contract(
+        self,
+        mover: KeyPair,
+        contract: Address,
+        source_id: int,
+        target_id: int,
+        completions: Sequence[CompletionFactory] = (),
+        on_done: Optional[Callable[[MovePhases], None]] = None,
+    ) -> MovePhases:
+        """Start a full move; returns the (live) phase record.
+
+        The record fills in as the simulation advances; ``on_done``
+        fires when the final completion transaction is included (or on
+        the first failure).
+        """
+        source = self.chains[source_id]
+        target = self.chains[target_id]
+        phases = MovePhases(
+            contract=contract,
+            source_chain=source_id,
+            target_chain=target_id,
+            started_at=self.sim.now,
+        )
+
+        def fail(receipt: Receipt) -> None:
+            phases.success = False
+            phases.error = receipt.error
+            if on_done is not None:
+                on_done(phases)
+
+        def after_move1(receipt: Receipt) -> None:
+            if not receipt.success:
+                fail(receipt)
+                return
+            phases.move1_included_at = self.sim.now
+            phases.add_gas(receipt.gas_by_category, "move1")
+            inclusion = receipt.block_height
+            ready_at = source.proof_ready_height(inclusion)
+            self._when_height(source, ready_at, lambda: send_move2(inclusion))
+
+        def send_move2(inclusion_height: int) -> None:
+            phases.proof_ready_at = self.sim.now
+            bundle = source.prove_contract_at(contract, inclusion_height)
+            move2 = sign_transaction(mover, Move2Payload(bundle=bundle))
+            target.wait_for(move2.tx_id, after_move2)
+            self._submit(target, move2)
+
+        def after_move2(receipt: Receipt) -> None:
+            if not receipt.success:
+                fail(receipt)
+                return
+            phases.move2_included_at = self.sim.now
+            phases.add_gas(receipt.gas_by_category, "move2")
+            run_completion(0)
+
+        def run_completion(index: int) -> None:
+            if index >= len(completions):
+                phases.completed_at = self.sim.now
+                if on_done is not None:
+                    on_done(phases)
+                return
+            tx = completions[index](mover)
+            tx.meta.setdefault("gas_category", "complete")
+
+            def after(receipt: Receipt) -> None:
+                if not receipt.success:
+                    fail(receipt)
+                    return
+                phases.add_gas(receipt.gas_by_category, "complete")
+                run_completion(index + 1)
+
+            target.wait_for(tx.tx_id, after)
+            self._submit(target, tx)
+
+        move1 = sign_transaction(mover, Move1Payload(contract=contract, target_chain=target_id))
+        source.wait_for(move1.tx_id, after_move1)
+        self._submit(source, move1)
+        return phases
+
+    def _when_height(self, chain: Chain, height: int, action: Callable[[], None]) -> None:
+        """Run ``action`` as soon as ``chain`` reaches ``height``."""
+        if chain.height >= height:
+            action()
+            return
+
+        def listener(block, _receipts) -> None:
+            if block.height >= height:
+                chain.unsubscribe(listener)
+                action()
+
+        chain.subscribe(listener)

@@ -1,0 +1,24 @@
+"""Gas → currency conversion used by Fig. 9.
+
+The paper prices gas "considering the current average value of one gas
+as two Gwei (2 × 10⁻⁹ Eth) and one Eth as $144 (the price in the middle
+of December of 2019)".
+"""
+
+from __future__ import annotations
+
+GAS_PRICE_GWEI = 2.0
+GWEI_PER_ETH = 1e9
+ETH_USD = 144.0
+
+USD_PER_GAS = GAS_PRICE_GWEI / GWEI_PER_ETH * ETH_USD
+
+
+def gas_to_usd(gas: int) -> float:
+    """Dollar cost of ``gas`` at the paper's December-2019 rates."""
+    return gas * USD_PER_GAS
+
+
+def gas_to_mgas(gas: int) -> float:
+    """Gas in millions (Fig. 9's left axis)."""
+    return gas / 1e6

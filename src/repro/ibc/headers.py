@@ -1,0 +1,66 @@
+"""Header relay between chains.
+
+Peers that interoperate keep a light client per observed chain
+(Section IV-A).  The relay subscribes to the source chain's block
+stream and forwards each header to the target chains' light clients —
+instantly for in-process tests, or after a simulated network delay when
+a :class:`~repro.net.sim.Simulator` is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.chain.block import Block
+from repro.chain.chain import Chain
+from repro.net.sim import Simulator
+
+
+class HeaderRelay:
+    """Forwards one chain's headers to a set of observers."""
+
+    def __init__(
+        self,
+        source: Chain,
+        targets: Sequence[Chain],
+        sim: Optional[Simulator] = None,
+        delay: float = 0.0,
+    ):
+        self.source = source
+        self.targets = list(targets)
+        self.sim = sim
+        self.delay = delay
+        self.headers_relayed = 0
+        for target in self.targets:
+            target.observe_chain(source.params)
+        # Backfill already-produced headers (e.g. genesis).
+        for block in source.blocks:
+            self._forward(block)
+        source.subscribe(lambda block, _receipts: self._forward(block))
+
+    def _forward(self, block: Block) -> None:
+        header = block.header
+        self.headers_relayed += 1
+        if self.sim is None or self.delay <= 0:
+            for target in self.targets:
+                target.ingest_header(header)
+            return
+        for target in self.targets:
+            self.sim.schedule(
+                self.delay, lambda t=target, h=header: t.ingest_header(h)
+            )
+
+
+def connect_chains(
+    chains: Iterable[Chain],
+    sim: Optional[Simulator] = None,
+    delay: float = 0.0,
+) -> List[HeaderRelay]:
+    """Fully mesh a set of chains: every chain observes every other."""
+    chains = list(chains)
+    relays: List[HeaderRelay] = []
+    for source in chains:
+        targets = [c for c in chains if c is not source]
+        if targets:
+            relays.append(HeaderRelay(source, targets, sim=sim, delay=delay))
+    return relays

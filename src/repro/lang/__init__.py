@@ -1,0 +1,19 @@
+"""The programming model the paper exposes to contract developers.
+
+Section III-D extends Solidity with two developer hooks —
+``moveTo(blockchainId)`` and ``moveFinish()`` — and Section V-A defines
+the ``STokenI`` / ``AccountI`` interfaces that make ERC20-style tokens
+movable at per-account granularity.  This package is the analogue:
+
+* :class:`~repro.lang.movable.MovableContract` — Listing 1's pattern:
+  only the owner moves the contract, with a configurable cool-down;
+* :class:`~repro.lang.interfaces.STokenI` and
+  :class:`~repro.lang.interfaces.AccountI` — Listing 2's interfaces;
+* ``require`` re-exported from the runtime for Solidity-style guards.
+"""
+
+from repro.lang.interfaces import AccountI, STokenI
+from repro.lang.movable import MovableContract
+from repro.runtime.contract import require
+
+__all__ = ["MovableContract", "STokenI", "AccountI", "require"]

@@ -1,0 +1,76 @@
+"""Listing 2: the Scalable Token interfaces extending ERC20.
+
+``STokenI`` is the token factory: one instance per token, living on its
+home chain, minting one ``AccountI`` contract per user.  Because a
+contract lives on exactly one chain at a time, the classic ERC20
+balances *map* cannot be shared across chains — instead every account
+is its own movable contract, and transfers between accounts on
+different chains first move one account to the other's chain
+(Section V-A).
+
+These are abstract interfaces; :mod:`repro.apps.scoin` implements them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.crypto.keys import Address
+from repro.errors import Revert
+from repro.runtime.contract import Contract, external, payable, view
+
+
+class STokenI(Contract):
+    """Token factory interface (Listing 2, ``contract STokenI``)."""
+
+    @view
+    def total_supply(self) -> int:
+        """Total tokens ever minted across all account contracts."""
+        raise Revert("abstract: total_supply")
+
+    @payable
+    def new_account(self) -> Tuple[Address, int]:
+        """Create an account contract for ``msg.sender``; returns
+        ``(account address, salt)`` and emits ``CreatedAccount``."""
+        raise Revert("abstract: new_account")
+
+    @payable
+    def new_account_for(self, for_addr: Address) -> Tuple[Address, int]:
+        """Create an account contract owned by ``for_addr``."""
+        raise Revert("abstract: new_account_for")
+
+
+class AccountI(Contract):
+    """Per-user token account interface (Listing 2, ``contract AccountI``)."""
+
+    @view
+    def token_balance(self) -> int:
+        """This account's token balance (Listing 2's ``balance()``)."""
+        raise Revert("abstract: token_balance")
+
+    @view
+    def allowance(self, spender: Address) -> int:
+        """Remaining tokens ``spender`` may move from this account."""
+        raise Revert("abstract: allowance")
+
+    @external
+    def transfer_tokens(self, to: Address, tokens: int) -> bool:
+        """Move ``tokens`` to the account contract at ``to`` (both must
+        be on the same chain; Listing 2's ``transfer``)."""
+        raise Revert("abstract: transfer_tokens")
+
+    @external
+    def approve(self, spender: Address, tokens: int) -> bool:
+        """Grant ``spender`` an allowance (ERC20 approve)."""
+        raise Revert("abstract: approve")
+
+    @external
+    def transfer_from(self, to: Address, tokens: int) -> bool:
+        """Spend a previously approved allowance."""
+        raise Revert("abstract: transfer_from")
+
+    @external
+    def debit(self, tokens: int, proof: bytes) -> bool:
+        """Credit this account with tokens debited from a sibling; the
+        ``proof`` attests the caller's origin (Section V-A)."""
+        raise Revert("abstract: debit")

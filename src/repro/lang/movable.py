@@ -1,0 +1,61 @@
+"""Listing 1 of the paper, as a reusable base class.
+
+The original Solidity excerpt::
+
+    address owner;
+    uint movedAt;
+
+    function moveTo(uint _blockchainId) public {
+        require(owner == msg.sender);
+        require(now - movedAt >= 3 days);
+    }
+
+    function moveFinish() public {
+        movedAt = now;
+    }
+
+Subclasses inherit owner-gated moves with a cool-down; both hooks can
+be overridden for application-specific policies (Section V-A leaves the
+move policy to the developer).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import Address
+from repro.runtime.contract import Contract, Slot, require
+
+#: Listing 1 uses "3 days"; experiments use contracts with a zero
+#: cool-down so moves are never throttled by policy.
+DEFAULT_COOLDOWN_SECONDS = 3 * 24 * 3600
+
+
+class MovableContract(Contract):
+    """A contract whose owner may move it between chains."""
+
+    owner = Slot(Address)
+    moved_at = Slot(int)
+
+    #: override in subclasses to change the policy
+    MOVE_COOLDOWN: float = 0.0
+
+    def init(self) -> None:
+        """Record the deployer as the owner."""
+        self.owner = self.msg.sender
+
+    def move_to(self, target_chain: int) -> None:
+        """Listing 1's guard: owner-only, cool-down respected.
+
+        A contract that never moved (``moved_at == 0``) is always
+        eligible — simulated clocks start at 0, unlike Solidity's
+        ``now``, so Listing 1's bare subtraction would wrongly throttle
+        the first move.
+        """
+        require(self.owner == self.msg.sender, "only the owner may move")
+        require(
+            self.moved_at == 0 or self.now - self.moved_at >= self.MOVE_COOLDOWN,
+            "move cool-down not elapsed",
+        )
+
+    def move_finish(self) -> None:
+        """Listing 1's completion hook: stamp the arrival time."""
+        self.moved_at = int(self.now)

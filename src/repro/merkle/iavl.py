@@ -1,0 +1,218 @@
+"""Tendermint-style IAVL tree: a balanced, keyed, authenticated map.
+
+The Burrow-flavoured chains commit their application state with this
+structure, mirroring Tendermint's modified AVL tree (paper Section II,
+reference [16]).  Only leaves carry values; inner nodes route lookups
+(an inner node's key is the smallest key of its right subtree) and are
+rebalanced with standard AVL rotations, keeping depth — and therefore
+proof length — logarithmic.
+
+Nodes are immutable; updates share unchanged subtrees, so recomputing
+the root after a block touches only the modified paths.
+
+Digests::
+
+    leaf  = keccak(b"\\x00" + key + value)
+    inner = keccak(b"\\x01" + left_digest + right_digest)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.crypto.hashing import keccak
+from repro.merkle.proof import MembershipProof, ProofStep
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+EMPTY_ROOT = keccak(b"empty-iavl")
+
+
+@dataclass(frozen=True)
+class _Node:
+    key: bytes
+    value: Optional[bytes]  # None for inner nodes
+    left: Optional["_Node"]
+    right: Optional["_Node"]
+    height: int
+    digest: bytes
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+
+def _leaf(key: bytes, value: bytes) -> _Node:
+    digest = keccak(_LEAF_PREFIX, key, value)
+    return _Node(key=key, value=value, left=None, right=None, height=0, digest=digest)
+
+
+def _inner(left: _Node, right: _Node) -> _Node:
+    digest = keccak(_NODE_PREFIX, left.digest, right.digest)
+    key = _min_key(right)
+    height = 1 + max(left.height, right.height)
+    return _Node(key=key, value=None, left=left, right=right, height=height, digest=digest)
+
+
+def _min_key(node: _Node) -> bytes:
+    while not node.is_leaf:
+        node = node.left  # type: ignore[assignment]
+    return node.key
+
+
+def _balance_factor(node: _Node) -> int:
+    assert node.left is not None and node.right is not None
+    return node.left.height - node.right.height
+
+
+def _rotate_right(node: _Node) -> _Node:
+    left = node.left
+    assert left is not None and left.left is not None and left.right is not None
+    return _inner(left.left, _inner(left.right, node.right))  # type: ignore[arg-type]
+
+
+def _rotate_left(node: _Node) -> _Node:
+    right = node.right
+    assert right is not None and right.left is not None and right.right is not None
+    return _inner(_inner(node.left, right.left), right.right)  # type: ignore[arg-type]
+
+
+def _rebalance(node: _Node) -> _Node:
+    if node.is_leaf:
+        return node
+    factor = _balance_factor(node)
+    if factor > 1:
+        left = node.left
+        assert left is not None
+        if not left.is_leaf and _balance_factor(left) < 0:
+            node = _inner(_rotate_left(left), node.right)  # type: ignore[arg-type]
+        return _rotate_right(node)
+    if factor < -1:
+        right = node.right
+        assert right is not None
+        if not right.is_leaf and _balance_factor(right) > 0:
+            node = _inner(node.left, _rotate_right(right))  # type: ignore[arg-type]
+        return _rotate_left(node)
+    return node
+
+
+def _insert(node: Optional[_Node], key: bytes, value: bytes) -> _Node:
+    if node is None:
+        return _leaf(key, value)
+    if node.is_leaf:
+        if node.key == key:
+            return _leaf(key, value)  # overwrite
+        new = _leaf(key, value)
+        if key < node.key:
+            return _inner(new, node)
+        return _inner(node, new)
+    if key < node.key:
+        return _rebalance(_inner(_insert(node.left, key, value), node.right))  # type: ignore[arg-type]
+    return _rebalance(_inner(node.left, _insert(node.right, key, value)))  # type: ignore[arg-type]
+
+
+def _delete(node: Optional[_Node], key: bytes) -> Tuple[Optional[_Node], bool]:
+    """Return (new subtree, removed?)."""
+    if node is None:
+        return None, False
+    if node.is_leaf:
+        if node.key == key:
+            return None, True
+        return node, False
+    if key < node.key:
+        new_left, removed = _delete(node.left, key)
+        if not removed:
+            return node, False
+        if new_left is None:
+            return node.right, True
+        return _rebalance(_inner(new_left, node.right)), True  # type: ignore[arg-type]
+    new_right, removed = _delete(node.right, key)
+    if not removed:
+        return node, False
+    if new_right is None:
+        return node.left, True
+    return _rebalance(_inner(node.left, new_right)), True  # type: ignore[arg-type]
+
+
+class IAVLTree:
+    """Mutable facade over the persistent node structure."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+
+    @property
+    def root_hash(self) -> bytes:
+        """Merkle root committing the full key/value map."""
+        if self._root is None:
+            return EMPTY_ROOT
+        return self._root.digest
+
+    def set(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        self._root = _insert(self._root, key, value)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value for ``key`` or ``None``."""
+        node = self._root
+        while node is not None:
+            if node.is_leaf:
+                return node.value if node.key == key else None
+            node = node.left if key < node.key else node.right
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        self._root, removed = _delete(self._root, key)
+        return removed
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield (key, value) pairs in key order."""
+        stack: List[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            if node.is_leaf:
+                assert node.value is not None
+                yield node.key, node.value
+            node = node.right
+
+    def prove(self, key: bytes) -> MembershipProof:
+        """Build a ``{v} ↦ m`` membership proof for ``key``.
+
+        Raises :class:`KeyError` if the key is absent (non-membership
+        proofs are not needed by the Move protocol).
+        """
+        path: List[Tuple[_Node, bool]] = []  # (inner node, went_left)
+        node = self._root
+        while node is not None and not node.is_leaf:
+            went_left = key < node.key
+            path.append((node, went_left))
+            node = node.left if went_left else node.right
+        if node is None or node.key != key:
+            raise KeyError(key.hex())
+        assert node.value is not None
+        steps: List[ProofStep] = []
+        for inner, went_left in reversed(path):
+            assert inner.left is not None and inner.right is not None
+            if went_left:
+                steps.append(ProofStep(prefix=_NODE_PREFIX, suffix=inner.right.digest))
+            else:
+                steps.append(ProofStep(prefix=_NODE_PREFIX + inner.left.digest, suffix=b""))
+        return MembershipProof(
+            key=key, value=node.value, leaf_prefix=_LEAF_PREFIX, steps=steps
+        )
+
+    def height(self) -> int:
+        """Tree height (0 for empty or single leaf)."""
+        return self._root.height if self._root is not None else 0

@@ -1,0 +1,85 @@
+"""The common ``{v} ↦ m`` proof interface.
+
+Every authenticated structure in :mod:`repro.merkle` produces a
+:class:`MembershipProof`: the claimed key/value plus an ordered list of
+:class:`ProofStep` siblings.  Recomputing the root from the leaf through
+the steps and comparing against a trusted root ``m`` implements the
+paper's ``VP(V ↦ m)`` predicate; :func:`verify_proof` is that predicate.
+
+The step encoding is deliberately structure-agnostic: each step supplies
+the byte string to hash *around* the running digest (prefix + suffix),
+so binary trees, IAVL nodes and trie nodes all serialize into the same
+proof shape and a single verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.crypto.hashing import keccak
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One level of a Merkle proof.
+
+    The parent digest is ``keccak(prefix + child_digest + suffix)``,
+    where ``child_digest`` is the digest computed so far.
+    """
+
+    prefix: bytes
+    suffix: bytes
+
+    def apply(self, child_digest: bytes) -> bytes:
+        """Fold this step over the running digest."""
+        return keccak(self.prefix + child_digest + self.suffix)
+
+    def size_bytes(self) -> int:
+        """Serialized size, used for gas metering of proof verification."""
+        return len(self.prefix) + len(self.suffix)
+
+
+@dataclass(frozen=True)
+class MembershipProof:
+    """Proof that ``key`` maps to ``value`` under some Merkle root.
+
+    ``leaf_prefix`` lets each structure keep its own leaf
+    domain-separation; the leaf digest is
+    ``keccak(leaf_prefix + key + value)``.
+    """
+
+    key: bytes
+    value: bytes
+    leaf_prefix: bytes
+    steps: List[ProofStep] = field(default_factory=list)
+
+    def leaf_digest(self) -> bytes:
+        """Digest of the (key, value) leaf under this proof's domain."""
+        return keccak(self.leaf_prefix + self.key + self.value)
+
+    def computed_root(self) -> bytes:
+        """Recompute the Merkle root implied by this proof."""
+        digest = self.leaf_digest()
+        for step in self.steps:
+            digest = step.apply(digest)
+        return digest
+
+    def size_bytes(self) -> int:
+        """Total serialized size (drives Move2 proof-verification gas)."""
+        total = len(self.key) + len(self.value) + len(self.leaf_prefix)
+        return total + sum(step.size_bytes() for step in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def verify_proof(proof: MembershipProof, trusted_root: Optional[bytes]) -> bool:
+    """``VP(V ↦ m)``: does the proof reconstruct the trusted root?
+
+    Returns ``False`` (never raises) on any mismatch, including a
+    missing trusted root.
+    """
+    if trusted_root is None:
+        return False
+    return proof.computed_root() == trusted_root

@@ -1,0 +1,18 @@
+"""Measurement utilities shared by the experiment harnesses.
+
+Collectors accumulate per-event samples in simulated time; reporters
+render the same tables and series the paper's figures plot.
+"""
+
+from repro.metrics.cdf import cdf_points, percentile
+from repro.metrics.collector import LatencySampler, ThroughputCollector
+from repro.metrics.report import format_series, format_table
+
+__all__ = [
+    "ThroughputCollector",
+    "LatencySampler",
+    "cdf_points",
+    "percentile",
+    "format_table",
+    "format_series",
+]

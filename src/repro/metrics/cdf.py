@@ -1,0 +1,40 @@
+"""Cumulative distribution helpers (Fig. 7 plots latency CDFs)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def cdf_points(samples: Sequence[float], points: int = 100) -> List[Tuple[float, float]]:
+    """Return ``(value, cumulative_fraction)`` pairs.
+
+    ``points`` caps the output length by downsampling evenly over the
+    sorted samples (the last sample, fraction 1.0, is always included).
+    """
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    if n <= points:
+        return [(value, (i + 1) / n) for i, value in enumerate(ordered)]
+    out: List[Tuple[float, float]] = []
+    step = n / points
+    index = step
+    while index <= n:
+        i = min(int(round(index)) - 1, n - 1)
+        out.append((ordered[i], (i + 1) / n))
+        index += step
+    if out[-1][1] < 1.0:
+        out.append((ordered[-1], 1.0))
+    return out
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by nearest-rank."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    ordered = sorted(samples)
+    rank = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[rank]

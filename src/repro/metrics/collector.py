@@ -1,0 +1,83 @@
+"""Throughput and latency collectors (simulated-time aware)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class ThroughputCollector:
+    """Counts committed operations; reports rates over time windows."""
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+
+    def record(self, time: float, count: int = 1) -> None:
+        """Record ``count`` completed operations at ``time``."""
+        for _ in range(count):
+            self._times.append(time)
+
+    @property
+    def total(self) -> int:
+        return len(self._times)
+
+    def rate(self, start: float, end: float) -> float:
+        """Average ops/second within ``[start, end)``."""
+        if end <= start:
+            return 0.0
+        hits = sum(1 for t in self._times if start <= t < end)
+        return hits / (end - start)
+
+    def series(self, bucket: float = 10.0, end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """``(bucket_start, ops/s)`` pairs — Fig. 5 (right)'s series."""
+        if not self._times and end is None:
+            return []
+        horizon = end if end is not None else max(self._times)
+        buckets: Dict[int, int] = defaultdict(int)
+        for t in self._times:
+            buckets[int(t // bucket)] += 1
+        out: List[Tuple[float, float]] = []
+        index = 0
+        while index * bucket < horizon:
+            out.append((index * bucket, buckets.get(index, 0) / bucket))
+            index += 1
+        return out
+
+
+class LatencySampler:
+    """Latency samples, tagged by kind (single-shard / cross-shard)."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+
+    def add(self, kind: str, latency: float) -> None:
+        """Record one latency sample under ``kind``."""
+        if latency < 0:
+            raise ValueError("negative latency")
+        self._samples[kind].append(latency)
+
+    def samples(self, kind: str) -> Sequence[float]:
+        """All samples of one kind (empty tuple if none)."""
+        return tuple(self._samples.get(kind, ()))
+
+    def all_samples(self) -> Sequence[float]:
+        """Samples of every kind combined (the aggregated CDF)."""
+        out: List[float] = []
+        for values in self._samples.values():
+            out.extend(values)
+        return tuple(out)
+
+    def kinds(self) -> Sequence[str]:
+        """The kinds that have at least one sample."""
+        return tuple(self._samples)
+
+    def mean(self, kind: str) -> float:
+        """Mean latency of a kind (ValueError when empty)."""
+        values = self._samples.get(kind)
+        if not values:
+            raise ValueError(f"no samples of kind {kind!r}")
+        return sum(values) / len(values)
+
+    def count(self, kind: str) -> int:
+        """Number of samples of a kind."""
+        return len(self._samples.get(kind, ()))

@@ -1,0 +1,43 @@
+"""ASCII rendering of tables and series, paper-figure style."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned text table."""
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Sequence[Tuple[float, float]],
+    x_label: str = "t",
+    y_label: str = "value",
+    width: int = 50,
+) -> str:
+    """Render an (x, y) series as a horizontal ASCII bar plot."""
+    if not series:
+        return "(empty series)"
+    peak = max(y for _x, y in series) or 1.0
+    lines = [f"{x_label:>10}  {y_label}"]
+    for x, y in series:
+        bar = "#" * int(round(width * y / peak))
+        lines.append(f"{x:>10.0f}  {y:>8.2f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Discrete-event network substrate.
+
+The paper's evaluation ran on an 80-machine cluster with emulated WAN
+latencies taken from the Red Belly evaluation's 14 AWS regions [27],
+with nodes randomly assigned to regions.  This package reproduces that
+methodology in simulated time: a deterministic event loop
+(:mod:`repro.net.sim`), the inter-region latency matrix
+(:mod:`repro.net.latency`) and message transport between simulated
+processes (:mod:`repro.net.transport`).
+"""
+
+from repro.net.latency import REGIONS, LatencyModel
+from repro.net.sim import Simulator
+from repro.net.transport import Endpoint, Network
+
+__all__ = ["Simulator", "LatencyModel", "REGIONS", "Network", "Endpoint"]

@@ -1,0 +1,114 @@
+"""Message transport between simulated processes.
+
+A :class:`Network` binds a :class:`~repro.net.sim.Simulator` to a
+:class:`~repro.net.latency.LatencyModel`.  Processes register an
+:class:`Endpoint` (a name, a region and a message handler); sends are
+delivered as scheduled events after the sampled one-way latency.
+
+Delivery is reliable and FIFO-per-pair is *not* guaranteed (jitter can
+reorder), matching a TCP-per-message/UDP-like abstraction that BFT
+protocols must already tolerate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.net.latency import LatencyModel
+from repro.net.sim import Simulator
+
+MessageHandler = Callable[[str, Any], None]
+
+
+@dataclass
+class Endpoint:
+    """A process attached to the network."""
+
+    name: str
+    region: str
+    handler: MessageHandler
+
+
+class Network:
+    """Latency-faithful message passing over the simulator."""
+
+    def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None):
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        self._endpoints: Dict[str, Endpoint] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_dropped = 0
+        self._partition: Optional[Dict[str, int]] = None
+
+    def attach(self, name: str, region: str, handler: MessageHandler) -> Endpoint:
+        """Register a process; ``handler(sender_name, payload)`` receives."""
+        if name in self._endpoints:
+            raise SimulationError(f"endpoint {name!r} already attached")
+        endpoint = Endpoint(name=name, region=region, handler=handler)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def detach(self, name: str) -> None:
+        """Remove a process; in-flight messages to it are dropped."""
+        self._endpoints.pop(name, None)
+
+    def endpoints(self) -> Iterable[str]:
+        """Names of currently attached processes."""
+        return tuple(self._endpoints)
+
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the network: messages between different groups drop.
+
+        Endpoints not named in any group form an implicit extra group.
+        Call :meth:`heal` to restore full connectivity.
+        """
+        mapping: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                mapping[name] = index
+        self._partition = mapping
+
+    def heal(self) -> None:
+        """End the partition; subsequent sends flow everywhere again."""
+        self._partition = None
+
+    def _partitioned(self, src: str, dst: str) -> bool:
+        if self._partition is None:
+            return False
+        return self._partition.get(src, -1) != self._partition.get(dst, -1)
+
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int = 0) -> None:
+        """Send ``payload`` from ``src`` to ``dst`` after sampled latency.
+
+        Messages to endpoints that detach before delivery are silently
+        dropped (the real network gives no better guarantee), as are
+        messages crossing an active partition.
+        """
+        source = self._endpoints.get(src)
+        if source is None:
+            raise SimulationError(f"unknown sender {src!r}")
+        destination = self._endpoints.get(dst)
+        if destination is None:
+            return
+        if self._partitioned(src, dst):
+            self.messages_dropped += 1
+            return
+        delay = self.latency.sample(source.region, destination.region, self.sim.rng)
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+
+        def deliver() -> None:
+            target = self._endpoints.get(dst)
+            if target is not None:
+                target.handler(src, payload)
+
+        self.sim.schedule(delay, deliver)
+
+    def broadcast(self, src: str, dsts: Iterable[str], payload: Any, size_bytes: int = 0) -> None:
+        """Send the same payload to many destinations (independent latencies)."""
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, payload, size_bytes)

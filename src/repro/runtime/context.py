@@ -1,0 +1,83 @@
+"""Execution context threaded through contract calls."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.keys import Address
+from repro.statedb.state import WorldState
+from repro.vm.gas import GasMeter
+
+
+@dataclass(frozen=True)
+class BlockEnv:
+    """Block-level environment visible to contracts."""
+
+    chain_id: int
+    height: int
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class Msg:
+    """The Solidity ``msg`` object: who calls, with how much value."""
+
+    sender: Address
+    value: int
+
+
+class TxContext:
+    """Per-transaction execution context.
+
+    Carries the world state, gas meter, block environment and the call
+    stack of :class:`Msg` frames (one per nested contract call).  The
+    ``category`` string tags every gas charge, letting the experiment
+    harness split costs per phase (Fig. 9).
+    """
+
+    def __init__(
+        self,
+        state: WorldState,
+        env: BlockEnv,
+        meter: GasMeter,
+        origin: Address,
+        category: str = "execution",
+    ):
+        self.state = state
+        self.env = env
+        self.meter = meter
+        self.origin = origin
+        self.category = category
+        #: the executing node's light client (set by the chain's
+        #: executor); lets contracts verify remote-chain state through
+        #: the :meth:`~repro.runtime.contract.Contract.verify_remote_state`
+        #: builtin.  None in standalone runtime use.
+        self.light_client = None
+        self._msg_stack: List[Msg] = []
+        self.events: List[Tuple[str, Dict[str, Any]]] = []
+        self.call_depth = 0
+
+    @property
+    def msg(self) -> Msg:
+        if not self._msg_stack:
+            raise RuntimeError("no active call frame")
+        return self._msg_stack[-1]
+
+    def push_msg(self, msg: Msg) -> None:
+        """Enter a call frame (sets msg.sender/value for the callee)."""
+        self._msg_stack.append(msg)
+        self.call_depth += 1
+
+    def pop_msg(self) -> None:
+        """Leave the current call frame."""
+        self._msg_stack.pop()
+        self.call_depth -= 1
+
+    def charge(self, amount: int, category: Optional[str] = None) -> None:
+        """Charge gas under this context's (or the given) category."""
+        self.meter.charge(amount, category or self.category)
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Record a contract event (charged by the caller)."""
+        self.events.append((name, fields))

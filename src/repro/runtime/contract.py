@@ -1,0 +1,321 @@
+"""Contract base class, typed storage slots and method decorators.
+
+A contract class declares storage declaratively::
+
+    @register_contract
+    class Counter(Contract):
+        count = Slot(int)
+        owners = MapSlot(Address, int)
+
+        @external
+        def bump(self) -> int:
+            require(self.msg.sender == self.owner, "not owner")
+            self.count += 1
+            return self.count
+
+Slot reads charge ``SLOAD`` gas, writes charge ``SSTORE`` (set / update
+/ clear discriminated on the previous value), exactly like the bytecode
+VM — the point where the high-level runtime stays gas-faithful to the
+EVM model the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Type, TypeVar
+
+from repro.crypto.hashing import keccak
+from repro.crypto.keys import Address
+from repro.errors import Revert
+from repro.runtime.context import BlockEnv, Msg, TxContext
+
+F = TypeVar("F", bound=Callable)
+
+
+def external(fn: F) -> F:
+    """Mark a method callable from transactions and other contracts."""
+    fn._is_external = True  # type: ignore[attr-defined]
+    return fn
+
+
+def payable(fn: F) -> F:
+    """Allow the method to receive value (``msg.value > 0``)."""
+    fn._is_external = True  # type: ignore[attr-defined]
+    fn._is_payable = True  # type: ignore[attr-defined]
+    return fn
+
+
+def view(fn: F) -> F:
+    """Mark a read-only method — callable even on a locked (moved-away)
+    contract, since reads of moved state remain legal (Section III-B)."""
+    fn._is_external = True  # type: ignore[attr-defined]
+    fn._is_view = True  # type: ignore[attr-defined]
+    return fn
+
+
+def encode_value(value: Any) -> bytes:
+    """Canonical storage encoding for supported slot types."""
+    if isinstance(value, bool):
+        return b"\x01" if value else b""
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError("storage integers are non-negative")
+        return value.to_bytes(32, "big") if value else b""
+    if isinstance(value, Address):
+        return value.raw
+    if isinstance(value, bytes):
+        return value
+    if value is None:
+        return b""
+    raise TypeError(f"unsupported storage type {type(value).__name__}")
+
+
+def decode_value(raw: bytes, kind: Type) -> Any:
+    """Inverse of :func:`encode_value` for a declared slot type."""
+    if kind is bool:
+        return bool(raw)
+    if kind is int:
+        return int.from_bytes(raw, "big") if raw else 0
+    if kind is Address:
+        return Address(raw) if raw else None
+    if kind is bytes:
+        return raw
+    raise TypeError(f"unsupported slot type {kind.__name__}")
+
+
+def encode_key(value: Any) -> bytes:
+    """Canonical encoding of a map key."""
+    if isinstance(value, Address):
+        return value.raw
+    if isinstance(value, bool):
+        return b"\x01" if value else b"\x00"
+    if isinstance(value, int):
+        return value.to_bytes(32, "big", signed=False)
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
+    if isinstance(value, str):
+        return value.encode()
+    raise TypeError(f"unsupported map key type {type(value).__name__}")
+
+
+class Slot:
+    """A scalar storage slot; the key is derived from the field name."""
+
+    def __init__(self, kind: Type = int, default: Any = None):
+        self.kind = kind
+        self.default = default
+        self.key = b""
+
+    def __set_name__(self, owner: Type, name: str) -> None:
+        self.name = name
+        self.key = keccak(b"slot", name.encode())
+
+    def __get__(self, obj: Optional["Contract"], objtype: Type = None) -> Any:
+        if obj is None:
+            return self
+        raw = obj._storage_read(self.key)
+        if not raw and self.default is not None:
+            return self.default
+        return decode_value(raw, self.kind)
+
+    def __set__(self, obj: "Contract", value: Any) -> None:
+        obj._storage_write(self.key, encode_value(value))
+
+
+class _MapAccessor:
+    """Live view over one contract's map slot."""
+
+    def __init__(self, contract: "Contract", base: bytes, value_kind: Type):
+        self._contract = contract
+        self._base = base
+        self._value_kind = value_kind
+
+    def _key(self, key: Any) -> bytes:
+        return keccak(self._base, encode_key(key))
+
+    def __getitem__(self, key: Any) -> Any:
+        return decode_value(self._contract._storage_read(self._key(key)), self._value_kind)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._contract._storage_write(self._key(key), encode_value(value))
+
+    def __delitem__(self, key: Any) -> None:
+        self._contract._storage_write(self._key(key), b"")
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self._contract._storage_read(self._key(key)))
+
+
+class MapSlot:
+    """A mapping slot (``mapping(K => V)`` in Solidity terms)."""
+
+    def __init__(self, key_kind: Type, value_kind: Type):
+        self.key_kind = key_kind
+        self.value_kind = value_kind
+        self.base = b""
+
+    def __set_name__(self, owner: Type, name: str) -> None:
+        self.name = name
+        self.base = keccak(b"map", name.encode())
+
+    def __get__(self, obj: Optional["Contract"], objtype: Type = None) -> Any:
+        if obj is None:
+            return self
+        return _MapAccessor(obj, self.base, self.value_kind)
+
+    def __set__(self, obj: "Contract", value: Any) -> None:
+        raise AttributeError("assign through map[key] = value, not the map itself")
+
+
+class Contract:
+    """Base class for all contracts.
+
+    Instances are ephemeral *views*: the runtime binds
+    ``(context, address)`` for the duration of one call.  Persistent
+    data lives exclusively in declared slots.
+    """
+
+    CODE: bytes = b""
+    CODE_HASH: bytes = b""
+
+    def __init__(self, ctx: TxContext, address: Address):
+        self._ctx = ctx
+        self.address = address
+
+    # -- environment accessors ----------------------------------------
+
+    @property
+    def msg(self) -> Msg:
+        return self._ctx.msg
+
+    @property
+    def env(self) -> BlockEnv:
+        return self._ctx.env
+
+    @property
+    def chain_id(self) -> int:
+        return self._ctx.env.chain_id
+
+    @property
+    def now(self) -> float:
+        """Block timestamp (Solidity's ``now``)."""
+        return self._ctx.env.timestamp
+
+    @property
+    def balance(self) -> int:
+        return self._ctx.state.balance_of(self.address)
+
+    @property
+    def location(self) -> int:
+        """The Move protocol's ``L_c`` for this contract."""
+        return self._ctx.state.require_contract(self.address).location
+
+    @property
+    def move_nonce(self) -> int:
+        return self._ctx.state.require_contract(self.address).move_nonce
+
+    # -- metered storage ------------------------------------------------
+
+    def _storage_read(self, key: bytes) -> bytes:
+        self._ctx.charge(self._ctx.meter.schedule.sload)
+        return self._ctx.state.storage_get(self.address, key)
+
+    def _storage_write(self, key: bytes, value: bytes) -> None:
+        schedule = self._ctx.meter.schedule
+        current = self._ctx.state.storage_get(self.address, key)
+        if not current and value:
+            self._ctx.charge(schedule.sstore_set)
+        elif current and not value:
+            self._ctx.charge(schedule.sstore_clear)
+        else:
+            self._ctx.charge(schedule.sstore_update)
+        self._ctx.state.storage_set(self.address, key, value)
+
+    # -- contract-to-contract interaction --------------------------------
+
+    def call(self, target: Address, method: str, *args: Any, value: int = 0) -> Any:
+        """Call another contract; ``msg.sender`` becomes this contract."""
+        from repro.runtime.runtime import Runtime  # local import, no cycle at module load
+
+        runtime: Runtime = self._ctx.runtime  # type: ignore[attr-defined]
+        return runtime.call(
+            self._ctx, target, method, args, sender=self.address, value=value
+        )
+
+    def create(
+        self, cls: Type["Contract"], *args: Any, salt: Optional[int] = None, value: int = 0
+    ) -> Address:
+        """Create a child contract (CREATE/CREATE2 by salt presence)."""
+        from repro.runtime.runtime import Runtime
+
+        runtime: Runtime = self._ctx.runtime  # type: ignore[attr-defined]
+        return runtime.deploy(
+            self._ctx, cls, args, sender=self.address, salt=salt, value=value
+        )
+
+    def transfer(self, to: Address, amount: int) -> None:
+        """Send native currency from this contract's balance."""
+        if self._ctx.state.balance_of(self.address) < amount:
+            raise Revert("insufficient contract balance")
+        self._ctx.state.sub_balance(self.address, amount)
+        self._ctx.state.add_balance(to, amount)
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Emit an event (charged at LOG cost)."""
+        size = sum(len(str(v)) for v in fields.values())
+        self._ctx.charge(self._ctx.meter.schedule.log(size))
+        self._ctx.emit(name, **fields)
+
+    def verify_remote_state(self, proof: Any) -> bool:
+        """Light-client builtin: verify a
+        :class:`~repro.core.proofs.RemoteStateProof` against the
+        executing node's confirmed headers of the proof's chain.
+
+        This is the "more generic method ... using Merkle proofs"
+        Section V-A alludes to: contract logic can attest arbitrary
+        remote storage entries.  Charges proof-verification gas.
+        Returns False (never raises) on any mismatch; reverts only if
+        the node has no light client (standalone runtime use).
+        """
+        light_client = getattr(self._ctx, "light_client", None)
+        if light_client is None:
+            raise Revert("no light client available in this execution context")
+        self._ctx.charge(
+            self._ctx.meter.schedule.proof_verification(proof.size_bytes())
+        )
+        return proof.verify(light_client)
+
+    def op_move(self, target_chain: int) -> None:
+        """Execute OP_MOVE from inside contract code: assign this
+        contract's own ``L_c`` and bump its move nonce.
+
+        This is how the currency relay (paper Fig. 3) locks the relay
+        contract "on creation" — the contract moves *itself* without a
+        separate Move1 transaction.  The ``moveTo`` guard is *not* run:
+        the contract is the one deciding to move.
+        """
+        if target_chain == self.chain_id:
+            raise Revert("OP_MOVE target is the current chain")
+        self._ctx.charge(self._ctx.meter.schedule.move_op)
+        self._ctx.state.set_location(self.address, target_chain, height=self.env.height)
+        self._ctx.state.bump_move_nonce(self.address)
+
+    # -- Move protocol hooks (paper Listing 1) ---------------------------
+
+    def move_to(self, target_chain: int) -> None:
+        """Custom guard run by Move1 before ``L_c`` is assigned.
+
+        Override to restrict who may move the contract and when; raise
+        via ``require(...)`` to refuse the move.  Default: anyone who
+        owns nothing special may move nothing — subclasses opt in by
+        overriding (a contract that does not override cannot move).
+        """
+        raise Revert(f"{type(self).__name__} does not implement moveTo")
+
+    def move_finish(self) -> None:
+        """Custom hook run by Move2 after state recreation (no-op)."""
+
+
+def require(condition: Any, message: str = "requirement failed") -> None:
+    """Solidity's ``require``: revert the transaction unless truthy."""
+    if not condition:
+        raise Revert(message)

@@ -1,0 +1,14 @@
+"""Sharding: hash partitioning and multi-shard deployments.
+
+Section IV-B/VII: the blockchain state is divided into shards; each
+shard is an independent Burrow/Tendermint chain with its own validator
+set, and contracts are assigned to shards by the hash of their
+identifier.  The Move protocol is what lets objects change shard —
+offloading congested shards or co-locating contracts that must call
+each other.
+"""
+
+from repro.sharding.cluster import ShardedCluster
+from repro.sharding.partition import shard_of
+
+__all__ = ["ShardedCluster", "shard_of"]

@@ -1,0 +1,122 @@
+"""Decentralized load balancing for sharded deployments.
+
+Section IV-B observes that "as shards get congested and fees increase,
+users are tempted to move their contracts to underused shards", and the
+conclusion names "decentralized load balancing smart contracts for
+sharded blockchains" as future work enabled by the Move primitive.
+
+This module implements the client-side half:
+
+* :class:`ShardLoadMonitor` — computes per-shard utilization purely
+  from the public block stream (transactions per block vs. the chain's
+  capacity), so *any* client reaches the same view without coordination
+  — that is what makes the scheme decentralized;
+* :class:`LoadBalancingPolicy` — the decision rule: move off a shard
+  when its utilization exceeds ``hot_threshold`` and a shard at least
+  ``min_gap`` cooler exists; the target is the coolest shard, with a
+  deterministic owner-keyed tiebreak so simultaneous movers spread out
+  instead of stampeding onto one target.
+
+The ablation benchmark ``benchmarks/bench_ablation_loadbalance.py``
+shows the resulting throughput/latency recovery on a skewed deployment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.chain.chain import Chain
+from repro.crypto.hashing import keccak
+from repro.crypto.keys import Address
+
+
+class ShardLoadMonitor:
+    """Sliding-window utilization per shard, derived from headers/bodies."""
+
+    def __init__(self, shards: Sequence[Chain], window_blocks: int = 10):
+        self.shards = list(shards)
+        self.window_blocks = window_blocks
+        self._fills: List[Deque[int]] = [deque(maxlen=window_blocks) for _ in self.shards]
+        for index, shard in enumerate(self.shards):
+            shard.subscribe(
+                lambda block, _receipts, i=index: self._fills[i].append(
+                    len(block.transactions)
+                )
+            )
+
+    def utilization(self, shard_index: int) -> float:
+        """Average block fill over the window, as a fraction of capacity."""
+        fills = self._fills[shard_index]
+        if not fills:
+            return 0.0
+        capacity = self.shards[shard_index].params.max_block_txs
+        return sum(fills) / (len(fills) * capacity)
+
+    def utilizations(self) -> List[float]:
+        """Utilization of every shard, by index."""
+        return [self.utilization(i) for i in range(len(self.shards))]
+
+    def coolest(self, exclude: Sequence[int] = ()) -> int:
+        """Least-utilized shard index (excluding some)."""
+        candidates = [i for i in range(len(self.shards)) if i not in exclude]
+        if not candidates:
+            raise ValueError("no candidate shards")
+        return min(candidates, key=self.utilization)
+
+
+class LoadBalancingPolicy:
+    """Decides whether (and where) a contract should move."""
+
+    def __init__(
+        self,
+        monitor: ShardLoadMonitor,
+        hot_threshold: float = 0.8,
+        min_gap: float = 0.3,
+    ):
+        self.monitor = monitor
+        self.hot_threshold = hot_threshold
+        self.min_gap = min_gap
+
+    def suggest_move(self, current_shard: int, owner: Address) -> Optional[int]:
+        """Target shard for a contract of ``owner``, or None to stay.
+
+        Two deterministic owner-keyed draws prevent the classic
+        oscillation of naive balancing: (1) only the *excess* fraction
+        of a hot shard's population migrates (stay probability =
+        mean utilization / local utilization), so the hot shard is not
+        abandoned wholesale; (2) movers fan out across every shard
+        cooler by ``min_gap``, not just the single coolest one.  Every
+        client computes the same answer from the same public block
+        stream — no coordination.
+        """
+        load = self.monitor.utilization(current_shard)
+        if load < self.hot_threshold:
+            return None
+        utils = self.monitor.utilizations()
+        mean_util = sum(utils) / len(utils)
+        stay_probability = mean_util / load if load > 0 else 1.0
+        digest = keccak(b"balance", owner.raw)
+        stay_draw = int.from_bytes(digest[:8], "big") / 2**64
+        if stay_draw < stay_probability:
+            return None
+        cool = [
+            index
+            for index in range(len(self.monitor.shards))
+            if index != current_shard and utils[index] <= load - self.min_gap
+        ]
+        if not cool:
+            return None
+        pick = int.from_bytes(digest[8:16], "big") % len(cool)
+        return cool[pick]
+
+    def rebalance_plan(
+        self, placements: Dict[Address, int]
+    ) -> Dict[Address, int]:
+        """Suggested moves for a whole set of contracts (owner-keyed)."""
+        plan: Dict[Address, int] = {}
+        for address, shard in placements.items():
+            target = self.suggest_move(shard, address)
+            if target is not None:
+                plan[address] = target
+        return plan

@@ -1,0 +1,115 @@
+"""A sharded deployment: N Tendermint shards over one simulated WAN.
+
+Mirrors the paper's cluster (Section VII): 10 validators per shard, one
+validator per simulated node, nodes randomly assigned to the 14 regions;
+one client host maintaining a connection per shard.  All shards share
+one :class:`~repro.net.sim.Simulator` so cross-shard timing is globally
+consistent, and headers are relayed between all shards so any shard can
+verify any other's Move2 proofs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.chain.tx import Transaction
+from repro.consensus.tendermint import TendermintEngine
+from repro.core.registry import ChainRegistry
+from repro.crypto.keys import Address
+from repro.ibc.headers import connect_chains
+from repro.net.latency import LatencyModel
+from repro.net.sim import Simulator
+from repro.net.transport import Network
+from repro.sharding.partition import shard_of
+
+#: One-way latency between the client host and a shard's entry point;
+#: models the paper's "one node hosts all clients" connection per shard.
+CLIENT_SUBMIT_LATENCY = 0.75
+
+
+class ShardedCluster:
+    """N Burrow/Tendermint shards driven by one simulator."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        seed: int = 0,
+        validators_per_shard: int = 10,
+        block_interval: float = 5.0,
+        max_block_txs: int = 500,
+        verify_signatures: bool = False,
+    ):
+        self.num_shards = num_shards
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim)
+        self.latency_model = self.network.latency
+        self.registry = ChainRegistry()
+        self.shards: List[Chain] = []
+        self.engines: List[TendermintEngine] = []
+        for index in range(num_shards):
+            params = burrow_params(
+                chain_id=index + 1,
+                name=f"shard-{index}",
+                max_block_txs=max_block_txs,
+                validator_count=validators_per_shard,
+                block_interval=block_interval,
+            )
+            chain = Chain(params, self.registry, verify_signatures=verify_signatures)
+            self.shards.append(chain)
+            regions = self.latency_model.assign_regions(validators_per_shard, self.sim.rng)
+            self.engines.append(TendermintEngine(self.sim, self.network, chain, regions))
+        connect_chains(self.shards)
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start consensus on every shard."""
+        for engine in self.engines:
+            engine.start()
+
+    def stop(self) -> None:
+        """Stop consensus on every shard."""
+        for engine in self.engines:
+            engine.stop()
+
+    def run(self, until: float) -> None:
+        """Advance the shared simulator to ``until`` seconds."""
+        self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+
+    def shard_index_of(self, address: Address) -> int:
+        """Hash-partitioned home shard of a contract address."""
+        return shard_of(address, self.num_shards)
+
+    def shard(self, index: int) -> Chain:
+        """The chain of the shard at ``index`` (0-based)."""
+        return self.shards[index]
+
+    def shard_by_chain_id(self, chain_id: int) -> Chain:
+        """The chain whose id is ``chain_id`` (ids start at 1)."""
+        return self.shards[chain_id - 1]
+
+    def fund_all(self, allocations: Dict[Address, int]) -> None:
+        """Credit balances on every shard (clients pay fees anywhere)."""
+        for shard in self.shards:
+            shard.fund(allocations)
+
+    def submit(self, shard_index: int, tx: Transaction) -> None:
+        """Submit from the client host: one network hop to the shard."""
+        shard = self.shards[shard_index]
+        self.sim.schedule(CLIENT_SUBMIT_LATENCY, lambda: shard.submit(tx))
+
+    def locate_contract(self, address: Address) -> Optional[int]:
+        """Which shard holds the *active* copy of a contract, if any."""
+        for shard in self.shards:
+            location = shard.location_of(address)
+            if location == shard.chain_id:
+                return shard.chain_id - 1
+        return None
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(shard.height for shard in self.shards)

@@ -1,0 +1,28 @@
+"""Hash partitioning (Section VII: "the contract's shard is decided by
+the hash of the contract's identification").
+
+Hash partitioning balances shards well but — as the paper notes — the
+probability that two unrelated contracts land on the same shard is
+``1/num_shards``, so cross-shard rates rise with the shard count.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import keccak
+from repro.crypto.keys import Address
+
+
+def shard_of(address: Address, num_shards: int) -> int:
+    """0-based shard index for a contract identifier."""
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    digest = keccak(b"shard", address.raw)
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+def shard_of_int(identifier: int, num_shards: int) -> int:
+    """Shard index for a plain integer identifier (kitty ids)."""
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    digest = keccak(b"shard-int", identifier.to_bytes(32, "big"))
+    return int.from_bytes(digest[:8], "big") % num_shards

@@ -1,0 +1,13 @@
+"""World state: accounts, contracts, storage, receipts.
+
+The state database is the bridge between execution and commitment:
+every mutation is journaled (so failed transactions roll back exactly),
+and :meth:`~repro.statedb.state.WorldState.commit` folds dirty entries
+into the chain's authenticated tree, producing the per-block state root
+that Move2 proofs are verified against.
+"""
+
+from repro.statedb.receipts import Receipt
+from repro.statedb.state import AccountRecord, ContractRecord, WorldState
+
+__all__ = ["WorldState", "AccountRecord", "ContractRecord", "Receipt"]

@@ -1,0 +1,28 @@
+"""Transaction receipts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Receipt:
+    """Outcome of one executed transaction.
+
+    ``gas_by_category`` preserves the meter's split (execution /
+    code_deposit / proof_verify / ...) — the Fig. 9 harness reads the
+    breakdown straight from receipts.
+    """
+
+    tx_id: str
+    success: bool
+    gas_used: int
+    error: Optional[str] = None
+    return_value: Any = None
+    logs: List[Tuple[str, Dict[str, Any]]] = field(default_factory=list)
+    block_height: Optional[int] = None
+    block_time: Optional[float] = None
+    gas_by_category: Dict[str, int] = field(default_factory=dict)
+    #: native currency actually deducted for gas (0 on free chains)
+    fee_paid: int = 0

@@ -1,0 +1,371 @@
+"""Journaled, Merkle-committed world state.
+
+Two record kinds exist (paper Section II): *accounts*, which hold
+balance and a transaction nonce, and *contracts*, which additionally
+hold code, storage, the Move protocol's location field ``L_c`` and the
+monotonically increasing **move nonce** used against replay (Fig. 2).
+
+Commitment layout
+-----------------
+Each contract's storage is committed to its own ``storage_root``, built
+canonically (keys inserted in sorted order) with the chain's tree
+flavour, so any verifier can rebuild the root from the full storage
+contents carried by a Move2 proof.  The account tree maps
+``address -> leaf`` where the leaf serializes balance, nonce, code hash,
+``L_c``, move nonce and storage root; its root is the block header's
+``state_root`` ``m``, and ``prove_account`` produces the ``{v} ↦ m``
+account proof embedded in Move2 transactions.
+
+Journaling
+----------
+Every mutation appends an undo closure.  ``snapshot()`` / ``revert()``
+give transaction-level atomicity: a failed transaction (revert, out of
+gas, locked contract) unwinds to the pre-transaction state exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.crypto.keys import Address
+from repro.errors import StateError
+from repro.merkle.proof import MembershipProof
+
+
+@dataclass
+class AccountRecord:
+    """Externally-owned account."""
+
+    balance: int = 0
+    nonce: int = 0
+
+
+@dataclass
+class ContractRecord:
+    """Smart-contract account.
+
+    ``location`` is the paper's ``L_c``: the chain id where the contract
+    currently lives.  While ``location`` differs from the hosting
+    chain's id the contract is *locked* there — reads succeed, writes
+    abort (enforced by the runtime, not here).
+    """
+
+    code_hash: bytes
+    location: int
+    balance: int = 0
+    move_nonce: int = 0
+    storage: Dict[bytes, bytes] = field(default_factory=dict)
+    #: height at which L_c last changed (None = never moved); lets the
+    #: garbage collector age-gate stale copies (paper §III-G c)
+    moved_at_height: Optional[int] = None
+
+
+def encode_account_leaf(record: AccountRecord) -> bytes:
+    """Canonical account-leaf bytes (committed in the state tree)."""
+    return b"A" + record.balance.to_bytes(32, "big") + record.nonce.to_bytes(8, "big")
+
+
+def encode_contract_leaf(record: ContractRecord, storage_root: bytes) -> bytes:
+    """Canonical contract-leaf bytes.
+
+    Everything Move2 must verify is in here: balance (the currency the
+    contract carries with it), ``L_c``, the move nonce, the code hash
+    and the storage root.
+    """
+    return (
+        b"C"
+        + record.balance.to_bytes(32, "big")
+        + record.location.to_bytes(8, "big")
+        + record.move_nonce.to_bytes(8, "big")
+        + record.code_hash
+        + storage_root
+    )
+
+
+class WorldState:
+    """Mutable world state for one chain, journaled and committable.
+
+    ``tree_factory`` supplies the chain's authenticated structure
+    (:class:`~repro.merkle.iavl.IAVLTree` for Burrow-flavoured chains,
+    :class:`~repro.merkle.trie.MerklePatriciaTrie` for
+    Ethereum-flavoured ones).
+    """
+
+    def __init__(self, chain_id: int, tree_factory: Callable[[], object]):
+        self.chain_id = chain_id
+        self._tree_factory = tree_factory
+        self.accounts: Dict[Address, AccountRecord] = {}
+        self.contracts: Dict[Address, ContractRecord] = {}
+        #: chain-local registry of contract code actually stored here
+        self.code_store: Dict[bytes, bytes] = {}
+        self._journal: List[Callable[[], None]] = []
+        self._dirty: Set[Address] = set()
+        self._account_tree = tree_factory()
+        self._committed_root: bytes = self._account_tree.root_hash  # type: ignore[attr-defined]
+        self._storage_roots: Dict[Address, bytes] = {}
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Mark the current journal position."""
+        return len(self._journal)
+
+    def revert(self, snap: int) -> None:
+        """Undo every mutation after ``snap`` (most recent first)."""
+        while len(self._journal) > snap:
+            self._journal.pop()()
+
+    def _record(self, undo: Callable[[], None]) -> None:
+        self._journal.append(undo)
+
+    # ------------------------------------------------------------------
+    # Accounts
+    # ------------------------------------------------------------------
+
+    def account(self, address: Address) -> AccountRecord:
+        """Fetch-or-create an externally-owned account record."""
+        record = self.accounts.get(address)
+        if record is None:
+            record = AccountRecord()
+            self.accounts[address] = record
+            self._record(lambda: self.accounts.pop(address, None))
+        return record
+
+    def balance_of(self, address: Address) -> int:
+        """Native balance of an account or contract (0 if unknown)."""
+        if address in self.contracts:
+            return self.contracts[address].balance
+        record = self.accounts.get(address)
+        return record.balance if record is not None else 0
+
+    def add_balance(self, address: Address, amount: int) -> None:
+        """Credit an account or contract (journaled)."""
+        if amount < 0:
+            raise StateError("use sub_balance for debits")
+        self._dirty.add(address)
+        if address in self.contracts:
+            record = self.contracts[address]
+            record.balance += amount
+            self._record(lambda: setattr(record, "balance", record.balance - amount))
+        else:
+            account = self.account(address)
+            account.balance += amount
+            self._record(lambda: setattr(account, "balance", account.balance - amount))
+
+    def sub_balance(self, address: Address, amount: int) -> None:
+        """Debit; raises :class:`StateError` on insufficient funds."""
+        if amount < 0:
+            raise StateError("use add_balance for credits")
+        if self.balance_of(address) < amount:
+            raise StateError(f"insufficient balance at {address}")
+        self._dirty.add(address)
+        if address in self.contracts:
+            record = self.contracts[address]
+            record.balance -= amount
+            self._record(lambda: setattr(record, "balance", record.balance + amount))
+        else:
+            account = self.account(address)
+            account.balance -= amount
+            self._record(lambda: setattr(account, "balance", account.balance + amount))
+
+    def bump_nonce(self, address: Address) -> int:
+        """Increment and return an EOA's transaction nonce."""
+        account = self.account(address)
+        account.nonce += 1
+        self._dirty.add(address)
+        self._record(lambda: setattr(account, "nonce", account.nonce - 1))
+        return account.nonce
+
+    # ------------------------------------------------------------------
+    # Contracts
+    # ------------------------------------------------------------------
+
+    def contract(self, address: Address) -> Optional[ContractRecord]:
+        """The contract record at ``address``, or None."""
+        return self.contracts.get(address)
+
+    def require_contract(self, address: Address) -> ContractRecord:
+        """The contract record, or :class:`StateError` if absent."""
+        record = self.contracts.get(address)
+        if record is None:
+            raise StateError(f"no contract at {address}")
+        return record
+
+    def create_contract(
+        self,
+        address: Address,
+        code_hash: bytes,
+        code: bytes,
+        location: Optional[int] = None,
+        move_nonce: int = 0,
+        balance: int = 0,
+    ) -> ContractRecord:
+        """Instantiate a contract record (journaled).
+
+        ``location`` defaults to this chain — a freshly created contract
+        lives where it was created.  Move2 recreation passes the proven
+        ``move_nonce`` and balance through.
+        """
+        if address in self.contracts:
+            raise StateError(f"contract already exists at {address}")
+        record = ContractRecord(
+            code_hash=code_hash,
+            location=location if location is not None else self.chain_id,
+            move_nonce=move_nonce,
+            balance=balance,
+        )
+        self.contracts[address] = record
+        self._dirty.add(address)
+        # Undo removes the record but leaves the dirty flag: earlier
+        # journaled mutations (e.g. a balance credit) may also have
+        # dirtied this address, and an over-approximate dirty set is
+        # harmless (commit just re-writes an identical leaf).
+        self._record(lambda: self.contracts.pop(address, None))
+        if code_hash not in self.code_store:
+            self.code_store[code_hash] = code
+            self._record(lambda: self.code_store.pop(code_hash, None))
+        return record
+
+    def has_code(self, code_hash: bytes) -> bool:
+        """Is this code blob already stored on-chain?  (Section VIII:
+        recreation can skip the deposit when the code is present.)"""
+        return code_hash in self.code_store
+
+    def storage_get(self, address: Address, key: bytes) -> bytes:
+        """Read a storage slot (empty bytes when unset)."""
+        record = self.require_contract(address)
+        return record.storage.get(key, b"")
+
+    def storage_set(self, address: Address, key: bytes, value: bytes) -> None:
+        """Write a storage slot (journaled); empty value deletes."""
+        record = self.require_contract(address)
+        old = record.storage.get(key)
+        if value:
+            record.storage[key] = value
+        else:
+            record.storage.pop(key, None)
+        self._dirty.add(address)
+
+        def undo() -> None:
+            if old is None:
+                record.storage.pop(key, None)
+            else:
+                record.storage[key] = old
+
+        self._record(undo)
+
+    def set_location(
+        self, address: Address, target_chain: int, height: Optional[int] = None
+    ) -> None:
+        """Assign ``L_c`` (the effect of OP_MOVE, journaled).
+
+        ``height`` stamps when the move happened, for GC age gating.
+        """
+        record = self.require_contract(address)
+        old = record.location
+        old_height = record.moved_at_height
+        record.location = target_chain
+        record.moved_at_height = height
+        self._dirty.add(address)
+
+        def undo() -> None:
+            record.location = old
+            record.moved_at_height = old_height
+
+        self._record(undo)
+
+    def mark_dirty(self, address: Address) -> None:
+        """Flag an address for re-commitment (used by out-of-transaction
+        state maintenance such as garbage collection)."""
+        self._dirty.add(address)
+
+    def bump_move_nonce(self, address: Address) -> int:
+        """Increment the contract's move nonce (on Move2 completion)."""
+        record = self.require_contract(address)
+        record.move_nonce += 1
+        self._dirty.add(address)
+        self._record(lambda: setattr(record, "move_nonce", record.move_nonce - 1))
+        return record.move_nonce
+
+    def is_locked(self, address: Address) -> bool:
+        """True when the contract was moved away (``L_c`` ≠ this chain)."""
+        record = self.require_contract(address)
+        return record.location != self.chain_id
+
+    # ------------------------------------------------------------------
+    # Commitment
+    # ------------------------------------------------------------------
+
+    def storage_root(self, address: Address) -> bytes:
+        """Canonical storage root: fresh tree, keys in sorted order."""
+        record = self.require_contract(address)
+        return compute_storage_root(self._tree_factory, record.storage)
+
+    def commit(self) -> bytes:
+        """Fold dirty entries into the account tree; return the root.
+
+        The journal is cleared — commit happens at block boundaries,
+        after which individual transactions can no longer be reverted.
+        """
+        for address in sorted(self._dirty):
+            if address in self.contracts:
+                record = self.contracts[address]
+                root = compute_storage_root(self._tree_factory, record.storage)
+                self._storage_roots[address] = root
+                leaf = encode_contract_leaf(record, root)
+            elif address in self.accounts:
+                leaf = encode_account_leaf(self.accounts[address])
+            else:
+                continue  # account created and reverted within the block
+            self._account_tree.set(address.raw, leaf)  # type: ignore[attr-defined]
+        self._dirty.clear()
+        self._journal.clear()
+        self._committed_root = self._account_tree.root_hash  # type: ignore[attr-defined]
+        return self._committed_root
+
+    @property
+    def committed_root(self) -> bytes:
+        """Root as of the last :meth:`commit`."""
+        return self._committed_root
+
+    def snapshot_tree(self):
+        """A facade over the current committed account tree.
+
+        The underlying nodes are immutable and structurally shared, so
+        this is O(1) and the snapshot stays valid as the live tree
+        evolves — the chain retains one per block to serve *historical*
+        account proofs (Move2 proofs target the Move1 block's root, not
+        the head's).
+        """
+        tree = self._tree_factory()
+        tree._root = self._account_tree._root  # type: ignore[attr-defined]
+        return tree
+
+    def prove_account(self, address: Address) -> MembershipProof:
+        """``{leaf} ↦ state_root`` proof against the last committed tree.
+
+        Raises :class:`KeyError` if the address was never committed.
+        """
+        return self._account_tree.prove(address.raw)  # type: ignore[attr-defined]
+
+    def committed_storage_root(self, address: Address) -> bytes:
+        """Storage root as of the last commit that touched the address."""
+        root = self._storage_roots.get(address)
+        if root is None:
+            raise StateError(f"no committed storage root for {address}")
+        return root
+
+
+def compute_storage_root(tree_factory: Callable[[], object], storage: Dict[bytes, bytes]) -> bytes:
+    """Rebuild a contract storage root canonically (sorted insertion).
+
+    Both the committing chain and any Move2 verifier call this, so the
+    root is reproducible from the raw storage contents alone.
+    """
+    tree = tree_factory()
+    for key in sorted(storage):
+        tree.set(key, storage[key])  # type: ignore[attr-defined]
+    return tree.root_hash  # type: ignore[attr-defined]

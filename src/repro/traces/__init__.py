@@ -1,0 +1,28 @@
+"""Trace generation and dependency-respecting replay (Section VII-A).
+
+The paper scanned every transaction of the real CryptoKitties contract
+(over four million) and replayed them against ScalableKitties through a
+dependency DAG.  The real trace is not redistributable, so
+:mod:`repro.traces.cryptokitties` synthesizes one with the same
+operation mix and object-reuse structure (see DESIGN.md's substitution
+table); :mod:`repro.traces.dag` builds the Fig. 4 dependency DAG; and
+:mod:`repro.traces.replay` replays it against a sharded cluster with
+the paper's 250-outstanding-transaction window.
+"""
+
+from repro.traces.cryptokitties import TraceConfig, generate_trace
+from repro.traces.dag import DependencyDAG
+from repro.traces.events import TraceOp
+from repro.traces.io import load_trace, save_trace
+from repro.traces.replay import KittiesReplayer, ReplayReport
+
+__all__ = [
+    "TraceOp",
+    "TraceConfig",
+    "generate_trace",
+    "DependencyDAG",
+    "KittiesReplayer",
+    "ReplayReport",
+    "save_trace",
+    "load_trace",
+]

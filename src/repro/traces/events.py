@@ -1,0 +1,43 @@
+"""Trace records.
+
+A trace is an ordered list of logical CryptoKitties operations; the
+dependency DAG derives edges from the cat ids each operation touches
+(``objects``), exactly like the object pointers in the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+#: operation kinds
+PROMO = "promo"        # owner mints a generation-0 cat
+APPROVE = "approve"    # sire owner approves a matron owner for siring
+BREED = "breed"        # matron breeds with sire; child is born
+TRANSFER = "transfer"  # cat changes owner
+
+KINDS = (PROMO, APPROVE, BREED, TRANSFER)
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One logical operation of the workload.
+
+    ``objects`` lists the logical cat ids the operation reads/writes —
+    the DAG serializes operations sharing an object.  ``params`` holds
+    kind-specific fields:
+
+    * promo: ``cat``, ``owner`` (user index)
+    * approve: ``sire``, ``matron_owner`` (user index)
+    * breed: ``matron``, ``sire``, ``child`` (logical id), ``owner``
+    * transfer: ``cat``, ``new_owner`` (user index)
+    """
+
+    op_id: int
+    kind: str
+    objects: Tuple[int, ...]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown trace op kind {self.kind!r}")

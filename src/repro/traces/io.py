@@ -1,0 +1,62 @@
+"""Trace (de)serialization.
+
+Traces are plain JSON — one object per operation — so workloads can be
+generated once, archived, shared and replayed reproducibly (the
+stand-in for the paper's scanned-from-mainnet trace file).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Union
+
+from repro.traces.events import TraceOp
+
+FORMAT_VERSION = 1
+
+
+def trace_to_json(ops: List[TraceOp]) -> str:
+    """Serialize a trace to a JSON document."""
+    payload = {
+        "format": "scontracts-move-trace",
+        "version": FORMAT_VERSION,
+        "ops": [
+            {
+                "id": op.op_id,
+                "kind": op.kind,
+                "objects": list(op.objects),
+                "params": op.params,
+            }
+            for op in ops
+        ],
+    }
+    return json.dumps(payload, indent=None, separators=(",", ":"))
+
+
+def trace_from_json(text: str) -> List[TraceOp]:
+    """Parse a trace document (validates format and version)."""
+    payload = json.loads(text)
+    if payload.get("format") != "scontracts-move-trace":
+        raise ValueError("not a trace file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace version {payload.get('version')}")
+    return [
+        TraceOp(
+            op_id=item["id"],
+            kind=item["kind"],
+            objects=tuple(item["objects"]),
+            params=dict(item["params"]),
+        )
+        for item in payload["ops"]
+    ]
+
+
+def save_trace(ops: List[TraceOp], path: Union[str, pathlib.Path]) -> None:
+    """Write a trace to disk."""
+    pathlib.Path(path).write_text(trace_to_json(ops))
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> List[TraceOp]:
+    """Read a trace from disk."""
+    return trace_from_json(pathlib.Path(path).read_text())

@@ -1,0 +1,37 @@
+"""EVM-like execution substrate.
+
+Both blockchains modified by the paper (go-ethereum and Hyperledger
+Burrow) run the Ethereum Virtual Machine; assumption (b) of the Move
+protocol is that interoperating chains share this execution environment.
+This package provides:
+
+* a gas schedule modelled on the Yellow Paper cost classes
+  (:mod:`repro.vm.gas`) — the quantities behind the paper's Fig. 9;
+* a stack-based interpreter (:mod:`repro.vm.machine`) over an
+  EVM-flavoured instruction set **extended with the paper's new
+  ``OP_MOVE`` opcode** (:mod:`repro.vm.opcodes`), which writes the
+  contract's location field ``L_c``;
+* an assembler from mnemonics to bytecode (:mod:`repro.vm.assembler`)
+  used by tests and the bytecode-level examples.
+
+Application contracts (SCoin, ScalableKitties, …) are written against
+the high-level runtime in :mod:`repro.runtime`, which charges this same
+gas schedule — the analogue of writing Solidity instead of raw bytecode.
+"""
+
+from repro.vm.assembler import assemble, disassemble
+from repro.vm.gas import GasMeter, GasSchedule
+from repro.vm.machine import ExecutionResult, Machine, MachineContext, MemoryContext
+from repro.vm.opcodes import Op
+
+__all__ = [
+    "GasMeter",
+    "GasSchedule",
+    "Machine",
+    "MachineContext",
+    "MemoryContext",
+    "ExecutionResult",
+    "Op",
+    "assemble",
+    "disassemble",
+]

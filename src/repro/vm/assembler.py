@@ -1,0 +1,120 @@
+"""Two-way assembler between mnemonics and bytecode.
+
+Assembly syntax, one instruction per line::
+
+    PUSH1 0x05        ; immediates in hex or decimal
+    PUSH2 1000
+    ADD
+    label:            ; labels become JUMPDEST positions
+    PUSH @label       ; @label pushes a label's byte offset (as PUSH2)
+    JUMP
+    ; comments start with ';' or '#'
+
+Used by the VM unit tests and the bytecode-level example; applications
+use the high-level runtime instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import AssemblerError
+from repro.vm.opcodes import MNEMONICS, REVERSE_MNEMONICS, Op, is_push, push_size
+
+
+def _parse_int(token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad immediate {token!r}") from exc
+
+
+def _tokenize(source: str) -> List[List[str]]:
+    lines: List[List[str]] = []
+    for raw in source.splitlines():
+        line = raw.split(";")[0].split("#")[0].strip()
+        if line:
+            lines.append(line.split())
+    return lines
+
+
+def assemble(source: str) -> bytes:
+    """Assemble mnemonic source into bytecode."""
+    lines = _tokenize(source)
+
+    # First pass: compute label offsets.  A label occupies one byte
+    # (its JUMPDEST); @label references assemble to PUSH2 <offset>.
+    labels: Dict[str, int] = {}
+    offset = 0
+    for tokens in lines:
+        head = tokens[0]
+        if head.endswith(":"):
+            label = head[:-1]
+            if label in labels:
+                raise AssemblerError(f"duplicate label {label!r}")
+            labels[label] = offset
+            offset += 1  # JUMPDEST byte
+            continue
+        name = head.upper()
+        if len(tokens) > 1 and tokens[1].startswith("@"):
+            # `PUSH @label` (any PUSH alias) assembles to PUSH2 <offset>.
+            if name != "PUSH" and name not in MNEMONICS:
+                raise AssemblerError(f"unknown mnemonic {head!r}")
+            offset += 3
+            continue
+        if name not in MNEMONICS:
+            raise AssemblerError(f"unknown mnemonic {head!r}")
+        code = MNEMONICS[name]
+        if is_push(code):
+            offset += 1 + push_size(code)
+        else:
+            offset += 1
+
+    # Second pass: emit bytes.
+    out = bytearray()
+    for tokens in lines:
+        head = tokens[0]
+        if head.endswith(":"):
+            out.append(int(Op.JUMPDEST))
+            continue
+        name = head.upper()
+        if len(tokens) > 1 and tokens[1].startswith("@"):
+            label = tokens[1][1:]
+            if label not in labels:
+                raise AssemblerError(f"unknown label {label!r}")
+            out.append(int(Op.PUSH1) + 1)  # PUSH2
+            out.extend(labels[label].to_bytes(2, "big"))
+            continue
+        code = MNEMONICS[name]
+        if is_push(code):
+            if len(tokens) != 2:
+                raise AssemblerError(f"{name} needs exactly one immediate")
+            size = push_size(code)
+            value = _parse_int(tokens[1])
+            if value >= 1 << (8 * size):
+                raise AssemblerError(f"immediate {tokens[1]} overflows {name}")
+            out.append(code)
+            out.extend(value.to_bytes(size, "big"))
+            continue
+        if len(tokens) != 1:
+            raise AssemblerError(f"{name} takes no operand")
+        out.append(code)
+    return bytes(out)
+
+
+def disassemble(code: bytes) -> List[Tuple[int, str]]:
+    """Decode bytecode into ``(offset, text)`` rows."""
+    rows: List[Tuple[int, str]] = []
+    pc = 0
+    while pc < len(code):
+        op = code[pc]
+        if is_push(op):
+            size = push_size(op)
+            immediate = code[pc + 1:pc + 1 + size]
+            rows.append((pc, f"PUSH{size} 0x{immediate.hex() or '00'}"))
+            pc += 1 + size
+            continue
+        name = REVERSE_MNEMONICS.get(op, f"INVALID(0x{op:02x})")
+        rows.append((pc, name))
+        pc += 1
+    return rows

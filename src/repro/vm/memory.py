@@ -1,0 +1,45 @@
+"""Byte-addressed VM memory, growing in 32-byte words.
+
+Growth is charged by the interpreter via the schedule's
+``memory_per_word`` cost.
+"""
+
+from __future__ import annotations
+
+
+class Memory:
+    """A flat, zero-initialized, word-expanding byte array."""
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+
+    def _grow(self, size: int) -> int:
+        """Expand to cover ``size`` bytes; returns words newly allocated."""
+        if size <= len(self._data):
+            return 0
+        new_words = (size + 31) // 32
+        old_words = len(self._data) // 32
+        self._data.extend(b"\x00" * (new_words * 32 - len(self._data)))
+        return new_words - old_words
+
+    def store(self, offset: int, value: bytes) -> int:
+        """Write bytes at ``offset``; returns words newly allocated."""
+        grown = self._grow(offset + len(value))
+        self._data[offset:offset + len(value)] = value
+        return grown
+
+    def store_word(self, offset: int, value: int) -> int:
+        """Write one 32-byte big-endian word; returns words allocated."""
+        return self.store(offset, value.to_bytes(32, "big"))
+
+    def load(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes (implicitly growing, EVM-style)."""
+        self._grow(offset + size)
+        return bytes(self._data[offset:offset + size])
+
+    def load_word(self, offset: int) -> int:
+        """Read one 32-byte big-endian word."""
+        return int.from_bytes(self.load(offset, 32), "big")
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,124 @@
+"""Instruction set: an EVM-flavoured core plus the paper's ``OP_MOVE``.
+
+Opcode numbering follows the EVM where an equivalent exists; the new
+``MOVE`` opcode takes the unused slot ``0xA8``.  As specified in
+Section III-C, ``MOVE`` pops the target blockchain identifier from the
+stack, assigns it to the executing contract's location field ``L_c``,
+and thereby blocks further state mutation on the source chain.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class Op(enum.IntEnum):
+    """VM opcodes (values follow the EVM where applicable)."""
+
+    STOP = 0x00
+    ADD = 0x01
+    MUL = 0x02
+    SUB = 0x03
+    DIV = 0x04
+    SDIV = 0x05
+    MOD = 0x06
+    SMOD = 0x07
+    ADDMOD = 0x08
+    MULMOD = 0x09
+    EXP = 0x0A
+    SIGNEXTEND = 0x0B
+
+    LT = 0x10
+    GT = 0x11
+    SLT = 0x12
+    SGT = 0x13
+    EQ = 0x14
+    ISZERO = 0x15
+    AND = 0x16
+    OR = 0x17
+    XOR = 0x18
+    NOT = 0x19
+    BYTE = 0x1A
+    SHL = 0x1B
+    SHR = 0x1C
+    SAR = 0x1D
+
+    SHA3 = 0x20
+
+    ADDRESS = 0x30
+    BALANCE = 0x31
+    CALLER = 0x33
+    CALLVALUE = 0x34
+    CALLDATALOAD = 0x35
+    CALLDATASIZE = 0x36
+    CALLDATACOPY = 0x37
+    CHAINID = 0x46
+    NUMBER = 0x43
+    TIMESTAMP = 0x42
+
+    POP = 0x50
+    MLOAD = 0x51
+    MSTORE = 0x52
+    MSTORE8 = 0x53
+    SLOAD = 0x54
+    SSTORE = 0x55
+    JUMP = 0x56
+    JUMPI = 0x57
+    PC = 0x58
+    MSIZE = 0x59
+    JUMPDEST = 0x5B
+
+    PUSH1 = 0x60   # PUSH1..PUSH32 occupy 0x60..0x7F
+    PUSH32 = 0x7F
+    DUP1 = 0x80    # DUP1..DUP16 occupy 0x80..0x8F
+    DUP16 = 0x8F
+    SWAP1 = 0x90   # SWAP1..SWAP16 occupy 0x90..0x9F
+    SWAP16 = 0x9F
+
+    LOG0 = 0xA0
+
+    # --- the paper's extension -------------------------------------
+    MOVE = 0xA8    # OP_MOVE: pop target chain id, set L_c (Section III-C)
+    MOVENONCE = 0xA9  # push the contract's move nonce (replay guard reads)
+    LOCATION = 0xAA   # push the contract's current L_c
+
+    RETURN = 0xF3
+    REVERT = 0xFD
+
+
+def is_push(opcode: int) -> bool:
+    """Is this byte one of the PUSH1..PUSH32 opcodes?"""
+    return Op.PUSH1 <= opcode <= Op.PUSH32
+
+
+def push_size(opcode: int) -> int:
+    """Number of immediate bytes following a PUSH opcode."""
+    return opcode - Op.PUSH1 + 1
+
+
+def is_dup(opcode: int) -> bool:
+    """Is this byte one of the DUP1..DUP16 opcodes?"""
+    return Op.DUP1 <= opcode <= Op.DUP16
+
+
+def is_swap(opcode: int) -> bool:
+    """Is this byte one of the SWAP1..SWAP16 opcodes?"""
+    return Op.SWAP1 <= opcode <= Op.SWAP16
+
+
+#: Mnemonic table for the assembler/disassembler (PUSH/DUP/SWAP ranges
+#: are generated).
+MNEMONICS: Dict[str, int] = {op.name: int(op) for op in Op}
+for _n in range(1, 33):
+    MNEMONICS[f"PUSH{_n}"] = int(Op.PUSH1) + _n - 1
+for _n in range(1, 17):
+    MNEMONICS[f"DUP{_n}"] = int(Op.DUP1) + _n - 1
+    MNEMONICS[f"SWAP{_n}"] = int(Op.SWAP1) + _n - 1
+
+REVERSE_MNEMONICS: Dict[int, str] = {}
+for _name, _code in MNEMONICS.items():
+    # Prefer the generated PUSHn/DUPn/SWAPn names over enum aliases.
+    REVERSE_MNEMONICS.setdefault(_code, _name)
+    if _name not in ("PUSH32", "DUP16", "SWAP16"):
+        REVERSE_MNEMONICS[_code] = _name

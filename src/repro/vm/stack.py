@@ -1,0 +1,49 @@
+"""The VM's 256-bit word stack (max depth 1024, like the EVM)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import StackOverflow, StackUnderflow
+
+WORD_BITS = 256
+WORD_MASK = (1 << WORD_BITS) - 1
+MAX_DEPTH = 1024
+
+
+class Stack:
+    """LIFO stack of unsigned 256-bit integers."""
+
+    def __init__(self) -> None:
+        self._items: List[int] = []
+
+    def push(self, value: int) -> None:
+        """Push a value (masked to 256 bits); raises on overflow."""
+        if len(self._items) >= MAX_DEPTH:
+            raise StackOverflow(f"stack depth limit {MAX_DEPTH} exceeded")
+        self._items.append(value & WORD_MASK)
+
+    def pop(self) -> int:
+        """Pop the top word; raises :class:`StackUnderflow` if empty."""
+        if not self._items:
+            raise StackUnderflow("pop from empty stack")
+        return self._items.pop()
+
+    def peek(self, depth: int = 0) -> int:
+        """Read the item ``depth`` positions below the top."""
+        if depth >= len(self._items):
+            raise StackUnderflow(f"peek depth {depth} beyond stack size")
+        return self._items[-1 - depth]
+
+    def dup(self, n: int) -> None:
+        """DUPn: duplicate the n-th item (1-based) onto the top."""
+        self.push(self.peek(n - 1))
+
+    def swap(self, n: int) -> None:
+        """SWAPn: exchange the top with the (n+1)-th item (1-based n)."""
+        if n >= len(self._items):
+            raise StackUnderflow(f"swap depth {n} beyond stack size")
+        self._items[-1], self._items[-1 - n] = self._items[-1 - n], self._items[-1]
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,18 @@
+"""Experiment workloads.
+
+:mod:`repro.workload.clients` implements the SCoin closed-loop client
+population of Section VII-B (Figs. 6 and 7): per-shard client pools
+issuing token transfers, a controllable cross-shard transaction rate,
+an oracle mode that never conflicts (the paper's main experiments) and
+a retry mode with randomized backoff (Section VII-B.1).
+"""
+
+from repro.workload.clients import ScoinWorkload, WorkloadReport
+from repro.workload.generators import OpenLoopReport, OpenLoopTransferWorkload
+
+__all__ = [
+    "ScoinWorkload",
+    "WorkloadReport",
+    "OpenLoopTransferWorkload",
+    "OpenLoopReport",
+]

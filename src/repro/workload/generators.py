@@ -1,0 +1,108 @@
+"""Open-loop workload generation.
+
+The paper's SCoin clients are closed-loop (a fixed population, each
+waiting for its previous operation); the complementary *open-loop*
+model offers transactions at a fixed rate regardless of completions —
+the standard way to expose a system's saturation point.  Arrivals are
+Poisson: exponential inter-arrival times at the configured offered
+load.
+
+Used by ``benchmarks/bench_ablation_saturation.py`` to trace the
+classic knee: achieved throughput tracks offered load up to the shard's
+block capacity (``max_block_txs / block_interval``), then flattens
+while latency grows without bound as the mempool backlog builds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.chain.tx import TransferPayload, sign_transaction
+from repro.crypto.keys import KeyPair
+from repro.metrics.collector import LatencySampler, ThroughputCollector
+from repro.sharding.cluster import ShardedCluster
+
+
+@dataclass
+class OpenLoopReport:
+    """Offered vs. achieved results of one open-loop run."""
+
+    offered_rate: float
+    duration: float
+    submitted: int = 0
+    completed: int = 0
+    throughput: ThroughputCollector = field(default_factory=ThroughputCollector)
+    latency: LatencySampler = field(default_factory=LatencySampler)
+    backlog_at_end: int = 0
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.completed / self.duration if self.duration else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        samples = self.latency.all_samples()
+        return sum(samples) / len(samples) if samples else 0.0
+
+
+class OpenLoopTransferWorkload:
+    """Poisson transfer arrivals against one shard of a cluster."""
+
+    def __init__(
+        self,
+        cluster: ShardedCluster,
+        offered_rate: float,
+        shard_index: int = 0,
+        seed: int = 0,
+    ):
+        self.cluster = cluster
+        self.offered_rate = offered_rate
+        self.shard_index = shard_index
+        self.rng = random.Random(seed)
+        self.sender = KeyPair.from_name("open-loop-sender")
+        self.receiver = KeyPair.from_name("open-loop-receiver")
+        cluster.fund_all({self.sender.address: 10**12})
+
+    def run(self, duration: float, warmup: float = 0.0) -> OpenLoopReport:
+        """Offer load for ``warmup + duration`` simulated seconds and
+        measure the post-warmup window."""
+        sim = self.cluster.sim
+        shard = self.cluster.shard(self.shard_index)
+        self.cluster.start()
+        start = sim.now + warmup
+        end = start + duration
+        report = OpenLoopReport(offered_rate=self.offered_rate, duration=duration)
+
+        def arrive() -> None:
+            if sim.now >= end:
+                return
+            submitted_at = sim.now
+            tx = sign_transaction(
+                self.sender, TransferPayload(to=self.receiver.address, amount=1)
+            )
+            if sim.now >= start:
+                report.submitted += 1
+
+            def on_receipt(receipt) -> None:
+                if not receipt.success:
+                    return
+                # Achieved throughput counts every completion inside the
+                # measurement window (under overload, work completing
+                # now was submitted long ago); latency samples only
+                # in-window submissions, so they are unbiased.
+                if sim.now >= start:
+                    report.completed += 1
+                    report.throughput.record(sim.now)
+                if submitted_at >= start:
+                    report.latency.add("transfer", sim.now - submitted_at)
+
+            shard.wait_for(tx.tx_id, on_receipt)
+            self.cluster.submit(self.shard_index, tx)
+            sim.schedule(self.rng.expovariate(self.offered_rate), arrive)
+
+        sim.schedule(self.rng.expovariate(self.offered_rate), arrive)
+        sim.run(until=end)
+        report.backlog_at_end = len(shard.mempool)
+        return report

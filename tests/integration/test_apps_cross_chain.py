@@ -1,0 +1,161 @@
+"""Integration: the paper's applications moving across chains.
+
+SCoin cross-chain token transfer (Section V-A / VIII), ScalableKitties
+cross-chain breeding (Section V-B / VIII), Store-N state transfer, and
+the Fig. 3 currency relay.
+"""
+
+import pytest
+
+from repro.apps.kitties import Kitty, KittyRegistry
+from repro.apps.scoin import SAccount, SCoin
+from repro.apps.store import StateStore
+from repro.chain.tx import CallPayload, DeployPayload, Move2Payload
+from repro.core.relay import CurrencyRelay, RelayedFunds
+from tests.helpers import (
+    ALICE,
+    BOB,
+    CAROL,
+    ManualClock,
+    full_move,
+    make_chain_pair,
+    produce,
+    run_tx,
+)
+
+
+@pytest.fixture
+def pair():
+    burrow, ethereum = make_chain_pair()
+    burrow.fund({ALICE.address: 100_000, BOB.address: 100_000})
+    ethereum.fund({ALICE.address: 100_000, BOB.address: 100_000})
+    return burrow, ethereum, ManualClock()
+
+
+def test_scoin_cross_chain_transfer(pair):
+    # The Section VIII SCoin scenario: move Alice's account to the
+    # other chain, then transfer tokens to an account living there.
+    burrow, ethereum, clock = pair
+    token = run_tx(burrow, clock, ALICE, DeployPayload(code_hash=SCoin.CODE_HASH)).return_value
+    acc_a, _ = run_tx(burrow, clock, ALICE, CallPayload(token, "new_account")).return_value
+    acc_b, _ = run_tx(burrow, clock, BOB, CallPayload(token, "new_account")).return_value
+    run_tx(burrow, clock, ALICE, CallPayload(token, "mint_to", (acc_a, 100)))
+    run_tx(burrow, clock, ALICE, CallPayload(token, "mint_to", (acc_b, 50)))
+
+    # Bob's account moves to Ethereum first.
+    assert full_move(burrow, ethereum, clock, BOB, acc_b).success
+    # A same-chain transfer on Burrow now fails: the target moved away.
+    refused = run_tx(burrow, clock, ALICE, CallPayload(acc_a, "transfer_tokens", (acc_b, 10)))
+    assert not refused.success
+    # Alice moves her account to Ethereum and transfers there.
+    assert full_move(burrow, ethereum, clock, ALICE, acc_a).success
+    receipt = run_tx(ethereum, clock, ALICE, CallPayload(acc_a, "transfer_tokens", (acc_b, 10)))
+    assert receipt.success, receipt.error
+    assert ethereum.view(acc_a, "token_balance") == 90
+    assert ethereum.view(acc_b, "token_balance") == 60
+    # Global conservation across chains (active copies only).
+    assert ethereum.view(acc_a, "token_balance") + ethereum.view(acc_b, "token_balance") == 150
+
+
+def test_kitties_cross_chain_breeding(pair):
+    # Section VIII's ScalableKitties scenario: move a cat, breed it
+    # with a resident cat, give birth on the target chain.
+    burrow, ethereum, clock = pair
+    registry_b = run_tx(burrow, clock, ALICE, DeployPayload(code_hash=KittyRegistry.CODE_HASH)).return_value
+    registry_e = run_tx(ethereum, clock, ALICE, DeployPayload(code_hash=KittyRegistry.CODE_HASH)).return_value
+    travelling = run_tx(
+        burrow, clock, ALICE, CallPayload(registry_b, "create_promo_kitty", (BOB.address,))
+    ).return_value
+    resident = run_tx(
+        ethereum, clock, ALICE, CallPayload(registry_e, "create_promo_kitty", (BOB.address,))
+    ).return_value
+
+    # Breeding across chains is impossible directly:
+    refused = run_tx(ethereum, clock, BOB, CallPayload(resident, "breed_with", (travelling,)))
+    assert not refused.success
+
+    assert full_move(burrow, ethereum, clock, BOB, travelling).success
+    assert run_tx(ethereum, clock, BOB, CallPayload(resident, "breed_with", (travelling,))).success
+    receipt = run_tx(ethereum, clock, BOB, CallPayload(resident, "give_birth"))
+    assert receipt.success, receipt.error
+    child = receipt.return_value
+    assert ethereum.view(child, "get_owner") == BOB.address
+    assert ethereum.view(child, "lineage")[3] == 1  # generation 1
+
+
+@pytest.mark.parametrize("n", [1, 10, 100])
+def test_store_n_state_transfer(pair, n):
+    burrow, ethereum, clock = pair
+    store = run_tx(
+        burrow, clock, ALICE, DeployPayload(code_hash=StateStore.CODE_HASH, args=(n,))
+    ).return_value
+    expected = [burrow.view(store, "value_at", i) for i in range(n)]
+    receipt = full_move(burrow, ethereum, clock, ALICE, store)
+    assert receipt.success, receipt.error
+    for i in range(n):
+        assert ethereum.view(store, "value_at", i) == expected[i]
+    # Move2 gas grows with the slot count (Fig. 9's shape).
+    assert receipt.gas_used >= n * 20_000
+
+
+def test_currency_relay_fig3(pair):
+    # Fig. 3: lock e on B1, mint pegged tokens on B2, burn, return, redeem.
+    burrow, ethereum, clock = pair
+    relay = run_tx(burrow, clock, ALICE, DeployPayload(code_hash=CurrencyRelay.CODE_HASH)).return_value
+    e = 700
+    receipt = run_tx(
+        burrow, clock, ALICE,
+        CallPayload(relay, "create", (ethereum.chain_id, BOB.address), value=e),
+    )
+    assert receipt.success, receipt.error
+    escrow = receipt.return_value
+    # Born locked at the source: no mutation possible on Burrow.
+    assert burrow.state.is_locked(escrow)
+    assert burrow.balance_of(escrow) == e
+
+    # Anyone completes the move with the proof (client2 in Fig. 3).
+    inclusion = receipt.block_height
+    while burrow.height < burrow.proof_ready_height(inclusion):
+        produce(burrow, clock)
+    bundle = burrow.prove_contract_at(escrow, inclusion)
+    move2 = run_tx(ethereum, clock, BOB, Move2Payload(bundle=bundle))
+    assert move2.success, move2.error
+
+    # Tmint: Bob mints the pegged representation on Ethereum.
+    mint = run_tx(ethereum, clock, BOB, CallPayload(escrow, "mint"))
+    assert mint.success, mint.error
+    assert ethereum.view(escrow, "minted_amount") == e
+    # Cannot mint twice, cannot move home with live tokens.
+    assert not run_tx(ethereum, clock, BOB, CallPayload(escrow, "mint")).success
+    from repro.chain.tx import Move1Payload
+
+    stuck = run_tx(
+        ethereum, clock, BOB, Move1Payload(contract=escrow, target_chain=burrow.chain_id)
+    )
+    assert not stuck.success
+
+    # Burn, move home, redeem the native currency.
+    assert run_tx(ethereum, clock, BOB, CallPayload(escrow, "burn")).success
+    assert full_move(ethereum, burrow, clock, BOB, escrow).success
+    bob_before = burrow.balance_of(BOB.address)
+    redeem = run_tx(burrow, clock, BOB, CallPayload(escrow, "redeem"))
+    assert redeem.success, redeem.error
+    assert burrow.balance_of(BOB.address) == bob_before + e
+
+
+def test_relay_redeem_only_at_home(pair):
+    burrow, ethereum, clock = pair
+    relay = run_tx(burrow, clock, ALICE, DeployPayload(code_hash=CurrencyRelay.CODE_HASH)).return_value
+    receipt = run_tx(
+        burrow, clock, ALICE,
+        CallPayload(relay, "create", (ethereum.chain_id, BOB.address), value=100),
+    )
+    escrow = receipt.return_value
+    inclusion = receipt.block_height
+    while burrow.height < burrow.proof_ready_height(inclusion):
+        produce(burrow, clock)
+    bundle = burrow.prove_contract_at(escrow, inclusion)
+    assert run_tx(ethereum, clock, BOB, Move2Payload(bundle=bundle)).success
+    refused = run_tx(ethereum, clock, BOB, CallPayload(escrow, "redeem"))
+    assert not refused.success
+    assert "only at home" in refused.error

@@ -1,0 +1,170 @@
+"""Integration tests: atomic cross-chain currency swap (§IX extension).
+
+Safety claims under test: the happy path swaps exactly e1 against e2;
+neither party can take both amounts; an unfilled offer refunds after
+the deadline; the griefing paths (maker yanking an open offer early,
+strangers filling/claiming) all abort.
+"""
+
+import pytest
+
+from repro.chain.tx import CallPayload, DeployPayload, Move1Payload, Move2Payload
+from repro.core.swap import SwapFactory
+from tests.helpers import (
+    ALICE,
+    BOB,
+    CAROL,
+    ManualClock,
+    full_move,
+    make_chain_pair,
+    produce,
+    run_tx,
+)
+
+E1 = 500  # maker's offer (chain-1 native)
+E2 = 800  # taker's ask price (chain-2 native)
+
+
+@pytest.fixture
+def swap_world():
+    burrow, ethereum = make_chain_pair()
+    clock = ManualClock()
+    burrow.fund({ALICE.address: 1_000})
+    ethereum.fund({BOB.address: 1_000})
+    factory = run_tx(
+        burrow, clock, ALICE, DeployPayload(code_hash=SwapFactory.CODE_HASH)
+    ).return_value
+    receipt = run_tx(
+        burrow, clock, ALICE,
+        CallPayload(factory, "open", (ethereum.chain_id, BOB.address, E2, 10_000), value=E1),
+    )
+    escrow = receipt.return_value
+    return burrow, ethereum, clock, escrow, receipt.block_height
+
+
+def ship(source, target, clock, mover, escrow, inclusion):
+    while source.height < source.proof_ready_height(inclusion):
+        produce(source, clock)
+    bundle = source.prove_contract_at(escrow, inclusion)
+    return run_tx(target, clock, mover, Move2Payload(bundle=bundle))
+
+
+def test_happy_path_swaps_both_ways(swap_world):
+    burrow, ethereum, clock, escrow, inclusion = swap_world
+    # Escrow is born locked on chain 1, holding E1.
+    assert burrow.state.is_locked(escrow)
+    assert burrow.balance_of(escrow) == E1
+    assert burrow.balance_of(ALICE.address) == 1_000 - E1
+
+    assert ship(burrow, ethereum, clock, BOB, escrow, inclusion).success
+    # Bob fills on chain 2: Alice is paid E2 immediately.
+    fill = run_tx(ethereum, clock, BOB, CallPayload(escrow, "fill", value=E2))
+    assert fill.success, fill.error
+    assert ethereum.balance_of(ALICE.address) == E2
+    assert ethereum.balance_of(BOB.address) == 1_000 - E2
+
+    # Bob brings the escrow home and claims E1.
+    assert full_move(ethereum, burrow, clock, BOB, escrow).success
+    claim = run_tx(burrow, clock, BOB, CallPayload(escrow, "claim"))
+    assert claim.success, claim.error
+    assert burrow.balance_of(BOB.address) == E1
+    # Conservation on both chains (escrow drained).
+    assert burrow.balance_of(escrow) == 0
+
+
+def test_overpayment_refunded_on_fill(swap_world):
+    burrow, ethereum, clock, escrow, inclusion = swap_world
+    ship(burrow, ethereum, clock, BOB, escrow, inclusion)
+    assert run_tx(ethereum, clock, BOB, CallPayload(escrow, "fill", value=E2 + 50)).success
+    assert ethereum.balance_of(BOB.address) == 1_000 - E2
+    assert ethereum.balance_of(ALICE.address) == E2
+
+
+def test_stranger_cannot_fill_or_claim(swap_world):
+    burrow, ethereum, clock, escrow, inclusion = swap_world
+    ethereum.fund({CAROL.address: 2_000})
+    ship(burrow, ethereum, clock, BOB, escrow, inclusion)
+    refused = run_tx(ethereum, clock, CAROL, CallPayload(escrow, "fill", value=E2))
+    assert not refused.success
+    assert "designated taker" in refused.error
+    # Bob fills; Carol cannot claim at home.
+    run_tx(ethereum, clock, BOB, CallPayload(escrow, "fill", value=E2))
+    assert full_move(ethereum, burrow, clock, BOB, escrow).success
+    refused = run_tx(burrow, clock, CAROL, CallPayload(escrow, "claim"))
+    assert not refused.success
+
+
+def test_underpayment_rejected(swap_world):
+    burrow, ethereum, clock, escrow, inclusion = swap_world
+    ship(burrow, ethereum, clock, BOB, escrow, inclusion)
+    refused = run_tx(ethereum, clock, BOB, CallPayload(escrow, "fill", value=E2 - 1))
+    assert not refused.success
+    assert "ask not met" in refused.error
+
+
+def test_maker_cannot_yank_open_offer_before_deadline(swap_world):
+    burrow, ethereum, clock, escrow, inclusion = swap_world
+    ship(burrow, ethereum, clock, BOB, escrow, inclusion)
+    refused = run_tx(
+        ethereum, clock, ALICE, Move1Payload(contract=escrow, target_chain=burrow.chain_id)
+    )
+    assert not refused.success
+    assert "deadline" in refused.error
+
+
+def test_refund_after_deadline():
+    burrow, ethereum = make_chain_pair()
+    clock = ManualClock()
+    burrow.fund({ALICE.address: 1_000})
+    factory = run_tx(
+        burrow, clock, ALICE, DeployPayload(code_hash=SwapFactory.CODE_HASH)
+    ).return_value
+    receipt = run_tx(
+        burrow, clock, ALICE,
+        CallPayload(factory, "open", (ethereum.chain_id, BOB.address, E2, 60), value=E1),
+    )
+    escrow = receipt.return_value
+    assert ship(burrow, ethereum, clock, BOB, escrow, receipt.block_height).success
+    # Too early to refund-move.
+    early = run_tx(
+        ethereum, clock, ALICE, Move1Payload(contract=escrow, target_chain=burrow.chain_id)
+    )
+    assert not early.success
+    # Pass the deadline (timestamps advance 5 s per block).
+    produce(ethereum, clock, 12)
+    move1 = run_tx(
+        ethereum, clock, ALICE, Move1Payload(contract=escrow, target_chain=burrow.chain_id)
+    )
+    assert move1.success, move1.error
+    assert ship(ethereum, burrow, clock, ALICE, escrow, move1.block_height).success
+    refund = run_tx(burrow, clock, ALICE, CallPayload(escrow, "refund"))
+    assert refund.success, refund.error
+    assert burrow.balance_of(ALICE.address) == 1_000
+
+
+def test_expired_offer_cannot_be_filled():
+    burrow, ethereum = make_chain_pair()
+    clock = ManualClock()
+    burrow.fund({ALICE.address: 1_000})
+    ethereum.fund({BOB.address: 1_000})
+    factory = run_tx(
+        burrow, clock, ALICE, DeployPayload(code_hash=SwapFactory.CODE_HASH)
+    ).return_value
+    receipt = run_tx(
+        burrow, clock, ALICE,
+        CallPayload(factory, "open", (ethereum.chain_id, BOB.address, E2, 40), value=E1),
+    )
+    escrow = receipt.return_value
+    assert ship(burrow, ethereum, clock, BOB, escrow, receipt.block_height).success
+    produce(ethereum, clock, 10)  # sail past the deadline
+    refused = run_tx(ethereum, clock, BOB, CallPayload(escrow, "fill", value=E2))
+    assert not refused.success
+    assert "expired" in refused.error
+
+
+def test_fill_only_on_away_chain(swap_world):
+    burrow, _ethereum, clock, escrow, _inclusion = swap_world
+    # Still locked on chain 1: any call aborts with ContractLocked; the
+    # state machine also rejects home-chain fills once it returns.
+    refused = run_tx(burrow, clock, BOB, CallPayload(escrow, "fill", value=E2))
+    assert not refused.success

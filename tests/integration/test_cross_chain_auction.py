@@ -1,0 +1,90 @@
+"""A cat is sold at an auction on another chain.
+
+Composition test: the clock auction (repro.apps.auction) + the Move
+protocol.  The seller's cat lives on the Burrow chain; the auction house
+runs on the Ethereum chain — the cat is moved, escrowed, auctioned, and
+the buyer takes delivery, all with real value flows.
+"""
+
+import pytest
+
+from repro.apps.auction import ClockAuction
+from repro.apps.kitties import KittyRegistry
+from repro.chain.tx import CallPayload, DeployPayload
+from tests.helpers import (
+    ALICE,
+    BOB,
+    CAROL,
+    ManualClock,
+    full_move,
+    make_chain_pair,
+    produce,
+    run_tx,
+)
+
+
+def test_cross_chain_cat_sale():
+    burrow, ethereum = make_chain_pair()
+    clock = ManualClock()
+    ethereum.fund({CAROL.address: 10_000})
+
+    # Cat minted on Burrow, owned by Bob.
+    registry = run_tx(
+        burrow, clock, ALICE, DeployPayload(code_hash=KittyRegistry.CODE_HASH)
+    ).return_value
+    cat = run_tx(
+        burrow, clock, ALICE, CallPayload(registry, "create_promo_kitty", (BOB.address,))
+    ).return_value
+
+    # Auction house on Ethereum.
+    auction = run_tx(
+        ethereum, clock, ALICE, DeployPayload(code_hash=ClockAuction.CODE_HASH)
+    ).return_value
+
+    # Bob moves his cat to the auction's chain and escrows it.
+    assert full_move(burrow, ethereum, clock, BOB, cat).success
+    assert run_tx(ethereum, clock, BOB, CallPayload(cat, "transfer_ownership", (auction,))).success
+    assert run_tx(
+        ethereum, clock, BOB,
+        CallPayload(auction, "create_auction", (cat, 2_000, 500, 60)),
+    ).success
+
+    # The clock descends (5 s blocks advance contract time)...
+    start_price = ethereum.view(auction, "current_price", cat)
+    produce(ethereum, clock, 4)
+    later_price = ethereum.view(auction, "current_price", cat)
+    assert later_price < start_price
+
+    # ...Carol buys; Bob is paid on the auction's chain.
+    bob_before = ethereum.balance_of(BOB.address)
+    receipt = run_tx(ethereum, clock, CAROL, CallPayload(auction, "bid", (cat,), value=2_000))
+    assert receipt.success, receipt.error
+    assert ethereum.view(cat, "get_owner") == CAROL.address
+    paid = ethereum.balance_of(BOB.address) - bob_before
+    assert 500 <= paid <= 2_000
+    assert ethereum.balance_of(CAROL.address) == 10_000 - paid
+
+    # Carol takes her purchase home to Burrow.
+    assert full_move(ethereum, burrow, clock, CAROL, cat).success
+    assert burrow.view(cat, "get_owner") == CAROL.address
+    assert burrow.location_of(cat) == burrow.chain_id
+
+
+def test_interface_conformance():
+    """SCoin/SAccount implement every STokenI/AccountI method, and the
+    paper-named Solidity functions map to documented analogues."""
+    from repro.apps.scoin import SAccount, SCoin
+    from repro.lang.interfaces import AccountI, STokenI
+
+    for name in ("total_supply", "new_account", "new_account_for"):
+        assert callable(getattr(STokenI, name))
+        assert callable(getattr(SCoin, name)), f"SCoin missing {name}"
+    for name in (
+        "token_balance", "allowance", "transfer_tokens",
+        "approve", "transfer_from", "debit",
+    ):
+        assert callable(getattr(AccountI, name))
+        assert callable(getattr(SAccount, name)), f"SAccount missing {name}"
+    # Movability hooks from the paper's Listing 2.
+    assert callable(getattr(SAccount, "move_to"))
+    assert callable(getattr(SAccount, "move_finish"))

@@ -1,0 +1,73 @@
+"""Regression net: every shipped example must run to completion.
+
+Examples are executed in-process (fast, importable) with their module
+namespace isolated, asserting on the key lines of their output.
+"""
+
+import io
+import pathlib
+import runpy
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+def test_examples_directory_is_complete():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 6  # quickstart + >=5 scenario examples
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Move1 included" in out
+    assert "Move2 executed" in out
+    assert "locked" in out
+
+
+def test_currency_relay():
+    out = run_example("currency_relay.py")
+    assert "minted 700 pegged units" in out
+    assert "redeemed 700 native units" in out
+
+
+def test_atomic_swap():
+    out = run_example("atomic_swap.py")
+    assert "Alice instantly received 800" in out
+    assert "claimed 500" in out
+
+
+def test_bytecode_counter():
+    out = run_example("bytecode_counter.py")
+    assert "count = 2" in out
+    assert "count = 3" in out
+    assert "OP_MOVE" in out
+
+
+@pytest.mark.slow
+def test_sharded_scoin():
+    out = run_example("sharded_scoin.py")
+    assert "aggregate throughput" in out
+    assert "cross-shard" in out
+
+
+@pytest.mark.slow
+def test_kitties_replay():
+    out = run_example("kitties_replay.py")
+    assert "0 failures" in out
+    assert "cross-shard operations" in out
+
+
+def test_ibc_store_transfer():
+    out = run_example("ibc_store_transfer.py")
+    assert "wait + proof" in out
+    assert "Mgas" in out

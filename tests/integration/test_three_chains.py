@@ -1,0 +1,112 @@
+"""Moves across more than two chains.
+
+Nothing in the protocol is pairwise: with a full header mesh, any chain
+verifies any other's proofs.  A contract tours three chains; the
+locator follows its forwarding trail; replay protection holds across
+the whole itinerary.
+"""
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params, ethereum_params
+from repro.chain.tx import CallPayload, Move1Payload, Move2Payload
+from repro.core.locator import ContractLocator
+from repro.core.registry import ChainRegistry
+from repro.ibc.headers import connect_chains
+from tests.helpers import ALICE, BOB, ManualClock, StoreContract, deploy_store, produce, run_tx
+
+
+@pytest.fixture
+def trio():
+    registry = ChainRegistry()
+    chains = [
+        Chain(burrow_params(1), registry),
+        Chain(ethereum_params(2), registry),
+        Chain(burrow_params(3, name="burrow-3"), registry),
+    ]
+    connect_chains(chains)
+    return chains, ManualClock()
+
+
+def hop(source, target, clock, mover, contract):
+    receipt = run_tx(
+        source, clock, mover, Move1Payload(contract=contract, target_chain=target.chain_id)
+    )
+    assert receipt.success, receipt.error
+    inclusion = receipt.block_height
+    while source.height < source.proof_ready_height(inclusion):
+        produce(source, clock)
+    bundle = source.prove_contract_at(contract, inclusion)
+    result = run_tx(target, clock, mover, Move2Payload(bundle=bundle))
+    assert result.success, result.error
+    return bundle
+
+
+def test_contract_tours_three_chains(trio):
+    chains, clock = trio
+    c1, c2, c3 = chains
+    addr = deploy_store(c1, clock, ALICE)
+    run_tx(c1, clock, ALICE, CallPayload(addr, "put", (1, 11)))
+
+    hop(c1, c2, clock, ALICE, addr)
+    assert run_tx(c2, clock, ALICE, CallPayload(addr, "put", (2, 22))).success
+
+    hop(c2, c3, clock, ALICE, addr)
+    assert c3.view(addr, "get_value", 1) == 11
+    assert c3.view(addr, "get_value", 2) == 22
+    assert run_tx(c3, clock, ALICE, CallPayload(addr, "put", (3, 33))).success
+
+    hop(c3, c1, clock, ALICE, addr)
+    assert c1.view(addr, "get_value", 3) == 33
+    assert not c1.state.is_locked(addr)
+    # Itinerary of three completed moves.
+    assert c1.state.contract(addr).move_nonce == 3
+
+
+def test_locator_follows_multi_hop_trail(trio):
+    chains, clock = trio
+    c1, c2, c3 = chains
+    addr = deploy_store(c1, clock, ALICE)
+    hop(c1, c2, clock, ALICE, addr)
+    hop(c2, c3, clock, ALICE, addr)
+
+    locator = ContractLocator.over_chains(chains)
+    # From the origin, the trail is 1 -> 2 -> 3.
+    assert locator.locate(addr, start_chain=1) == 3
+    assert locator.locate(addr, start_chain=2) == 3
+    assert locator.locate(addr, start_chain=3) == 3
+
+
+def test_replay_on_any_chain_of_the_itinerary_fails(trio):
+    chains, clock = trio
+    c1, c2, c3 = chains
+    addr = deploy_store(c1, clock, ALICE)
+    bundle_to_2 = hop(c1, c2, clock, ALICE, addr)
+    bundle_to_3 = hop(c2, c3, clock, ALICE, addr)
+    hop(c3, c1, clock, ALICE, addr)
+
+    replay2 = run_tx(c2, clock, BOB, Move2Payload(bundle=bundle_to_2))
+    assert not replay2.success
+    assert "ReplayError" in replay2.error
+    replay3 = run_tx(c3, clock, BOB, Move2Payload(bundle=bundle_to_3))
+    assert not replay3.success
+    assert "ReplayError" in replay3.error
+
+
+def test_wrong_target_chain_in_mesh_rejected(trio):
+    # Move1 names chain 3, but the bundle is submitted at chain 2.
+    chains, clock = trio
+    c1, c2, c3 = chains
+    addr = deploy_store(c1, clock, ALICE)
+    receipt = run_tx(c1, clock, ALICE, Move1Payload(contract=addr, target_chain=3))
+    inclusion = receipt.block_height
+    while c1.height < c1.proof_ready_height(inclusion):
+        produce(c1, clock)
+    bundle = c1.prove_contract_at(addr, inclusion)
+    wrong = run_tx(c2, clock, ALICE, Move2Payload(bundle=bundle))
+    assert not wrong.success
+    assert "MoveError" in wrong.error
+    # The intended chain still accepts it.
+    right = run_tx(c3, clock, ALICE, Move2Payload(bundle=bundle))
+    assert right.success, right.error

@@ -1,0 +1,115 @@
+"""Property: value is conserved under arbitrary workloads.
+
+Two conservation laws the Move protocol must never break:
+
+* **token conservation** — SCoin tokens across all account contracts
+  (counting only each contract's *active* copy) equal the minted total,
+  under any interleaving of transfers, approvals, delegated transfers
+  and cross-chain moves;
+* **currency conservation** — native currency on a chain is constant
+  under transfers, and a contract's balance travels with it on a move
+  (the stale copy's locked balance is never spendable).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.scoin import SCoin
+from repro.chain.tx import CallPayload, DeployPayload
+from tests.helpers import (
+    ALICE,
+    BOB,
+    CAROL,
+    ManualClock,
+    full_move,
+    make_chain_pair,
+    run_tx,
+)
+
+USERS = [ALICE, BOB, CAROL]
+
+# op: (kind, actor_idx, target_idx, amount)
+token_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["transfer", "move", "approve", "transfer_from"]),
+        st.integers(0, 2),
+        st.integers(0, 2),
+        st.integers(0, 40),
+    ),
+    max_size=12,
+)
+
+
+@given(token_ops)
+@settings(max_examples=25, deadline=None)
+def test_token_conservation_across_chains(operations):
+    burrow, ethereum = make_chain_pair()
+    chains = {1: burrow, 2: ethereum}
+    clock = ManualClock()
+    token = run_tx(burrow, clock, ALICE, DeployPayload(code_hash=SCoin.CODE_HASH)).return_value
+    accounts = {}
+    location = {}
+    for index, user in enumerate(USERS):
+        receipt = run_tx(burrow, clock, user, CallPayload(token, "new_account"))
+        accounts[index], _ = receipt.return_value
+        location[index] = 1
+        run_tx(burrow, clock, ALICE, CallPayload(token, "mint_to", (accounts[index], 100)))
+    total_minted = 300
+
+    for kind, actor, target, amount in operations:
+        actor_kp = USERS[actor]
+        if kind == "move":
+            src = location[actor]
+            dst = 2 if src == 1 else 1
+            receipt = full_move(chains[src], chains[dst], clock, actor_kp, accounts[actor])
+            assert receipt.success, receipt.error
+            location[actor] = dst
+        elif kind == "transfer":
+            chain = chains[location[actor]]
+            run_tx(
+                chain, clock, actor_kp,
+                CallPayload(accounts[actor], "transfer_tokens", (accounts[target], amount)),
+            )  # may fail (wrong chain / insufficient) — that's fine
+        elif kind == "approve":
+            chain = chains[location[actor]]
+            run_tx(
+                chain, clock, actor_kp,
+                CallPayload(accounts[actor], "approve", (USERS[target].address, amount)),
+            )
+        elif kind == "transfer_from":
+            chain = chains[location[target]]
+            run_tx(
+                chain, clock, USERS[actor],
+                CallPayload(accounts[target], "transfer_from", (accounts[actor], amount)),
+            )
+
+    # Conservation over ACTIVE copies only.
+    total = 0
+    for index in range(3):
+        chain = chains[location[index]]
+        assert chain.location_of(accounts[index]) == chain.chain_id
+        total += chain.view(accounts[index], "token_balance")
+    assert total == total_minted
+
+
+currency_ops = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 50)),
+    max_size=15,
+)
+
+
+@given(currency_ops)
+@settings(max_examples=25, deadline=None)
+def test_native_currency_conserved_under_transfers(transfers):
+    from repro.chain.tx import TransferPayload
+
+    burrow, _ethereum = make_chain_pair()
+    clock = ManualClock()
+    burrow.fund({u.address: 200 for u in USERS})
+    for sender, receiver, amount in transfers:
+        run_tx(
+            burrow, clock, USERS[sender],
+            TransferPayload(to=USERS[receiver].address, amount=amount),
+        )  # failures (insufficient funds) revert cleanly
+    total = sum(burrow.balance_of(u.address) for u in USERS)
+    assert total == 600

@@ -1,0 +1,129 @@
+"""Property-based tests on the authenticated data structures.
+
+Invariants checked:
+* trees behave exactly like a dict under arbitrary set/delete sequences;
+* every present key yields a proof that verifies against the live root;
+* any bit-flip in a proof value breaks verification;
+* roots are independent of operation interleaving (state-determined);
+* IAVL stays AVL-balanced.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.merkle.binary import BinaryMerkleTree
+from repro.merkle.iavl import IAVLTree
+from repro.merkle.proof import MembershipProof, verify_proof
+from repro.merkle.trie import MerklePatriciaTrie
+
+keys = st.binary(min_size=1, max_size=8)
+values = st.binary(min_size=1, max_size=16)
+
+# op: (key, value) = set, (key, None) = delete
+ops = st.lists(st.tuples(keys, st.one_of(st.none(), values)), max_size=60)
+
+
+def apply_ops(tree, operations):
+    model = {}
+    for key, value in operations:
+        if value is None:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            tree.set(key, value)
+            model[key] = value
+    return model
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_iavl_matches_dict_model(operations):
+    tree = IAVLTree()
+    model = apply_ops(tree, operations)
+    assert dict(tree.items()) == model
+    for key, value in model.items():
+        assert tree.get(key) == value
+        proof = tree.prove(key)
+        assert proof.value == value
+        assert verify_proof(proof, tree.root_hash)
+
+
+@given(ops)
+@settings(max_examples=60, deadline=None)
+def test_trie_matches_dict_model(operations):
+    trie = MerklePatriciaTrie()
+    model = apply_ops(trie, operations)
+    assert dict(trie.items()) == model
+    for key, value in model.items():
+        assert trie.get(key) == value
+        proof = trie.prove(key)
+        assert verify_proof(proof, trie.root_hash)
+
+
+@given(st.dictionaries(keys, values, max_size=40), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_trie_root_is_insertion_order_independent(mapping, rnd):
+    """The Patricia trie commits to content, not history."""
+    items = list(mapping.items())
+    shuffled = items[:]
+    rnd.shuffle(shuffled)
+    a, b = MerklePatriciaTrie(), MerklePatriciaTrie()
+    for k, v in items:
+        a.set(k, v)
+    for k, v in shuffled:
+        b.set(k, v)
+    assert a.root_hash == b.root_hash
+
+
+@given(ops)
+@settings(max_examples=40, deadline=None)
+def test_iavl_root_is_replica_deterministic(operations):
+    """Two replicas applying the same op sequence agree on the root
+    (IAVL roots are history-dependent but deterministic)."""
+    a, b = IAVLTree(), IAVLTree()
+    apply_ops(a, operations)
+    apply_ops(b, operations)
+    assert a.root_hash == b.root_hash
+
+
+@given(st.dictionaries(keys, values, min_size=1, max_size=40), st.data())
+@settings(max_examples=40, deadline=None)
+def test_tampered_proofs_rejected(mapping, data):
+    tree = IAVLTree()
+    for k, v in mapping.items():
+        tree.set(k, v)
+    key = data.draw(st.sampled_from(sorted(mapping)))
+    proof = tree.prove(key)
+    bit = data.draw(st.integers(min_value=0, max_value=len(proof.value) * 8 - 1))
+    tampered_value = bytearray(proof.value)
+    tampered_value[bit // 8] ^= 1 << (bit % 8)
+    forged = MembershipProof(
+        key=proof.key,
+        value=bytes(tampered_value),
+        leaf_prefix=proof.leaf_prefix,
+        steps=proof.steps,
+    )
+    assert not verify_proof(forged, tree.root_hash)
+
+
+@given(st.lists(keys, unique=True, min_size=1, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_iavl_balance_invariant(insert_keys):
+    import math
+
+    tree = IAVLTree()
+    for k in insert_keys:
+        tree.set(k, b"v")
+    n = len(insert_keys)
+    # AVL bound: height <= 1.44 * log2(n + 2)
+    assert tree.height() <= int(1.45 * math.log2(n + 2)) + 1
+
+
+@given(st.lists(st.binary(min_size=1, max_size=12), min_size=1, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_binary_tree_all_leaves_provable(leaves):
+    tree = BinaryMerkleTree(leaves)
+    for i, leaf in enumerate(leaves):
+        proof = tree.prove(i)
+        assert proof.value == leaf
+        assert verify_proof(proof, tree.root)

@@ -1,0 +1,189 @@
+"""Rule-based stateful testing of the Move protocol.
+
+Hypothesis drives a random interleaving of writes, Move1s, proof
+extractions, Move2s (including deliberately stale ones), garbage
+collections and block production across two chains, checking the
+protocol's global invariants after every step:
+
+* **single residency** — at most one chain considers the contract
+  active; the other's record (if any) points at it;
+* **state fidelity** — the active copy's storage equals the model (the
+  last accepted writes), always;
+* **replay safety** — a stale bundle is never accepted;
+* **liveness** — a pending (locked, unproven) move can always be
+  completed with a fresh proof.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.chain.tx import (
+    CallPayload,
+    DeployPayload,
+    Move1Payload,
+    Move2Payload,
+    sign_transaction,
+)
+from tests.helpers import ALICE, ManualClock, StoreContract, make_chain_pair
+
+
+class MoveProtocolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.chains = dict(zip((1, 2), make_chain_pair()))
+        self.clock = ManualClock()
+        self.model = {}  # key -> value, the expected storage
+        self.active = 1  # chain id where the contract should be active
+        self.pending_bundle = None  # extracted but unsubmitted proof
+        self.stale_bundles = []
+        self.locked_since = None  # inclusion height of an in-flight Move1
+        self.write_key = 0
+
+        receipt = self._tx(
+            1, sign_transaction(ALICE, DeployPayload(code_hash=StoreContract.CODE_HASH))
+        )
+        assert receipt.success
+        self.contract = receipt.return_value
+
+    # ------------------------------------------------------------------
+
+    def _tx(self, chain_id, tx):
+        chain = self.chains[chain_id]
+        chain.submit(tx)
+        self.clock.tick()
+        chain.produce_block(self.clock.now)
+        return chain.receipts[tx.tx_id]
+
+    def _produce(self, chain_id, count=1):
+        for _ in range(count):
+            self.clock.tick()
+            self.chains[chain_id].produce_block(self.clock.now)
+
+    @property
+    def is_locked(self):
+        return self.locked_since is not None
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    @precondition(lambda self: not self.is_locked)
+    @rule(value=st.integers(0, 1000))
+    def write(self, value):
+        self.write_key += 1
+        receipt = self._tx(
+            self.active,
+            sign_transaction(ALICE, CallPayload(self.contract, "put", (self.write_key, value))),
+        )
+        assert receipt.success, receipt.error
+        self.model[self.write_key] = value
+
+    @precondition(lambda self: not self.is_locked)
+    @rule()
+    def start_move(self):
+        target = 2 if self.active == 1 else 1
+        receipt = self._tx(
+            self.active,
+            sign_transaction(ALICE, Move1Payload(contract=self.contract, target_chain=target)),
+        )
+        assert receipt.success, receipt.error
+        self.locked_since = receipt.block_height
+
+    @precondition(lambda self: self.is_locked and self.pending_bundle is None)
+    @rule()
+    def extract_proof(self):
+        source = self.chains[self.active]
+        while source.height < source.proof_ready_height(self.locked_since):
+            self._produce(self.active)
+        self.pending_bundle = source.prove_contract_at(self.contract, self.locked_since)
+
+    @precondition(lambda self: self.pending_bundle is not None)
+    @rule()
+    def complete_move(self):
+        bundle = self.pending_bundle
+        target = 2 if self.active == 1 else 1
+        receipt = self._tx(target, sign_transaction(ALICE, Move2Payload(bundle=bundle)))
+        assert receipt.success, receipt.error
+        self.stale_bundles.append(bundle)
+        self.pending_bundle = None
+        self.locked_since = None
+        self.active = target
+
+    @precondition(lambda self: self.stale_bundles)
+    @rule(target_chain=st.sampled_from([1, 2]), data=st.data())
+    def replay_stale_bundle(self, target_chain, data):
+        bundle = data.draw(st.sampled_from(self.stale_bundles))
+        receipt = self._tx(
+            target_chain, sign_transaction(ALICE, Move2Payload(bundle=bundle)))
+        assert not receipt.success, "stale bundle must never be accepted"
+
+    @precondition(lambda self: not self.is_locked)
+    @rule(chain_id=st.sampled_from([1, 2]))
+    def garbage_collect(self, chain_id):
+        # GC only where the contract is NOT active (and no move is
+        # dangling) — the documented safe window.
+        if chain_id != self.active:
+            self.chains[chain_id].gc_stale()
+
+    @rule(chain_id=st.sampled_from([1, 2]), count=st.integers(1, 3))
+    def produce_blocks(self, chain_id, count):
+        self._produce(chain_id, count)
+
+    @precondition(lambda self: not self.is_locked)
+    @rule()
+    def locked_writes_fail_elsewhere(self):
+        other = 2 if self.active == 1 else 1
+        if self.chains[other].state.contract(self.contract) is None:
+            return
+        receipt = self._tx(
+            other,
+            sign_transaction(ALICE, CallPayload(self.contract, "put", (999_999, 1))),
+        )
+        assert not receipt.success
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def single_residency(self):
+        active_copies = [
+            chain_id
+            for chain_id, chain in self.chains.items()
+            if chain.location_of(self.contract) == chain_id
+        ]
+        if self.is_locked:
+            # Mid-move: the source is locked, the target may not have
+            # it yet — zero active copies is legal only now.
+            assert len(active_copies) == 0
+        else:
+            assert active_copies == [self.active]
+        # Every record that exists points at the contract's location.
+        for chain_id, chain in self.chains.items():
+            location = chain.location_of(self.contract)
+            if location is not None and chain_id != self.active and not self.is_locked:
+                assert location == self.active
+
+    @invariant()
+    def state_fidelity(self):
+        if self.is_locked:
+            return
+        chain = self.chains[self.active]
+        for key, value in self.model.items():
+            assert chain.view(self.contract, "get_value", key) == value
+
+    def teardown(self):
+        # Liveness: any dangling move can always be completed.
+        if self.is_locked:
+            if self.pending_bundle is None:
+                self.extract_proof()
+            self.complete_move()
+        self.state_fidelity()
+        self.single_residency()
+
+
+MoveProtocolMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None
+)
+TestMoveProtocol = MoveProtocolMachine.TestCase

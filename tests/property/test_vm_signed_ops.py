@@ -1,0 +1,123 @@
+"""Property tests: signed/bitwise opcodes match EVM (two's-complement)
+semantics as modelled with Python integers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.stack import WORD_MASK
+from tests.property.test_vm_properties import run_binary
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+shifts = st.integers(min_value=0, max_value=300)
+
+
+def signed(word):
+    return word - (1 << 256) if word >> 255 else word
+
+
+def unsigned(value):
+    return value & WORD_MASK
+
+
+@given(words, words)
+@settings(max_examples=80, deadline=None)
+def test_sdiv_truncates_toward_zero(a, b):
+    sa, sb = signed(a), signed(b)
+    if sb == 0:
+        expected = 0
+    else:
+        expected = unsigned(abs(sa) // abs(sb) * (1 if (sa < 0) == (sb < 0) else -1))
+    assert run_binary("SDIV", a, b) == expected
+
+
+@given(words, words)
+@settings(max_examples=80, deadline=None)
+def test_smod_takes_dividend_sign(a, b):
+    sa, sb = signed(a), signed(b)
+    if sb == 0:
+        expected = 0
+    else:
+        expected = unsigned((abs(sa) % abs(sb)) * (1 if sa >= 0 else -1))
+    assert run_binary("SMOD", a, b) == expected
+
+
+@given(words, words)
+@settings(max_examples=80, deadline=None)
+def test_slt_sgt(a, b):
+    assert run_binary("SLT", a, b) == (1 if signed(a) < signed(b) else 0)
+    assert run_binary("SGT", a, b) == (1 if signed(a) > signed(b) else 0)
+
+
+@given(shifts, words)
+@settings(max_examples=80, deadline=None)
+def test_shifts(shift, value):
+    assert run_binary("SHL", shift, value) == (
+        0 if shift >= 256 else (value << shift) & WORD_MASK
+    )
+    assert run_binary("SHR", shift, value) == (0 if shift >= 256 else value >> shift)
+    sv = signed(value)
+    if shift >= 256:
+        expected_sar = WORD_MASK if sv < 0 else 0
+    else:
+        expected_sar = unsigned(sv >> shift)
+    assert run_binary("SAR", shift, value) == expected_sar
+
+
+@given(st.integers(0, 40), words)
+@settings(max_examples=80, deadline=None)
+def test_byte_extracts_big_endian(index, value):
+    expected = (value >> (8 * (31 - index))) & 0xFF if index < 32 else 0
+    assert run_binary("BYTE", index, value) == expected
+
+
+@given(st.integers(0, 40), words)
+@settings(max_examples=80, deadline=None)
+def test_signextend(size, value):
+    if size < 31:
+        bits = 8 * (size + 1)
+        truncated = value & ((1 << bits) - 1)
+        if truncated >> (bits - 1):
+            expected = unsigned(truncated - (1 << bits))
+        else:
+            expected = truncated
+    else:
+        expected = value
+    assert run_binary("SIGNEXTEND", size, value) == expected
+
+
+@given(words, words, words)
+@settings(max_examples=60, deadline=None)
+def test_addmod_mulmod(a, b, n):
+    from repro.vm.assembler import assemble
+    from repro.vm.machine import MemoryContext
+    from tests.property.test_vm_properties import MACHINE
+
+    for mnemonic, func in (("ADDMOD", lambda: (a + b) % n if n else 0),
+                           ("MULMOD", lambda: (a * b) % n if n else 0)):
+        source = (
+            f"PUSH32 {n}\nPUSH32 {b}\nPUSH32 {a}\n{mnemonic}\n"
+            "PUSH1 0\nMSTORE\nPUSH1 32\nPUSH1 0\nRETURN"
+        )
+        result = MACHINE.execute(assemble(source), MemoryContext())
+        assert result.success
+        assert int.from_bytes(result.return_data, "big") == func()
+
+
+def test_mstore8_and_msize():
+    from repro.vm.assembler import assemble
+    from repro.vm.machine import MemoryContext
+    from tests.property.test_vm_properties import MACHINE
+
+    source = (
+        "PUSH2 0x1234\nPUSH1 5\nMSTORE8\n"   # stores 0x34 at offset 5
+        "PUSH1 0\nMLOAD\n"
+        "PUSH1 0\nMSTORE\nPUSH1 32\nPUSH1 0\nRETURN"
+    )
+    result = MACHINE.execute(assemble(source), MemoryContext())
+    assert result.success
+    word = int.from_bytes(result.return_data, "big")
+    assert (word >> (8 * (31 - 5))) & 0xFF == 0x34
+
+    source = "MSIZE\nPUSH1 0\nMSTORE\nPUSH1 32\nPUSH1 0\nRETURN"
+    result = MACHINE.execute(assemble(source), MemoryContext())
+    assert int.from_bytes(result.return_data, "big") == 0  # untouched memory

@@ -1,0 +1,86 @@
+"""Unit tests for the assembler/disassembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.vm.assembler import assemble, disassemble
+from repro.vm.opcodes import Op
+
+
+def test_simple_program():
+    code = assemble("PUSH1 0x05\nPUSH1 3\nADD\nSTOP")
+    assert code == bytes([0x60, 0x05, 0x60, 0x03, 0x01, 0x00])
+
+
+def test_push_sizes():
+    assert assemble("PUSH2 0xBEEF") == bytes([0x61, 0xBE, 0xEF])
+    assert assemble("PUSH4 1") == bytes([0x63, 0, 0, 0, 1])
+
+
+def test_push_overflow_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("PUSH1 256")
+
+
+def test_comments_and_blank_lines():
+    code = assemble("; comment\n\nPUSH1 1 ; trailing\n# hash comment\nSTOP")
+    assert code == bytes([0x60, 0x01, 0x00])
+
+
+def test_labels_resolve_to_jumpdest():
+    code = assemble("PUSH @end\nJUMP\nend:\nSTOP")
+    # PUSH2 0x0004 JUMP JUMPDEST STOP
+    assert code == bytes([0x61, 0x00, 0x04, 0x56, 0x5B, 0x00])
+
+
+def test_forward_and_backward_labels():
+    source = """
+        start:
+        PUSH @start
+        POP
+        PUSH @end
+        JUMP
+        end:
+        STOP
+    """
+    code = assemble(source)
+    assert code[0] == Op.JUMPDEST
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblerError):
+        assemble("FROBNICATE")
+
+
+def test_unknown_label():
+    with pytest.raises(AssemblerError):
+        assemble("PUSH @nowhere\nJUMP")
+
+
+def test_duplicate_label():
+    with pytest.raises(AssemblerError):
+        assemble("a:\na:\nSTOP")
+
+
+def test_operand_arity_checked():
+    with pytest.raises(AssemblerError):
+        assemble("PUSH1")
+    with pytest.raises(AssemblerError):
+        assemble("ADD 5")
+
+
+def test_move_mnemonic_assembles():
+    assert assemble("MOVE") == bytes([Op.MOVE])
+
+
+def test_disassemble_roundtrip():
+    source = "PUSH1 0x2a\nPUSH1 0x07\nSSTORE\nMOVE\nSTOP"
+    code = assemble(source)
+    rows = disassemble(code)
+    text = [t for _, t in rows]
+    assert text == ["PUSH1 0x2a", "PUSH1 0x07", "SSTORE", "MOVE", "STOP"]
+
+
+def test_disassemble_marks_invalid():
+    rows = disassemble(bytes([0xEF]))
+    assert "INVALID" in rows[0][1]

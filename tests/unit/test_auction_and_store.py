@@ -1,0 +1,137 @@
+"""Unit tests for the clock auction and the Store-N probes."""
+
+import pytest
+
+from repro.apps.auction import ClockAuction
+from repro.apps.kitties import KittyRegistry
+from repro.apps.store import StateStore
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.chain.tx import CallPayload, DeployPayload
+from tests.helpers import ALICE, BOB, CAROL, ManualClock, produce, run_tx
+
+
+@pytest.fixture
+def world():
+    chain = Chain(burrow_params(1))
+    chain.fund({ALICE.address: 10_000, BOB.address: 10_000, CAROL.address: 10_000})
+    clock = ManualClock()
+    registry = run_tx(chain, clock, ALICE, DeployPayload(code_hash=KittyRegistry.CODE_HASH)).return_value
+    auction = run_tx(chain, clock, ALICE, DeployPayload(code_hash=ClockAuction.CODE_HASH)).return_value
+    cat = run_tx(
+        chain, clock, ALICE, CallPayload(registry, "create_promo_kitty", (BOB.address,))
+    ).return_value
+    return chain, clock, auction, cat
+
+
+def list_cat(chain, clock, auction, cat, seller, start=1000, end=100, duration=100):
+    assert run_tx(chain, clock, seller, CallPayload(cat, "transfer_ownership", (auction,))).success
+    receipt = run_tx(
+        chain, clock, seller,
+        CallPayload(auction, "create_auction", (cat, start, end, duration)),
+    )
+    assert receipt.success, receipt.error
+
+
+def test_escrow_required(world):
+    chain, clock, auction, cat = world
+    receipt = run_tx(
+        chain, clock, BOB, CallPayload(auction, "create_auction", (cat, 1000, 100, 100))
+    )
+    assert not receipt.success
+    assert "not escrowed" in receipt.error
+
+
+def test_price_descends_linearly(world):
+    chain, clock, auction, cat = world
+    list_cat(chain, clock, auction, cat, BOB, start=1000, end=0, duration=100)
+    t0 = chain.view(auction, "current_price", cat)
+    # Advance simulated block time by ~50s (10 blocks at 5 s).
+    produce(chain, clock, 10)
+    t1 = chain.view(auction, "current_price", cat)
+    assert t1 < t0
+    produce(chain, clock, 30)
+    assert chain.view(auction, "current_price", cat) == 0  # past duration
+
+
+def test_bid_buys_and_pays_seller(world):
+    chain, clock, auction, cat = world
+    list_cat(chain, clock, auction, cat, BOB, start=500, end=500, duration=10)
+    bob_before = chain.balance_of(BOB.address)
+    receipt = run_tx(chain, clock, CAROL, CallPayload(auction, "bid", (cat,), value=600))
+    assert receipt.success, receipt.error
+    assert chain.view(cat, "get_owner") == CAROL.address
+    assert chain.balance_of(BOB.address) == bob_before + 500
+    # Overpayment refunded.
+    assert chain.balance_of(CAROL.address) == 10_000 - 500
+
+
+def test_underbid_rejected(world):
+    chain, clock, auction, cat = world
+    list_cat(chain, clock, auction, cat, BOB, start=500, end=500, duration=10)
+    receipt = run_tx(chain, clock, CAROL, CallPayload(auction, "bid", (cat,), value=499))
+    assert not receipt.success
+    assert chain.view(cat, "get_owner") == auction
+
+
+def test_cancel_returns_cat(world):
+    chain, clock, auction, cat = world
+    list_cat(chain, clock, auction, cat, BOB)
+    refused = run_tx(chain, clock, CAROL, CallPayload(auction, "cancel_auction", (cat,)))
+    assert not refused.success
+    assert run_tx(chain, clock, BOB, CallPayload(auction, "cancel_auction", (cat,))).success
+    assert chain.view(cat, "get_owner") == BOB.address
+    # Delisted: bidding now fails.
+    receipt = run_tx(chain, clock, CAROL, CallPayload(auction, "bid", (cat,), value=9999))
+    assert not receipt.success
+
+
+def test_double_listing_rejected(world):
+    chain, clock, auction, cat = world
+    list_cat(chain, clock, auction, cat, BOB)
+    receipt = run_tx(
+        chain, clock, BOB, CallPayload(auction, "create_auction", (cat, 10, 1, 10))
+    )
+    assert not receipt.success
+
+
+@pytest.mark.parametrize("n", [1, 10, 100])
+def test_store_holds_n_values(n):
+    chain = Chain(burrow_params(1))
+    clock = ManualClock()
+    receipt = run_tx(
+        chain, clock, ALICE, DeployPayload(code_hash=StateStore.CODE_HASH, args=(n,))
+    )
+    assert receipt.success, receipt.error
+    store = receipt.return_value
+    assert chain.view(store, "size") == n
+    for i in (0, n - 1):
+        value = chain.view(store, "value_at", i)
+        assert len(value) == 32
+    assert len(chain.state.contract(store).storage) >= n
+
+
+def test_store_gas_scales_with_slots():
+    chain = Chain(burrow_params(1))
+    clock = ManualClock()
+    gas = {}
+    for n in (1, 10, 100):
+        receipt = run_tx(
+            chain, clock, ALICE, DeployPayload(code_hash=StateStore.CODE_HASH, args=(n,))
+        )
+        gas[n] = receipt.gas_used
+    assert gas[10] > gas[1]
+    assert gas[100] > gas[10] * 5  # dominated by per-slot SSTORE
+
+
+def test_store_rewrite_owner_only():
+    chain = Chain(burrow_params(1))
+    clock = ManualClock()
+    store = run_tx(
+        chain, clock, ALICE, DeployPayload(code_hash=StateStore.CODE_HASH, args=(2,))
+    ).return_value
+    new_value = b"\x42" * 32
+    assert run_tx(chain, clock, ALICE, CallPayload(store, "rewrite", (0, new_value))).success
+    assert chain.view(store, "value_at", 0) == new_value
+    assert not run_tx(chain, clock, BOB, CallPayload(store, "rewrite", (0, new_value))).success
+    assert not run_tx(chain, clock, ALICE, CallPayload(store, "rewrite", (5, new_value))).success

@@ -1,0 +1,101 @@
+"""Unit tests for the decentralized load balancer (§IV-B / §X)."""
+
+import pytest
+
+from repro.chain.tx import TransferPayload, sign_transaction
+from repro.core.locator import ContractLocator
+from repro.crypto.keys import KeyPair
+from repro.sharding.balancer import LoadBalancingPolicy, ShardLoadMonitor
+from repro.sharding.cluster import ShardedCluster
+from tests.helpers import ALICE, BOB, ManualClock, StoreContract, deploy_store, make_chain_pair, produce, run_tx
+
+
+def loaded_cluster(tx_counts):
+    """A cluster whose shards carry the given per-block tx loads."""
+    cluster = ShardedCluster(num_shards=len(tx_counts), seed=3, max_block_txs=100)
+    monitor = ShardLoadMonitor(cluster.shards, window_blocks=5)
+    alice = KeyPair.from_name("load-alice")
+    bob = KeyPair.from_name("load-bob")
+    cluster.fund_all({alice.address: 10_000})
+    clock = [0.0]
+    for _round in range(5):
+        clock[0] += 5.0
+        for index, count in enumerate(tx_counts):
+            for _ in range(count):
+                cluster.shard(index).submit(
+                    sign_transaction(alice, TransferPayload(to=bob.address, amount=1))
+                )
+            cluster.shard(index).produce_block(clock[0])
+    return cluster, monitor
+
+
+def test_monitor_reads_utilization_from_blocks():
+    _cluster, monitor = loaded_cluster([90, 10, 0])
+    assert monitor.utilization(0) == pytest.approx(0.9)
+    assert monitor.utilization(1) == pytest.approx(0.1)
+    assert monitor.utilization(2) == 0.0
+    assert monitor.coolest() == 2
+    assert monitor.coolest(exclude=(2,)) == 1
+
+
+def test_policy_moves_excess_fraction_off_hot_shard():
+    _cluster, monitor = loaded_cluster([95, 5, 5])
+    policy = LoadBalancingPolicy(monitor, hot_threshold=0.8, min_gap=0.3)
+    owners = [KeyPair.from_name(f"owner-{i}").address for i in range(200)]
+    decisions = [policy.suggest_move(0, owner) for owner in owners]
+    movers = [d for d in decisions if d is not None]
+    # Roughly the excess fraction migrates (stay prob = mean/load ~ 0.37),
+    # never the whole population.
+    assert 0.35 * len(owners) < len(movers) < 0.9 * len(owners)
+    assert all(target in (1, 2) for target in movers)
+    # Cool shards stay put for everyone.
+    assert all(policy.suggest_move(1, owner) is None for owner in owners)
+    # Deterministic: same owner, same answer.
+    assert decisions == [policy.suggest_move(0, owner) for owner in owners]
+
+
+def test_policy_requires_gap():
+    _cluster, monitor = loaded_cluster([95, 90, 92])
+    policy = LoadBalancingPolicy(monitor, hot_threshold=0.8, min_gap=0.3)
+    owner = KeyPair.from_name("owner").address
+    # Everything is hot: no target cooler by the required gap.
+    assert policy.suggest_move(0, owner) is None
+
+
+def test_policy_spreads_movers_across_cool_shards():
+    _cluster, monitor = loaded_cluster([95, 5, 5, 5, 5])
+    policy = LoadBalancingPolicy(monitor, hot_threshold=0.8, min_gap=0.3)
+    targets = {
+        policy.suggest_move(0, KeyPair.from_name(f"owner-{i}").address)
+        for i in range(40)
+    }
+    # Deterministic per owner, but the crowd fans out, no stampede.
+    assert len(targets) >= 3
+
+
+def test_rebalance_plan_only_names_hot_contracts():
+    _cluster, monitor = loaded_cluster([95, 5])
+    policy = LoadBalancingPolicy(monitor)
+    hot = {KeyPair.from_name(f"hot-{i}").address: 0 for i in range(100)}
+    cool = {KeyPair.from_name(f"cool-{i}").address: 1 for i in range(100)}
+    plan = policy.rebalance_plan({**hot, **cool})
+    # A meaningful share of hot-shard contracts is told to move...
+    assert len(plan) > 20
+    assert all(address in hot for address in plan)
+    assert all(target == 1 for target in plan.values())
+    # ...and nothing on the cool shard is.
+    assert not any(address in cool for address in plan)
+
+
+def test_locator_over_live_chains():
+    burrow, ethereum = make_chain_pair()
+    clock = ManualClock()
+    addr = deploy_store(burrow, clock, ALICE)
+    locator = ContractLocator.over_chains([burrow, ethereum])
+    assert locator.locate(addr, start_chain=burrow.chain_id) == burrow.chain_id
+    from tests.helpers import full_move
+
+    assert full_move(burrow, ethereum, clock, ALICE, addr).success
+    # The trail: chain 1 says "moved to 2", chain 2 has the active copy.
+    assert locator.locate(addr, start_chain=burrow.chain_id) == ethereum.chain_id
+    assert locator.locate(addr, start_chain=ethereum.chain_id) == ethereum.chain_id

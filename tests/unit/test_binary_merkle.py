@@ -1,0 +1,78 @@
+"""Unit tests for the binary Merkle tree and the {v} -> m interface."""
+
+import pytest
+
+from repro.merkle.binary import EMPTY_ROOT, BinaryMerkleTree
+from repro.merkle.proof import verify_proof
+
+
+def leaves(n):
+    return [f"tx-{i}".encode() for i in range(n)]
+
+
+def test_empty_tree_has_sentinel_root():
+    assert BinaryMerkleTree([]).root == EMPTY_ROOT
+
+
+def test_single_leaf():
+    tree = BinaryMerkleTree([b"only"])
+    proof = tree.prove(0)
+    assert proof.value == b"only"
+    assert len(proof) == 0
+    assert verify_proof(proof, tree.root)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33])
+def test_all_leaves_provable(n):
+    tree = BinaryMerkleTree(leaves(n))
+    for i in range(n):
+        proof = tree.prove(i)
+        assert proof.value == f"tx-{i}".encode()
+        assert verify_proof(proof, tree.root)
+
+
+def test_proof_fails_against_wrong_root():
+    t1 = BinaryMerkleTree(leaves(5))
+    t2 = BinaryMerkleTree(leaves(6))
+    assert not verify_proof(t1.prove(2), t2.root)
+
+
+def test_proof_fails_with_tampered_value():
+    tree = BinaryMerkleTree(leaves(8))
+    proof = tree.prove(3)
+    from repro.merkle.proof import MembershipProof
+
+    forged = MembershipProof(
+        key=proof.key, value=b"tx-FORGED", leaf_prefix=proof.leaf_prefix, steps=proof.steps
+    )
+    assert not verify_proof(forged, tree.root)
+
+
+def test_root_changes_with_any_leaf():
+    base = BinaryMerkleTree(leaves(8)).root
+    for i in range(8):
+        modified = leaves(8)
+        modified[i] = b"changed"
+        assert BinaryMerkleTree(modified).root != base
+
+
+def test_root_depends_on_order():
+    a = BinaryMerkleTree([b"a", b"b"]).root
+    b = BinaryMerkleTree([b"b", b"a"]).root
+    assert a != b
+
+
+def test_index_out_of_range():
+    tree = BinaryMerkleTree(leaves(3))
+    with pytest.raises(IndexError):
+        tree.prove(3)
+
+
+def test_verify_against_none_root_is_false():
+    tree = BinaryMerkleTree(leaves(2))
+    assert not verify_proof(tree.prove(0), None)
+
+
+def test_proof_length_is_logarithmic():
+    tree = BinaryMerkleTree(leaves(1024))
+    assert len(tree.prove(0)) == 10

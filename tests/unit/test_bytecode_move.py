@@ -1,0 +1,112 @@
+"""The paper's OP_MOVE at the raw bytecode level.
+
+Listing 1 expressed as bytecode: a contract whose storage slot 0 holds
+the owner; the move routine checks CALLER against the owner and only
+then executes MOVE — the exact semantics Algorithm 1 line 2-3 describe,
+one level below the Solidity-like runtime.
+"""
+
+import pytest
+
+from repro.vm.assembler import assemble
+from repro.vm.gas import ETHEREUM_SCHEDULE, GasMeter
+from repro.vm.machine import Machine, MemoryContext
+
+OWNER = 0xA11CE
+INTRUDER = 0xBAD
+
+# storage slot 0: owner address; calldata-free design: the target chain
+# id is embedded as an immediate (a per-deployment constant here).
+MOVE_GUARDED = """
+    ; require(owner == caller)
+    PUSH1 0
+    SLOAD
+    CALLER
+    EQ
+    PUSH @authorized
+    JUMPI
+    PUSH1 0
+    PUSH1 0
+    REVERT
+    authorized:
+    ; OP_MOVE(target = 7)
+    PUSH1 7
+    MOVE
+    STOP
+"""
+
+
+@pytest.fixture
+def machine():
+    return Machine(ETHEREUM_SCHEDULE)
+
+
+def make_context(caller):
+    ctx = MemoryContext(caller=caller, chain_id=1)
+    ctx.storage[0] = OWNER
+    return ctx
+
+
+def test_owner_can_move(machine):
+    ctx = make_context(OWNER)
+    result = machine.execute(assemble(MOVE_GUARDED), ctx)
+    assert result.success, result.error
+    assert ctx.location() == 7
+
+
+def test_intruder_cannot_move(machine):
+    ctx = make_context(INTRUDER)
+    result = machine.execute(assemble(MOVE_GUARDED), ctx)
+    assert not result.success
+    assert ctx.location() == 1  # L_c untouched
+
+
+def test_guarded_move_gas_accounting(machine):
+    # Exact charge on the happy path:
+    # PUSH(3) SLOAD(200) CALLER(2) EQ(3) PUSH(3) JUMPI(10)
+    # JUMPDEST(1) PUSH(3) MOVE(5000)
+    sch = ETHEREUM_SCHEDULE
+    meter = GasMeter(schedule=sch)
+    machine.execute(assemble(MOVE_GUARDED), make_context(OWNER), meter)
+    expected = (
+        sch.verylow + sch.sload + sch.base + sch.verylow + sch.verylow
+        + sch.high + sch.jumpdest + sch.verylow + sch.move_op
+    )
+    assert meter.used == expected
+
+
+LOCATION_PROBE = """
+    LOCATION
+    PUSH1 0
+    MSTORE
+    MOVENONCE
+    PUSH1 32
+    MSTORE
+    PUSH1 64
+    PUSH1 0
+    RETURN
+"""
+
+
+def test_location_and_nonce_probes(machine):
+    ctx = make_context(OWNER)
+    ctx._move_nonce = 5
+    result = machine.execute(assemble(LOCATION_PROBE), ctx)
+    assert result.success
+    location = int.from_bytes(result.return_data[:32], "big")
+    nonce = int.from_bytes(result.return_data[32:], "big")
+    assert location == 1
+    assert nonce == 5
+    # After a move, LOCATION reports the target.
+    machine.execute(assemble(MOVE_GUARDED), ctx)
+    result = machine.execute(assemble(LOCATION_PROBE), ctx)
+    assert int.from_bytes(result.return_data[:32], "big") == 7
+
+
+def test_moved_flag_survives_subsequent_bytecode_runs(machine):
+    ctx = make_context(OWNER)
+    machine.execute(assemble(MOVE_GUARDED), ctx)
+    # The execution *environment* (not the VM) is responsible for
+    # aborting mutations once L_c points away; at the VM level the
+    # context simply keeps reporting the new location.
+    assert ctx.location() == 7

@@ -1,0 +1,83 @@
+"""Unit tests for the chain statistics collector."""
+
+import pytest
+
+from repro.chain.stats import collect_chain_stats
+from repro.chain.tx import CallPayload, TransferPayload, sign_transaction
+from tests.helpers import (
+    ALICE,
+    BOB,
+    ManualClock,
+    StoreContract,
+    deploy_store,
+    full_move,
+    make_chain_pair,
+    produce,
+    run_tx,
+)
+
+
+@pytest.fixture
+def busy_chain():
+    burrow, ethereum = make_chain_pair()
+    clock = ManualClock()
+    burrow.fund({ALICE.address: 1_000})
+    addr = deploy_store(burrow, clock, ALICE)
+    run_tx(burrow, clock, ALICE, CallPayload(addr, "put", (1, 10)))
+    run_tx(burrow, clock, ALICE, TransferPayload(to=BOB.address, amount=5))
+    failing = run_tx(burrow, clock, BOB, TransferPayload(to=ALICE.address, amount=10**9))
+    assert not failing.success
+    assert full_move(burrow, ethereum, clock, ALICE, addr).success
+    return burrow, ethereum
+
+
+def test_stats_counts_txs_and_kinds(busy_chain):
+    burrow, _ethereum = busy_chain
+    stats = collect_chain_stats(burrow)
+    assert stats.total_txs == stats.tx_kinds.get("deploy", 0) + sum(
+        v for k, v in stats.tx_kinds.items() if k != "deploy"
+    )
+    assert stats.tx_kinds["deploy"] == 1
+    assert stats.tx_kinds["call"] == 1
+    assert stats.tx_kinds["transfer"] == 2
+    assert stats.tx_kinds["move1"] == 1
+    assert stats.failed_txs == 1
+    assert 0 < stats.success_rate < 1
+
+
+def test_stats_tracks_moves(busy_chain):
+    burrow, ethereum = busy_chain
+    source = collect_chain_stats(burrow)
+    target = collect_chain_stats(ethereum)
+    assert source.moves_out == 1
+    assert source.moves_in == 0
+    assert target.moves_in == 1
+    assert source.contracts_locked == 1
+    assert target.contracts_active == 1
+
+
+def test_stats_block_metrics(busy_chain):
+    burrow, _ethereum = busy_chain
+    stats = collect_chain_stats(burrow)
+    assert stats.height == len(burrow.blocks) - 1
+    assert stats.mean_block_interval == pytest.approx(5.0)
+    assert 0 < stats.mean_block_fill < 1
+    assert stats.total_gas > 0
+    assert stats.storage_slots > 0
+
+
+def test_stats_empty_chain():
+    burrow, _ethereum = make_chain_pair()
+    stats = collect_chain_stats(burrow)
+    assert stats.total_txs == 0
+    assert stats.success_rate == 1.0
+    assert stats.mean_block_interval is None
+    assert stats.contracts_total == 0
+
+
+def test_stats_lines_render(busy_chain):
+    burrow, _ethereum = busy_chain
+    text = "\n".join(collect_chain_stats(burrow).lines())
+    assert "chain 1" in text
+    assert "tx mix" in text
+    assert "moves" in text

@@ -1,0 +1,55 @@
+"""Unit tests for the ledger self-audit."""
+
+import dataclasses
+
+import pytest
+
+from repro.chain.tx import TransferPayload, sign_transaction
+from repro.errors import StateError
+from tests.helpers import ALICE, BOB, ManualClock, make_chain_pair, produce, run_tx
+
+
+@pytest.fixture
+def chain():
+    burrow, _ethereum = make_chain_pair()
+    burrow.fund({ALICE.address: 1_000})
+    clock = ManualClock()
+    for amount in (1, 2, 3):
+        run_tx(burrow, clock, ALICE, TransferPayload(to=BOB.address, amount=amount))
+    produce(burrow, clock, 2)
+    return burrow
+
+
+def test_honest_chain_verifies(chain):
+    assert chain.verify_chain()
+
+
+def test_detects_broken_parent_link(chain):
+    block = chain.blocks[3]
+    chain.blocks[3] = dataclasses.replace(
+        block, header=dataclasses.replace(block.header, parent_hash=b"\x00" * 32)
+    )
+    with pytest.raises(StateError, match="parent link"):
+        chain.verify_chain()
+
+
+def test_detects_tampered_body(chain):
+    # Swap a transaction into another block's body: the txs_root breaks.
+    donor = chain.blocks[1].transactions
+    victim = chain.blocks[2]
+    chain.blocks[2] = dataclasses.replace(victim, transactions=list(donor))
+    with pytest.raises(StateError, match="txs_root"):
+        chain.verify_chain()
+
+
+def test_detects_height_gap(chain):
+    block = chain.blocks[4]
+    chain.blocks[4] = dataclasses.replace(
+        block,
+        header=dataclasses.replace(
+            block.header, height=block.header.height + 1,
+            parent_hash=chain.blocks[3].hash(),
+        ),
+    )
+    with pytest.raises(StateError, match="height"):
+        chain.verify_chain()

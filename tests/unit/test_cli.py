@@ -1,0 +1,71 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_info(capsys):
+    code, out = run_cli(capsys, "info")
+    assert code == 0
+    assert "repro.core" in out
+    assert "Move1/Move2" in out
+
+
+def test_move_demo(capsys):
+    code, out = run_cli(capsys, "move-demo")
+    assert code == 0
+    assert "Move1 included" in out
+    assert "Move2 executed" in out
+    assert "locked" in out
+
+
+def test_relay_demo(capsys):
+    code, out = run_cli(capsys, "relay-demo")
+    assert code == 0
+    assert "minted 700 pegged units" in out
+    assert "redeemed 700 native units" in out
+
+
+def test_trace_command(capsys):
+    code, out = run_cli(capsys, "trace", "--shards", "2", "--ops", "300", "--series")
+    assert code == 0
+    assert "throughput" in out
+    assert "cross-shard" in out
+    assert "0 failures" in out
+
+
+def test_scoin_command(capsys):
+    code, out = run_cli(
+        capsys, "scoin", "--shards", "2", "--clients", "8",
+        "--cross", "0.1", "--duration", "150",
+    )
+    assert code == 0
+    assert "ops/s" in out
+    assert "single-shard" in out
+
+
+def test_ibc_command(capsys):
+    code, out = run_cli(capsys, "ibc", "--app", "store1", "--direction", "b2e")
+    assert code == 0
+    assert "wait + proof" in out
+    assert "Mgas" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-command"])
+
+
+def test_parser_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["scoin"])
+    assert args.shards == 4
+    assert args.cross == pytest.approx(0.10)
+    assert not args.retry

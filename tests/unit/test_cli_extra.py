@@ -1,0 +1,52 @@
+"""Additional CLI coverage: retry mode, saved-trace replay, inspect."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_scoin_retry_flag(capsys):
+    code, out = run_cli(
+        capsys, "scoin", "--shards", "2", "--clients", "8",
+        "--cross", "0.1", "--duration", "200", "--retry",
+    )
+    assert code == 0
+    assert "retry mode" in out
+    assert "retry histogram" in out
+
+
+def test_trace_save_load_roundtrip(tmp_path, capsys):
+    path = str(tmp_path / "t.json")
+    code, out_saved = run_cli(
+        capsys, "trace", "--shards", "1", "--ops", "200", "--save", path
+    )
+    assert code == 0
+    assert "saved trace" in out_saved
+    code, out_loaded = run_cli(capsys, "trace", "--shards", "1", "--load", path)
+    assert code == 0
+    assert "loaded trace" in out_loaded
+
+    def stats(text):
+        return [line for line in text.splitlines() if "committed txs" in line]
+
+    assert stats(out_saved) == stats(out_loaded)
+
+
+def test_trace_inspect_prints_shard_stats(capsys):
+    code, out = run_cli(
+        capsys, "trace", "--shards", "2", "--ops", "150", "--inspect"
+    )
+    assert code == 0
+    assert "chain 1 (shard-0" in out
+    assert "tx mix" in out
+
+
+def test_ibc_e2b_direction(capsys):
+    code, out = run_cli(capsys, "ibc", "--app", "store1", "--direction", "e2b")
+    assert code == 0
+    assert "Ethereum -> Burrow" in out

@@ -1,0 +1,142 @@
+"""Unit tests for the consensus engines over the simulated WAN."""
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params, ethereum_params
+from repro.consensus.pow import PowEngine
+from repro.consensus.tendermint import TendermintEngine
+from repro.net.latency import LatencyModel
+from repro.net.sim import Simulator
+from repro.net.transport import Network
+
+
+def make_tendermint(seed=1, validators=10):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    chain = Chain(burrow_params(1), verify_signatures=False)
+    model = LatencyModel()
+    regions = model.assign_regions(validators, sim.rng)
+    engine = TendermintEngine(sim, net, chain, regions)
+    return sim, net, chain, engine
+
+
+def test_tendermint_produces_blocks_at_interval():
+    sim, _net, chain, engine = make_tendermint()
+    engine.start()
+    sim.run(until=60.0)
+    # 5s interval + commit latency: expect ~10-11 blocks in 60 s.
+    assert 9 <= chain.height <= 12
+
+
+def test_tendermint_block_latency_slightly_above_interval():
+    # Paper Section VI: "the observed latency being slightly higher
+    # than" the 5-second configured wait.
+    sim, _net, chain, engine = make_tendermint()
+    engine.start()
+    sim.run(until=300.0)
+    gaps = [
+        b.header.timestamp - a.header.timestamp
+        for a, b in zip(chain.blocks[1:], chain.blocks[2:])
+    ]
+    mean_gap = sum(gaps) / len(gaps)
+    assert 5.0 < mean_gap < 6.5
+
+
+def test_tendermint_quorum_size():
+    _sim, _net, _chain, engine = make_tendermint(validators=10)
+    assert engine.quorum_size() == 7
+    _sim, _net, _chain, engine2 = make_tendermint(validators=4)
+    assert engine2.quorum_size() == 3
+
+
+def test_tendermint_proposer_rotates():
+    _sim, _net, _chain, engine = make_tendermint()
+    proposers = {engine.proposer_for(h) for h in range(10)}
+    assert len(proposers) == 10
+
+
+def test_tendermint_executes_mempool():
+    from repro.chain.tx import TransferPayload, sign_transaction
+    from repro.crypto.keys import KeyPair
+
+    sim, _net, chain, engine = make_tendermint()
+    alice, bob = KeyPair.from_name("a"), KeyPair.from_name("b")
+    chain.fund({alice.address: 100})
+    engine.start()
+    tx = sign_transaction(alice, TransferPayload(to=bob.address, amount=7))
+    sim.schedule(1.0, lambda: chain.submit(tx))
+    sim.run(until=15.0)
+    assert chain.receipts[tx.tx_id].success
+    assert chain.balance_of(bob.address) == 7
+
+
+def test_tendermint_stop_halts_production():
+    sim, _net, chain, engine = make_tendermint()
+    engine.start()
+    sim.run(until=20.0)
+    height = chain.height
+    engine.stop()
+    sim.run(until=60.0)
+    assert chain.height == height
+
+
+def test_pow_mean_interval_approximates_target():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    chain = Chain(ethereum_params(2), verify_signatures=False)
+    regions = LatencyModel().assign_regions(10, sim.rng)
+    engine = PowEngine(sim, net, chain, regions)
+    engine.start()
+    sim.run(until=3000.0)
+    count = chain.height
+    # Exponential with mean 15 s: ~200 blocks in 3000 s, generous band.
+    assert 150 <= count <= 260
+    gaps = [
+        b.header.timestamp - a.header.timestamp
+        for a, b in zip(chain.blocks[1:], chain.blocks[2:])
+    ]
+    mean_gap = sum(gaps) / len(gaps)
+    assert 12.0 < mean_gap < 18.0
+
+
+def test_pow_intervals_are_memoryless_spread():
+    sim = Simulator(seed=4)
+    net = Network(sim)
+    chain = Chain(ethereum_params(2), verify_signatures=False)
+    engine = PowEngine(sim, net, chain, LatencyModel().assign_regions(5, sim.rng))
+    engine.start()
+    sim.run(until=6000.0)
+    gaps = sorted(
+        b.header.timestamp - a.header.timestamp
+        for a, b in zip(chain.blocks[1:], chain.blocks[2:])
+    )
+    # Exponential distribution: median ~ ln(2)*15 ~ 10.4, clearly below mean.
+    median = gaps[len(gaps) // 2]
+    assert median < 13.0
+
+
+def test_pow_respects_hash_power_weights():
+    sim = Simulator(seed=5)
+    net = Network(sim)
+    chain = Chain(ethereum_params(2), verify_signatures=False)
+    regions = LatencyModel().assign_regions(2, sim.rng)
+    engine = PowEngine(sim, net, chain, regions, hash_powers=[9.0, 1.0])
+    engine.start()
+    sim.run(until=9000.0)
+    wins = [b.header.proposer for b in chain.blocks[1:]]
+    share = wins.count(engine.miners[0]) / len(wins)
+    assert share > 0.8
+
+
+def test_pow_stop():
+    sim = Simulator(seed=6)
+    net = Network(sim)
+    chain = Chain(ethereum_params(2), verify_signatures=False)
+    engine = PowEngine(sim, net, chain, LatencyModel().assign_regions(3, sim.rng))
+    engine.start()
+    sim.run(until=100.0)
+    engine.stop()
+    height = chain.height
+    sim.run(until=300.0)
+    assert chain.height == height

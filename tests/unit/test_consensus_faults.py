@@ -1,0 +1,95 @@
+"""Fault tolerance of the Tendermint-style engine.
+
+BFT consensus must keep committing with f < n/3 fail-stop validators,
+survive crashed proposers via round timeouts, and halt (never fork)
+when the quorum is lost.
+"""
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.consensus.tendermint import TendermintEngine
+from repro.net.latency import LatencyModel
+from repro.net.sim import Simulator
+from repro.net.transport import Network
+
+
+def make_engine(seed=1, validators=10):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    chain = Chain(burrow_params(1), verify_signatures=False)
+    regions = LatencyModel().assign_regions(validators, sim.rng)
+    engine = TendermintEngine(sim, net, chain, regions)
+    return sim, chain, engine
+
+
+def test_progress_with_f_crashed_followers():
+    sim, chain, engine = make_engine()
+    # Crash 3 of 10 non-proposer validators (f = 3 < n/3 quorum bound
+    # of 7 alive): progress must continue.
+    for validator in engine.validators[7:]:
+        engine.crash(validator)
+    engine.start()
+    sim.run(until=120.0)
+    assert chain.height >= 15
+
+
+def test_progress_with_crashed_proposers():
+    sim, chain, engine = make_engine()
+    # Crash 2 validators including ones that will be proposers: round
+    # timeouts hand their heights to the next proposer.
+    engine.crash(engine.validators[1])
+    engine.crash(engine.validators[2])
+    engine.start()
+    sim.run(until=200.0)
+    assert chain.height >= 20
+    # Some heights had to advance rounds.
+    assert engine.rounds_advanced > 0
+    # Crashed validators proposed nothing.
+    proposers = {b.header.proposer for b in chain.blocks[1:]}
+    assert engine.validators[1] not in proposers
+    assert engine.validators[2] not in proposers
+
+
+def test_blocks_slower_under_proposer_crashes_but_monotonic():
+    sim, chain, engine = make_engine(seed=2)
+    engine.crash(engine.validators[0])
+    engine.crash(engine.validators[3])
+    engine.start()
+    sim.run(until=300.0)
+    heights = [b.height for b in chain.blocks]
+    assert heights == sorted(set(heights))  # no forks, no gaps
+    assert chain.height >= 25
+
+
+def test_halt_without_quorum_then_recover():
+    sim, chain, engine = make_engine(seed=3)
+    engine.start()
+    sim.run(until=30.0)
+    progress_point = chain.height
+    assert progress_point >= 3
+    # Crash 4 of 10: only 6 alive < quorum 7 -> the chain must halt
+    # (safety over liveness), not fork.
+    for validator in engine.validators[:4]:
+        engine.crash(validator)
+    sim.run(until=150.0)
+    assert chain.height <= progress_point + 1  # at most one in-flight commit
+    # Recovery restores liveness.
+    for validator in engine.validators[:4]:
+        engine.recover(validator)
+    sim.run(until=300.0)
+    assert chain.height > progress_point + 5
+
+
+def test_crashed_validator_votes_do_not_count():
+    sim, chain, engine = make_engine(seed=4)
+    for validator in engine.validators[:3]:
+        engine.crash(validator)
+    engine.start()
+    sim.run(until=60.0)
+    # The quorum is still computed over the full set (7 of 10), so the
+    # 7 alive validators are all needed; progress confirms none of the
+    # crashed ones were counted as voters.
+    assert engine.quorum_size() == 7
+    assert chain.height >= 7

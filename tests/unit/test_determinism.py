@@ -1,0 +1,73 @@
+"""Reproducibility: identical seeds must give identical experiments.
+
+The entire evaluation rests on deterministic simulation — same seed,
+same trace, same results — so regressions here would silently undermine
+every reported number.
+"""
+
+import pytest
+
+from repro.sharding.cluster import ShardedCluster
+from repro.traces.cryptokitties import TraceConfig, generate_trace
+from repro.traces.replay import KittiesReplayer
+from repro.workload.clients import ScoinWorkload
+
+
+def test_cluster_runs_are_bit_identical():
+    def run():
+        cluster = ShardedCluster(num_shards=2, seed=21)
+        cluster.start()
+        cluster.run(until=100.0)
+        return [
+            (shard.height, [b.hash() for b in shard.blocks])
+            for shard in cluster.shards
+        ]
+
+    assert run() == run()
+
+
+def test_workload_runs_are_identical():
+    def run():
+        cluster = ShardedCluster(num_shards=2, seed=22)
+        workload = ScoinWorkload(cluster, clients_per_shard=8, cross_rate=0.1, seed=3)
+        report = workload.run(duration=150.0, warmup=20.0)
+        return (
+            report.ops_completed,
+            report.single_shard_ops,
+            report.cross_shard_ops,
+            tuple(sorted(report.latency.all_samples())),
+        )
+
+    assert run() == run()
+
+
+def test_replay_runs_are_identical():
+    trace = generate_trace(TraceConfig(n_ops=300, n_promo=60, n_users=40, seed=23))
+
+    def run():
+        cluster = ShardedCluster(num_shards=2, seed=24, max_block_txs=130)
+        replayer = KittiesReplayer(cluster, trace=list(trace), outstanding_limit=100)
+        report = replayer.run(max_time=30_000)
+        return (report.txs_committed, report.finished_at, report.cross_shard_ops)
+
+    assert run() == run()
+
+
+def test_different_seeds_differ():
+    def run(seed):
+        cluster = ShardedCluster(num_shards=2, seed=seed)
+        cluster.start()
+        cluster.run(until=100.0)
+        return [b.hash() for b in cluster.shard(0).blocks]
+
+    assert run(31) != run(32)
+
+
+def test_ibc_experiment_is_deterministic():
+    from repro.ibc.scenarios import BURROW_ID, ETHEREUM_ID, IBCExperiment
+
+    def run():
+        phases = IBCExperiment(seed=7).run_app("store10", BURROW_ID, ETHEREUM_ID)
+        return (phases.total_time, dict(phases.gas))
+
+    assert run() == run()

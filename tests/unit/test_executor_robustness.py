@@ -1,0 +1,100 @@
+"""Hostile/malformed transactions must fail cleanly, never crash a node."""
+
+import pytest
+
+from repro.chain.tx import CallPayload, DeployPayload, Move2Payload, sign_transaction
+from tests.helpers import (
+    ALICE,
+    BOB,
+    ManualClock,
+    StoreContract,
+    deploy_store,
+    make_chain_pair,
+    run_tx,
+)
+
+
+@pytest.fixture
+def world():
+    burrow, _ethereum = make_chain_pair()
+    clock = ManualClock()
+    addr = deploy_store(burrow, clock, ALICE)
+    return burrow, clock, addr
+
+
+def test_wrong_argument_count_fails_cleanly(world):
+    burrow, clock, addr = world
+    receipt = run_tx(burrow, clock, ALICE, CallPayload(addr, "put", (1, 2, 3, 4)))
+    assert not receipt.success
+    assert "ContractFault" in receipt.error
+    # The chain is alive and consistent afterwards.
+    assert run_tx(burrow, clock, ALICE, CallPayload(addr, "put", (1, 2))).success
+
+
+def test_wrong_argument_types_fail_cleanly(world):
+    burrow, clock, addr = world
+    receipt = run_tx(burrow, clock, ALICE, CallPayload(addr, "put", ("not-an-int", {})))
+    assert not receipt.success
+    assert run_tx(burrow, clock, BOB, CallPayload(addr, "get_value", (1,))).success
+
+
+def test_malformed_move2_bundle_fails_cleanly(world):
+    burrow, clock, _addr = world
+
+    class FakeBundle:
+        """Quacks enough to be signed, explodes when executed."""
+
+        location = 1
+
+        def signing_fields(self):
+            return ("fake",)
+
+        def size_bytes(self):
+            raise RuntimeError("boom")
+
+    receipt = run_tx(burrow, clock, BOB, Move2Payload(bundle=FakeBundle()))
+    assert not receipt.success
+    assert "ContractFault" in receipt.error or "MoveError" in receipt.error
+
+
+def test_fault_reverts_partial_state(world):
+    burrow, clock, addr = world
+
+    from repro.runtime import Contract, Slot, external, register_contract
+
+    @register_contract
+    class HalfWriter(Contract):
+        """Writes a slot, then faults."""
+
+        a = Slot(int)
+
+        @external
+        def half(self):
+            self.a = 42
+            raise RuntimeError("deliberate fault after a write")
+
+    deploy = run_tx(burrow, clock, ALICE, DeployPayload(code_hash=HalfWriter.CODE_HASH))
+    target = deploy.return_value
+    receipt = run_tx(burrow, clock, ALICE, CallPayload(target, "half"))
+    assert not receipt.success
+    # The partial write rolled back with the fault.
+    record = burrow.state.contract(target)
+    assert record.storage == {}
+
+
+def test_deeply_nested_recursion_fails_cleanly(world):
+    burrow, clock, _addr = world
+    from repro.runtime import Contract, external, register_contract
+
+    @register_contract
+    class Recurser(Contract):
+        """Calls itself until the depth limit trips."""
+
+        @external
+        def spin(self):
+            return self.call(self.address, "spin")
+
+    deploy = run_tx(burrow, clock, ALICE, DeployPayload(code_hash=Recurser.CODE_HASH))
+    receipt = run_tx(burrow, clock, ALICE, CallPayload(deploy.return_value, "spin"))
+    assert not receipt.success
+    assert "depth" in receipt.error

@@ -1,0 +1,79 @@
+"""Unit tests for transaction fees (gas_price > 0 chains)."""
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.executor import TransactionExecutor
+from repro.chain.params import burrow_params
+from repro.chain.tx import CallPayload, DeployPayload, TransferPayload, sign_transaction
+from tests.helpers import ALICE, BOB, ManualClock, StoreContract, produce, run_tx
+
+FEE_POOL = TransactionExecutor.FEE_POOL
+
+
+@pytest.fixture
+def paid_chain():
+    chain = Chain(burrow_params(1, gas_price=2))
+    chain.fund({ALICE.address: 10_000_000, BOB.address: 50_000})
+    return chain, ManualClock()
+
+
+def test_successful_tx_pays_fee(paid_chain):
+    chain, clock = paid_chain
+    before = chain.balance_of(ALICE.address)
+    receipt = run_tx(chain, clock, ALICE, TransferPayload(to=BOB.address, amount=100))
+    assert receipt.success
+    assert receipt.fee_paid == receipt.gas_used * 2
+    assert chain.balance_of(ALICE.address) == before - 100 - receipt.fee_paid
+    assert chain.balance_of(FEE_POOL) == receipt.fee_paid
+
+
+def test_failed_tx_still_pays_and_reverts_effects(paid_chain):
+    chain, clock = paid_chain
+    bob_before = chain.balance_of(BOB.address)
+    receipt = run_tx(chain, clock, BOB, TransferPayload(to=ALICE.address, amount=10**9))
+    assert not receipt.success
+    assert receipt.fee_paid == receipt.gas_used * 2
+    # The transfer reverted but the fee stuck.
+    assert chain.balance_of(BOB.address) == bob_before - receipt.fee_paid
+
+
+def test_fee_clamped_to_balance(paid_chain):
+    chain, clock = paid_chain
+    from repro.crypto.keys import KeyPair
+
+    pauper = KeyPair.from_name("pauper")
+    chain.fund({pauper.address: 100})
+    receipt = run_tx(
+        chain, clock, pauper, DeployPayload(code_hash=StoreContract.CODE_HASH)
+    )
+    # Deploy gas at price 2 far exceeds 100: everything is taken.
+    assert receipt.fee_paid == 100
+    assert chain.balance_of(pauper.address) == 0
+
+
+def test_free_chain_charges_nothing():
+    chain = Chain(burrow_params(1))  # default gas_price = 0
+    chain.fund({ALICE.address: 1_000})
+    clock = ManualClock()
+    receipt = run_tx(chain, clock, ALICE, TransferPayload(to=BOB.address, amount=10))
+    assert receipt.fee_paid == 0
+    assert chain.balance_of(ALICE.address) == 990
+    assert chain.balance_of(FEE_POOL) == 0
+
+
+def test_fees_accumulate_across_txs(paid_chain):
+    chain, clock = paid_chain
+    total = 0
+    for amount in (1, 2, 3):
+        receipt = run_tx(chain, clock, ALICE, TransferPayload(to=BOB.address, amount=amount))
+        total += receipt.fee_paid
+    assert chain.balance_of(FEE_POOL) == total
+    assert total == 3 * 21_000 * 2  # three plain transfers at tx_base
+
+
+def test_fee_affects_state_root(paid_chain):
+    chain, clock = paid_chain
+    root_before = chain.state.committed_root
+    run_tx(chain, clock, ALICE, TransferPayload(to=BOB.address, amount=1))
+    assert chain.state.committed_root != root_before

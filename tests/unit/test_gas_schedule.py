@@ -1,0 +1,88 @@
+"""Unit tests for the gas schedule and meter."""
+
+import pytest
+
+from repro.errors import OutOfGas
+from repro.vm.gas import BURROW_SCHEDULE, ETHEREUM_SCHEDULE, GasMeter, GasSchedule
+
+
+def test_paper_quoted_constants():
+    # Section VI: "a sum between two integers costs 3 gas, while
+    # creating a new smart contract costs 32000 gas".
+    assert ETHEREUM_SCHEDULE.verylow == 3
+    assert ETHEREUM_SCHEDULE.create == 32_000
+    assert ETHEREUM_SCHEDULE.tx_base == 21_000
+    assert ETHEREUM_SCHEDULE.sstore_set == 20_000
+
+
+def test_burrow_charges_no_code_deposit():
+    assert BURROW_SCHEDULE.code_deposit_per_byte == 0
+    assert BURROW_SCHEDULE.code_deposit(5_000) == 0
+    assert ETHEREUM_SCHEDULE.code_deposit(5_000) == 1_000_000
+
+
+def test_sha3_cost_by_word():
+    s = ETHEREUM_SCHEDULE
+    assert s.sha3(0) == 30
+    assert s.sha3(1) == 36
+    assert s.sha3(32) == 36
+    assert s.sha3(33) == 42
+
+
+def test_proof_verification_cost_scales():
+    s = ETHEREUM_SCHEDULE
+    small = s.proof_verification(100)
+    large = s.proof_verification(10_000)
+    assert large > small
+    assert small >= s.proof_verify_base
+
+
+def test_log_cost():
+    s = ETHEREUM_SCHEDULE
+    assert s.log(0) == 375
+    assert s.log(10) == 375 + 80
+
+
+def test_meter_tracks_categories():
+    meter = GasMeter(schedule=ETHEREUM_SCHEDULE)
+    meter.charge(100, "a")
+    meter.charge(50, "a")
+    meter.charge(25, "b")
+    assert meter.used == 175
+    assert meter.by_category == {"a": 150, "b": 25}
+
+
+def test_meter_limit_enforced_and_remaining():
+    meter = GasMeter(limit=100, schedule=ETHEREUM_SCHEDULE)
+    meter.charge(60)
+    assert meter.remaining == 40
+    with pytest.raises(OutOfGas):
+        meter.charge(41)
+    # Usage recorded even on the failing charge (EVM: gas is consumed).
+    assert meter.used == 101
+    assert meter.remaining == 0
+
+
+def test_unlimited_meter():
+    meter = GasMeter(schedule=ETHEREUM_SCHEDULE)
+    assert meter.remaining is None
+    meter.charge(10**9)  # no limit, no raise
+
+
+def test_negative_charge_rejected():
+    with pytest.raises(ValueError):
+        GasMeter(schedule=ETHEREUM_SCHEDULE).charge(-1)
+
+
+def test_snapshot_for_phase_metering():
+    meter = GasMeter(schedule=ETHEREUM_SCHEDULE)
+    meter.charge(100)
+    before = meter.snapshot()
+    meter.charge(42)
+    assert meter.snapshot() - before == 42
+
+
+def test_dedup_flag_defaults_off():
+    assert not ETHEREUM_SCHEDULE.code_deposit_dedup
+    custom = GasSchedule(code_deposit_dedup=True)
+    assert custom.code_deposit_dedup

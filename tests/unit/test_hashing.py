@@ -1,0 +1,40 @@
+"""Unit tests for repro.crypto.hashing."""
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    keccak,
+    keccak_hex,
+    merkle_hash_leaf,
+    merkle_hash_node,
+)
+
+
+def test_digest_size():
+    assert len(keccak(b"x")) == DIGEST_SIZE
+
+
+def test_deterministic():
+    assert keccak(b"abc") == keccak(b"abc")
+
+
+def test_chunking_is_concatenation():
+    assert keccak(b"ab", b"c") == keccak(b"abc")
+
+
+def test_different_inputs_differ():
+    assert keccak(b"a") != keccak(b"b")
+
+
+def test_hex_form():
+    assert keccak_hex(b"x") == keccak(b"x").hex()
+    assert len(keccak_hex(b"x")) == 64
+
+
+def test_leaf_and_node_domains_are_separated():
+    payload = keccak(b"left") + keccak(b"right")
+    assert merkle_hash_leaf(payload) != merkle_hash_node(keccak(b"left"), keccak(b"right"))
+
+
+def test_node_hash_order_matters():
+    a, b = keccak(b"a"), keccak(b"b")
+    assert merkle_hash_node(a, b) != merkle_hash_node(b, a)

@@ -1,0 +1,104 @@
+"""Unit tests for the Tendermint-style IAVL tree."""
+
+import pytest
+
+from repro.merkle.iavl import EMPTY_ROOT, IAVLTree
+from repro.merkle.proof import verify_proof
+
+
+def key(i):
+    return f"k{i:04d}".encode()
+
+
+def test_empty_root():
+    assert IAVLTree().root_hash == EMPTY_ROOT
+
+
+def test_set_get_overwrite():
+    tree = IAVLTree()
+    tree.set(b"a", b"1")
+    assert tree.get(b"a") == b"1"
+    tree.set(b"a", b"2")
+    assert tree.get(b"a") == b"2"
+    assert tree.get(b"missing") is None
+
+
+def test_contains_and_len():
+    tree = IAVLTree()
+    for i in range(10):
+        tree.set(key(i), b"v")
+    assert key(3) in tree
+    assert key(99) not in tree
+    assert len(tree) == 10
+
+
+def test_items_sorted():
+    tree = IAVLTree()
+    for i in [5, 1, 9, 3, 7]:
+        tree.set(key(i), str(i).encode())
+    assert [k for k, _ in tree.items()] == [key(i) for i in [1, 3, 5, 7, 9]]
+
+
+def test_delete():
+    tree = IAVLTree()
+    for i in range(8):
+        tree.set(key(i), b"v")
+    assert tree.delete(key(3))
+    assert tree.get(key(3)) is None
+    assert not tree.delete(key(3))
+    assert len(tree) == 7
+
+
+def test_root_is_deterministic_for_same_op_sequence():
+    # Like Tendermint's IAVL, the root hash is history-dependent (tree
+    # shape depends on rotation order) but fully deterministic: all
+    # replicas applying the same ordered writes commit the same root.
+    a = IAVLTree()
+    b = IAVLTree()
+    for i in [5, 1, 9, 3, 7, 2]:
+        a.set(key(i), str(i).encode())
+        b.set(key(i), str(i).encode())
+    assert a.root_hash == b.root_hash
+
+
+def test_balanced_height():
+    tree = IAVLTree()
+    for i in range(256):  # sorted insertion: worst case for a plain BST
+        tree.set(key(i), b"v")
+    # AVL height bound: 1.44 * log2(n) ~ 11.5 for 256 leaves
+    assert tree.height() <= 12
+
+
+def test_proofs_verify():
+    tree = IAVLTree()
+    for i in range(64):
+        tree.set(key(i), str(i).encode())
+    for i in range(64):
+        proof = tree.prove(key(i))
+        assert proof.value == str(i).encode()
+        assert verify_proof(proof, tree.root_hash)
+
+
+def test_proof_of_missing_key_raises():
+    tree = IAVLTree()
+    tree.set(b"a", b"1")
+    with pytest.raises(KeyError):
+        tree.prove(b"b")
+
+
+def test_proof_invalidated_by_later_write():
+    tree = IAVLTree()
+    for i in range(16):
+        tree.set(key(i), b"v")
+    proof = tree.prove(key(0))
+    old_root = tree.root_hash
+    tree.set(key(5), b"changed")
+    assert verify_proof(proof, old_root)
+    assert not verify_proof(proof, tree.root_hash)
+
+
+def test_proof_length_logarithmic():
+    tree = IAVLTree()
+    for i in range(1024):
+        tree.set(key(i), b"v")
+    assert len(tree.prove(key(512))) <= 15

@@ -1,0 +1,176 @@
+"""Unit tests for ScalableKitties (single chain)."""
+
+import pytest
+
+from repro.apps.genes import GENE_COUNT, mix_genes, promo_genes
+from repro.apps.kitties import Kitty, KittyRegistry
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.chain.tx import CallPayload, DeployPayload
+from tests.helpers import ALICE, BOB, CAROL, ManualClock, run_tx
+
+
+@pytest.fixture
+def kitty_world():
+    chain = Chain(burrow_params(1))
+    clock = ManualClock()
+    receipt = run_tx(chain, clock, ALICE, DeployPayload(code_hash=KittyRegistry.CODE_HASH))
+    assert receipt.success, receipt.error
+    return chain, clock, receipt.return_value
+
+
+def promo(chain, clock, registry, owner_kp, to):
+    receipt = run_tx(
+        chain, clock, owner_kp, CallPayload(registry, "create_promo_kitty", (to,))
+    )
+    assert receipt.success, receipt.error
+    return receipt.return_value
+
+
+def test_gene_mixing_is_deterministic():
+    a, b = promo_genes(1), promo_genes(2)
+    assert mix_genes(a, b, 7) == mix_genes(a, b, 7)
+    assert mix_genes(a, b, 7) != mix_genes(a, b, 8)
+    assert 0 <= mix_genes(a, b, 7) < (1 << 256)
+
+
+def test_child_genes_come_from_parents_mostly():
+    a, b = promo_genes(1), promo_genes(2)
+    child = mix_genes(a, b, 3)
+    inherited = 0
+    for i in range(GENE_COUNT):
+        gene = (child >> (i * 4)) & 0xF
+        if gene in ((a >> (i * 4)) & 0xF, (b >> (i * 4)) & 0xF):
+            inherited += 1
+    assert inherited >= GENE_COUNT * 3 // 4  # mutations are rare
+
+
+def test_promo_creation_owner_only(kitty_world):
+    chain, clock, registry = kitty_world
+    cat = promo(chain, clock, registry, ALICE, BOB.address)
+    assert chain.view(cat, "get_owner") == BOB.address
+    assert chain.view(registry, "total_kitties") == 1
+    refused = run_tx(
+        chain, clock, BOB, CallPayload(registry, "create_promo_kitty", (BOB.address,))
+    )
+    assert not refused.success
+
+
+def test_breeding_produces_next_generation(kitty_world):
+    chain, clock, registry = kitty_world
+    matron = promo(chain, clock, registry, ALICE, BOB.address)
+    sire = promo(chain, clock, registry, ALICE, BOB.address)
+    assert run_tx(chain, clock, BOB, CallPayload(matron, "breed_with", (sire,))).success
+    assert chain.view(matron, "is_pregnant")
+    receipt = run_tx(chain, clock, BOB, CallPayload(matron, "give_birth"))
+    assert receipt.success, receipt.error
+    child = receipt.return_value
+    assert chain.view(child, "get_owner") == BOB.address
+    _, matron_id, sire_id, generation = chain.view(child, "lineage")
+    assert generation == 1
+    assert matron_id == chain.view(matron, "lineage")[0]
+    assert sire_id == chain.view(sire, "lineage")[0]
+    assert not chain.view(matron, "is_pregnant")
+
+
+def test_breeding_needs_siring_approval_across_owners(kitty_world):
+    chain, clock, registry = kitty_world
+    matron = promo(chain, clock, registry, ALICE, BOB.address)
+    sire = promo(chain, clock, registry, ALICE, CAROL.address)
+    refused = run_tx(chain, clock, BOB, CallPayload(matron, "breed_with", (sire,)))
+    assert not refused.success
+    assert "siring not approved" in refused.error
+    # Carol approves Bob's use of her cat as sire.
+    assert run_tx(chain, clock, CAROL, CallPayload(sire, "approve_siring", (BOB.address,))).success
+    assert run_tx(chain, clock, BOB, CallPayload(matron, "breed_with", (sire,))).success
+    # Approval is consumed: breeding again needs a fresh approval.
+    run_tx(chain, clock, BOB, CallPayload(matron, "give_birth"))
+    again = run_tx(chain, clock, BOB, CallPayload(matron, "breed_with", (sire,)))
+    assert not again.success
+
+
+def test_sibling_cats_cannot_mate(kitty_world):
+    chain, clock, registry = kitty_world
+    matron = promo(chain, clock, registry, ALICE, BOB.address)
+    sire = promo(chain, clock, registry, ALICE, BOB.address)
+    # Produce two siblings.
+    run_tx(chain, clock, BOB, CallPayload(matron, "breed_with", (sire,)))
+    c1 = run_tx(chain, clock, BOB, CallPayload(matron, "give_birth")).return_value
+    run_tx(chain, clock, BOB, CallPayload(matron, "breed_with", (sire,)))
+    c2 = run_tx(chain, clock, BOB, CallPayload(matron, "give_birth")).return_value
+    refused = run_tx(chain, clock, BOB, CallPayload(c1, "breed_with", (c2,)))
+    assert not refused.success
+    assert "sibling" in refused.error
+
+
+def test_cat_cannot_breed_with_itself(kitty_world):
+    chain, clock, registry = kitty_world
+    cat = promo(chain, clock, registry, ALICE, BOB.address)
+    refused = run_tx(chain, clock, BOB, CallPayload(cat, "breed_with", (cat,)))
+    assert not refused.success
+
+
+def test_cannot_breed_while_pregnant(kitty_world):
+    chain, clock, registry = kitty_world
+    matron = promo(chain, clock, registry, ALICE, BOB.address)
+    s1 = promo(chain, clock, registry, ALICE, BOB.address)
+    s2 = promo(chain, clock, registry, ALICE, BOB.address)
+    assert run_tx(chain, clock, BOB, CallPayload(matron, "breed_with", (s1,))).success
+    refused = run_tx(chain, clock, BOB, CallPayload(matron, "breed_with", (s2,)))
+    assert not refused.success
+    assert "already pregnant" in refused.error
+
+
+def test_transfer_ownership_clears_siring(kitty_world):
+    chain, clock, registry = kitty_world
+    cat = promo(chain, clock, registry, ALICE, BOB.address)
+    run_tx(chain, clock, BOB, CallPayload(cat, "approve_siring", (CAROL.address,)))
+    assert run_tx(chain, clock, BOB, CallPayload(cat, "transfer_ownership", (CAROL.address,))).success
+    assert chain.view(cat, "get_owner") == CAROL.address
+    refused = run_tx(chain, clock, BOB, CallPayload(cat, "transfer_ownership", (BOB.address,)))
+    assert not refused.success
+
+
+def test_give_birth_requires_pregnancy(kitty_world):
+    chain, clock, registry = kitty_world
+    cat = promo(chain, clock, registry, ALICE, BOB.address)
+    refused = run_tx(chain, clock, BOB, CallPayload(cat, "give_birth"))
+    assert not refused.success
+
+
+def test_breeding_cooldown_subclass(kitty_world):
+    # CryptoKitties-style cooldown: a matron rests after giving birth.
+    from repro.apps.kitties import Kitty
+    from repro.runtime.registry import register_contract
+
+    chain, clock, registry = kitty_world
+
+    @register_contract
+    class SlowKitty(Kitty):
+        """A cat with a 60-second breeding cooldown."""
+
+        BREED_COOLDOWN = 60.0
+
+    from repro.chain.tx import DeployPayload
+
+    matron = run_tx(
+        chain, clock, ALICE,
+        DeployPayload(code_hash=SlowKitty.CODE_HASH,
+                      args=(BOB.address, 901, 7, 0, 0, 0, registry)),
+    ).return_value
+    sire = run_tx(
+        chain, clock, ALICE,
+        DeployPayload(code_hash=SlowKitty.CODE_HASH,
+                      args=(BOB.address, 902, 8, 0, 0, 0, registry)),
+    ).return_value
+    assert run_tx(chain, clock, BOB, CallPayload(matron, "breed_with", (sire,))).success
+    assert run_tx(chain, clock, BOB, CallPayload(matron, "give_birth")).success
+    # Immediately breeding again hits the cooldown...
+    refused = run_tx(chain, clock, BOB, CallPayload(matron, "breed_with", (sire,)))
+    assert not refused.success
+    assert "cooldown" in refused.error
+    # ...which elapses with block time (5 s per block).
+    from tests.helpers import produce
+
+    produce(chain, clock, 13)
+    assert run_tx(chain, clock, BOB, CallPayload(matron, "breed_with", (sire,))).success

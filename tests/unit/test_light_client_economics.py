@@ -1,0 +1,81 @@
+"""The size assumptions behind light clients (paper §II/§III-A).
+
+Headers must be constant-size hundreds of bytes and a small fraction of
+full block bodies; Merkle proofs must be logarithmic in state size —
+what makes interoperability affordable for non-archival peers.
+"""
+
+import pytest
+
+from repro.chain.tx import CallPayload, TransferPayload, sign_transaction
+from repro.crypto.keys import KeyPair
+from tests.helpers import ALICE, BOB, ManualClock, StoreContract, deploy_store, make_chain_pair, produce, run_tx
+
+
+def test_header_size_is_constant_hundreds_of_bytes():
+    burrow, _ethereum = make_chain_pair()
+    clock = ManualClock()
+    produce(burrow, clock, 3)
+    sizes = {block.header.size_bytes() for block in burrow.blocks[1:]}
+    assert len(sizes) <= 2  # constant modulo the proposer label
+    assert all(100 <= size <= 400 for size in sizes)
+
+
+def test_header_is_small_fraction_of_full_block():
+    # A full block (hundreds of transfer transactions): the header must
+    # be on the order of the paper's ~2 % figure.
+    burrow, _ethereum = make_chain_pair()
+    burrow.fund({ALICE.address: 10**9})
+    clock = ManualClock()
+    for _ in range(130):
+        burrow.submit(sign_transaction(ALICE, TransferPayload(to=BOB.address, amount=1)))
+    clock.tick()
+    block = burrow.produce_block(clock.now)
+    ratio = block.header.size_bytes() / block.body_size_bytes()
+    assert len(block.transactions) == 130
+    assert ratio < 0.05  # header « body
+
+
+def test_account_proof_grows_logarithmically():
+    # Populate a chain with many accounts; single-account proofs must
+    # stay logarithmic in the state size.
+    burrow, _ethereum = make_chain_pair()
+    clock = ManualClock()
+    addr = deploy_store(burrow, clock, ALICE)
+    run_tx(burrow, clock, ALICE, CallPayload(addr, "put", (1, 1)))
+    small_proof = None
+    for population in (64, 512):
+        burrow.fund({
+            KeyPair.from_name(f"filler-{population}-{i}").address: 1
+            for i in range(population)
+        })
+        produce(burrow, clock)
+        proof = burrow.state.prove_account(addr)
+        if small_proof is None:
+            small_proof = len(proof)
+        else:
+            # 8x the accounts adds only ~3 levels to the path.
+            assert len(proof) <= small_proof + 6
+    assert small_proof >= 1
+
+
+def test_move_bundle_size_dominated_by_state_not_proof():
+    # For a Store-100, the bundle's bytes are mostly the storage being
+    # moved, not Merkle overhead — the protocol ships state, not trees.
+    from repro.apps.store import StateStore
+    from repro.chain.tx import DeployPayload, Move1Payload
+
+    burrow, ethereum = make_chain_pair()
+    clock = ManualClock()
+    store = run_tx(
+        burrow, clock, ALICE, DeployPayload(code_hash=StateStore.CODE_HASH, args=(100,))
+    ).return_value
+    receipt = run_tx(
+        burrow, clock, ALICE, Move1Payload(contract=store, target_chain=ethereum.chain_id)
+    )
+    while burrow.height < burrow.proof_ready_height(receipt.block_height):
+        produce(burrow, clock)
+    bundle = burrow.prove_contract_at(store, receipt.block_height)
+    storage_bytes = sum(len(k) + len(v) for k, v in bundle.storage.items())
+    proof_overhead = bundle.account_proof.size_bytes()
+    assert storage_bytes + len(bundle.code) > 2 * proof_overhead

@@ -1,0 +1,75 @@
+"""Unit tests for header stores and the VS predicate."""
+
+import pytest
+
+from repro.chain.block import GENESIS_PARENT, BlockHeader
+from repro.chain.lightclient import HeaderStore, LightClient
+from repro.crypto.hashing import keccak
+from repro.errors import StateError
+
+
+def header(chain_id, height, root=None):
+    return BlockHeader(
+        chain_id=chain_id,
+        height=height,
+        parent_hash=GENESIS_PARENT,
+        state_root=root if root is not None else keccak(f"root-{height}".encode()),
+        txs_root=keccak(b"txs"),
+        timestamp=float(height),
+    )
+
+
+def test_store_tracks_head():
+    store = HeaderStore(chain_id=1, confirmation_depth=2)
+    store.add_header(header(1, 0))
+    store.add_header(header(1, 5))
+    store.add_header(header(1, 3))  # out of order is fine
+    assert store.head_height == 5
+
+
+def test_wrong_chain_header_rejected():
+    store = HeaderStore(chain_id=1, confirmation_depth=2)
+    with pytest.raises(StateError):
+        store.add_header(header(2, 0))
+
+
+def test_confirmation_depth_gates_trust():
+    store = HeaderStore(chain_id=1, confirmation_depth=2)
+    root = keccak(b"the-root")
+    store.add_header(header(1, 10, root))
+    assert store.trusted_state_root(10) is None  # head == height
+    store.add_header(header(1, 11))
+    assert store.trusted_state_root(10) is None  # only 1 deep
+    store.add_header(header(1, 12))
+    assert store.trusted_state_root(10) == root  # exactly p deep
+
+
+def test_unknown_height_untrusted():
+    store = HeaderStore(chain_id=1, confirmation_depth=0)
+    store.add_header(header(1, 3))
+    assert store.trusted_state_root(2) is None
+
+
+def test_light_client_vs_predicate():
+    lc = LightClient()
+    lc.observe(chain_id=1, confirmation_depth=1)
+    root = keccak(b"r")
+    lc.add_header(header(1, 4, root))
+    lc.add_header(header(1, 5))
+    assert lc.valid_state_root(1, 4, root)
+    assert not lc.valid_state_root(1, 4, keccak(b"other"))
+    assert not lc.valid_state_root(1, 5, keccak(b"r5"))  # unconfirmed
+    assert not lc.valid_state_root(99, 4, root)  # unobserved chain
+
+
+def test_light_client_rejects_unobserved_ingest():
+    lc = LightClient()
+    with pytest.raises(StateError):
+        lc.add_header(header(1, 0))
+
+
+def test_observe_is_idempotent():
+    lc = LightClient()
+    a = lc.observe(1, 2)
+    b = lc.observe(1, 2)
+    assert a is b

@@ -1,0 +1,96 @@
+"""Unit tests for collectors, CDFs and report rendering."""
+
+import pytest
+
+from repro.metrics.cdf import cdf_points, percentile
+from repro.metrics.collector import LatencySampler, ThroughputCollector
+from repro.metrics.report import format_series, format_table
+
+
+def test_throughput_rate_and_total():
+    tc = ThroughputCollector()
+    for t in [1.0, 2.0, 2.5, 9.0]:
+        tc.record(t)
+    assert tc.total == 4
+    assert tc.rate(0.0, 10.0) == pytest.approx(0.4)
+    assert tc.rate(0.0, 5.0) == pytest.approx(0.6)
+    assert tc.rate(5.0, 5.0) == 0.0
+
+
+def test_throughput_series_buckets():
+    tc = ThroughputCollector()
+    tc.record(1.0, count=5)
+    tc.record(12.0, count=10)
+    series = tc.series(bucket=10.0, end=30.0)
+    assert series == [(0.0, 0.5), (10.0, 1.0), (20.0, 0.0)]
+
+
+def test_throughput_empty_series():
+    assert ThroughputCollector().series() == []
+
+
+def test_latency_sampler_kinds_and_mean():
+    ls = LatencySampler()
+    ls.add("single", 1.0)
+    ls.add("single", 3.0)
+    ls.add("cross", 10.0)
+    assert set(ls.kinds()) == {"single", "cross"}
+    assert ls.mean("single") == 2.0
+    assert ls.count("cross") == 1
+    assert sorted(ls.all_samples()) == [1.0, 3.0, 10.0]
+
+
+def test_latency_sampler_rejects_negative():
+    with pytest.raises(ValueError):
+        LatencySampler().add("x", -1.0)
+
+
+def test_latency_mean_of_unknown_kind():
+    with pytest.raises(ValueError):
+        LatencySampler().mean("nope")
+
+
+def test_cdf_points_monotonic_and_complete():
+    samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+    points = cdf_points(samples)
+    values = [v for v, _f in points]
+    fractions = [f for _v, f in points]
+    assert values == sorted(values)
+    assert fractions[-1] == 1.0
+    assert all(0 < f <= 1 for f in fractions)
+
+
+def test_cdf_points_downsampled():
+    points = cdf_points(list(range(1000)), points=50)
+    assert len(points) <= 52
+    assert points[-1][1] == 1.0
+
+
+def test_cdf_empty():
+    assert cdf_points([]) == []
+
+
+def test_percentile():
+    samples = list(range(1, 101))
+    assert percentile(samples, 0.5) == 51
+    assert percentile(samples, 0.0) == 1
+    assert percentile(samples, 1.0) == 100
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_format_table_aligns():
+    text = format_table(["a", "bbbb"], [[1, 2.5], [333, 4]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "333" in lines[3]
+    assert "2.50" in lines[2]
+
+
+def test_format_series_renders_bars():
+    text = format_series([(0.0, 1.0), (10.0, 2.0)], y_label="tx/s")
+    assert "tx/s" in text
+    assert text.count("#") > 0
+    assert format_series([]) == "(empty series)"

@@ -1,0 +1,54 @@
+"""Listing 1's move cool-down ("the contract must remain at least three
+days in the target blockchain before moved again")."""
+
+import pytest
+
+from repro.chain.tx import Move1Payload
+from repro.lang.movable import MovableContract
+from repro.runtime import MapSlot, external, register_contract
+from tests.helpers import ALICE, ManualClock, full_move, make_chain_pair, produce, run_tx
+
+
+@register_contract
+class CooledContract(MovableContract):
+    """Moves at most once per 100 simulated seconds."""
+
+    MOVE_COOLDOWN = 100.0
+
+    values = MapSlot(int, int)
+
+    @external
+    def put(self, key, value):
+        """Store a value."""
+        self.values[key] = value
+
+
+def deploy(chain, clock):
+    from repro.chain.tx import DeployPayload
+
+    receipt = run_tx(chain, clock, ALICE, DeployPayload(code_hash=CooledContract.CODE_HASH))
+    assert receipt.success, receipt.error
+    return receipt.return_value
+
+
+def test_first_move_is_always_allowed():
+    burrow, ethereum = make_chain_pair()
+    clock = ManualClock()
+    addr = deploy(burrow, clock)
+    assert full_move(burrow, ethereum, clock, ALICE, addr).success
+
+
+def test_second_move_respects_cooldown():
+    burrow, ethereum = make_chain_pair()
+    clock = ManualClock()
+    addr = deploy(burrow, clock)
+    assert full_move(burrow, ethereum, clock, ALICE, addr).success
+    # Immediately trying to move back: the moveFinish stamp throttles it.
+    refused = run_tx(
+        ethereum, clock, ALICE, Move1Payload(contract=addr, target_chain=burrow.chain_id)
+    )
+    assert not refused.success
+    assert "cool-down" in refused.error
+    # After the cool-down elapses (5 s blocks), the move goes through.
+    produce(ethereum, clock, 21)
+    assert full_move(ethereum, burrow, clock, ALICE, addr).success

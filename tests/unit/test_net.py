@@ -1,0 +1,116 @@
+"""Unit tests for the latency model and message transport."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.latency import REGIONS, LatencyModel
+from repro.net.sim import Simulator
+from repro.net.transport import Network
+
+
+def test_fourteen_regions():
+    assert len(REGIONS) == 14
+
+
+def test_latency_symmetric_and_positive():
+    model = LatencyModel()
+    for src in model.region_names:
+        for dst in model.region_names:
+            lat = model.base_latency(src, dst)
+            assert lat > 0
+            assert lat == model.base_latency(dst, src)
+
+
+def test_intra_region_is_fast_wan_is_slow():
+    model = LatencyModel()
+    assert model.base_latency("us-east-1", "us-east-1") < 0.005
+    transatlantic = model.base_latency("us-east-1", "eu-west-1")
+    assert 0.020 < transatlantic < 0.060
+    transpacific = model.base_latency("us-east-1", "ap-southeast-2")
+    assert transpacific > transatlantic
+
+
+def test_jitter_varies_but_stays_near_base():
+    model = LatencyModel()
+    rng = random.Random(1)
+    base = model.base_latency("us-east-1", "eu-west-1")
+    samples = [model.sample("us-east-1", "eu-west-1", rng) for _ in range(200)]
+    assert len(set(samples)) > 100
+    for s in samples:
+        assert 0.5 * base < s < 2.0 * base
+
+
+def test_assign_regions_uses_known_names():
+    model = LatencyModel()
+    assigned = model.assign_regions(30, random.Random(3))
+    assert len(assigned) == 30
+    assert set(assigned) <= set(model.region_names)
+
+
+def _pair(sim):
+    net = Network(sim)
+    inbox_a, inbox_b = [], []
+    net.attach("a", "us-east-1", lambda src, msg: inbox_a.append((src, msg)))
+    net.attach("b", "eu-west-1", lambda src, msg: inbox_b.append((src, msg)))
+    return net, inbox_a, inbox_b
+
+
+def test_send_delivers_after_latency():
+    sim = Simulator(seed=1)
+    net, _, inbox_b = _pair(sim)
+    net.send("a", "b", "hello")
+    assert inbox_b == []
+    sim.run()
+    assert inbox_b == [("a", "hello")]
+    assert sim.now > 0.02  # at least the transatlantic base latency ballpark
+
+
+def test_unknown_sender_raises_unknown_destination_drops():
+    sim = Simulator(seed=1)
+    net, _, inbox_b = _pair(sim)
+    with pytest.raises(SimulationError):
+        net.send("ghost", "b", "x")
+    net.send("a", "ghost", "x")  # silently dropped
+    sim.run()
+    assert inbox_b == []
+
+
+def test_detach_drops_in_flight():
+    sim = Simulator(seed=1)
+    net, _, inbox_b = _pair(sim)
+    net.send("a", "b", "x")
+    net.detach("b")
+    sim.run()
+    assert inbox_b == []
+
+
+def test_broadcast_skips_self():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    inboxes = {name: [] for name in "abc"}
+    for name in "abc":
+        net.attach(name, "us-east-1", lambda src, msg, n=name: inboxes[n].append(msg))
+    net.broadcast("a", ["a", "b", "c"], "blk")
+    sim.run()
+    assert inboxes["a"] == []
+    assert inboxes["b"] == ["blk"]
+    assert inboxes["c"] == ["blk"]
+
+
+def test_double_attach_rejected():
+    sim = Simulator()
+    net = Network(sim)
+    net.attach("a", "us-east-1", lambda s, m: None)
+    with pytest.raises(SimulationError):
+        net.attach("a", "us-east-1", lambda s, m: None)
+
+
+def test_message_counters():
+    sim = Simulator(seed=1)
+    net, _, _ = _pair(sim)
+    net.send("a", "b", "x", size_bytes=100)
+    net.send("a", "b", "y", size_bytes=50)
+    assert net.messages_sent == 2
+    assert net.bytes_sent == 150

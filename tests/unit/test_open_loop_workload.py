@@ -1,0 +1,44 @@
+"""Unit tests for the open-loop (Poisson) workload generator."""
+
+import pytest
+
+from repro.sharding.cluster import ShardedCluster
+from repro.workload.generators import OpenLoopTransferWorkload
+
+
+def run(rate, duration=200.0, capacity=130, seed=41):
+    cluster = ShardedCluster(num_shards=1, seed=seed, max_block_txs=capacity)
+    workload = OpenLoopTransferWorkload(cluster, offered_rate=rate, seed=7)
+    return workload.run(duration, warmup=30.0)
+
+
+def test_underload_achieves_offered_rate():
+    report = run(rate=8.0)
+    assert abs(report.achieved_rate - 8.0) < 1.5
+    assert report.backlog_at_end < 30
+    assert report.mean_latency < 8.0
+
+
+def test_overload_clamps_at_capacity():
+    report = run(rate=80.0, capacity=50)
+    capacity_tps = 50 / 5.4
+    assert 0.6 * capacity_tps < report.achieved_rate < capacity_tps * 1.2
+    assert report.backlog_at_end > 500
+    # Latency samples cover in-window submissions; under this much
+    # overload few (possibly none) complete — if any did, they queued.
+    if report.latency.all_samples():
+        assert report.mean_latency > 10.0
+
+
+def test_submission_counts_are_poisson_scale():
+    report = run(rate=10.0, duration=300.0)
+    # ~3000 expected submissions in the window; allow wide Poisson band.
+    assert 2500 < report.submitted < 3500
+
+
+def test_reports_are_reproducible():
+    a = run(rate=6.0, seed=9)
+    b = run(rate=6.0, seed=9)
+    assert a.submitted == b.submitted
+    assert a.completed == b.completed
+    assert a.mean_latency == b.mean_latency

@@ -1,0 +1,95 @@
+"""Network partitions: BFT safety over liveness.
+
+A partitioned validator set must never fork: the side holding a 2/3+
+quorum (if any) keeps committing, the other halts; with no quorum
+anywhere the whole chain halts; healing restores liveness with a single
+consistent history.
+"""
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.consensus.tendermint import TendermintEngine
+from repro.net.latency import LatencyModel
+from repro.net.sim import Simulator
+from repro.net.transport import Network
+
+
+def make_engine(seed=1, validators=10):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    chain = Chain(burrow_params(1), verify_signatures=False)
+    regions = LatencyModel().assign_regions(validators, sim.rng)
+    engine = TendermintEngine(sim, net, chain, regions)
+    return sim, net, chain, engine
+
+
+def test_transport_partition_drops_cross_group_only():
+    sim = Simulator(seed=2)
+    net = Network(sim)
+    boxes = {name: [] for name in "abcd"}
+    for name in "abcd":
+        net.attach(name, "us-east-1", lambda s, m, n=name: boxes[n].append(m))
+    net.partition(["a", "b"], ["c", "d"])
+    net.send("a", "b", "in-group")
+    net.send("a", "c", "cross")
+    sim.run()
+    assert boxes["b"] == ["in-group"]
+    assert boxes["c"] == []
+    assert net.messages_dropped == 1
+    net.heal()
+    net.send("a", "c", "after-heal")
+    sim.run()
+    assert boxes["c"] == ["after-heal"]
+
+
+def test_majority_side_keeps_committing():
+    sim, net, chain, engine = make_engine(seed=3)
+    engine.start()
+    sim.run(until=30.0)
+    before = chain.height
+    # 7 | 3 split: the 7-side holds the quorum.
+    net.partition(engine.validators[:7], engine.validators[7:])
+    sim.run(until=120.0)
+    assert chain.height > before + 10
+    heights = [b.height for b in chain.blocks]
+    assert heights == sorted(set(heights))  # single consistent history
+
+
+def test_even_split_halts_then_heals():
+    sim, net, chain, engine = make_engine(seed=4)
+    engine.start()
+    sim.run(until=30.0)
+    before = chain.height
+    net.partition(engine.validators[:5], engine.validators[5:])
+    sim.run(until=150.0)
+    # Neither side has 7 votes: no commits (at most one in flight).
+    assert chain.height <= before + 1
+    net.heal()
+    sim.run(until=300.0)
+    assert chain.height > before + 10
+    heights = [b.height for b in chain.blocks]
+    assert heights == sorted(set(heights))
+
+
+def test_partition_never_forks_transactions():
+    from repro.chain.tx import TransferPayload, sign_transaction
+    from repro.crypto.keys import KeyPair
+
+    sim, net, chain, engine = make_engine(seed=5)
+    alice, bob = KeyPair.from_name("pa"), KeyPair.from_name("pb")
+    chain.fund({alice.address: 100})
+    engine.start()
+    sim.run(until=20.0)
+    net.partition(engine.validators[:6], engine.validators[6:])
+    tx = sign_transaction(alice, TransferPayload(to=bob.address, amount=7))
+    chain.submit(tx)
+    sim.run(until=120.0)
+    executed_during_partition = tx.tx_id in chain.receipts
+    net.heal()
+    sim.run(until=300.0)
+    # Executed exactly once, whenever it landed.
+    assert chain.receipts[tx.tx_id].success
+    assert chain.balance_of(bob.address) == 7
+    assert not executed_during_partition  # 6|4: no quorum either side

@@ -1,0 +1,152 @@
+"""Edge-case coverage for the contract runtime and code registry."""
+
+import pytest
+
+from repro.crypto.keys import Address, KeyPair
+from repro.errors import CodeNotFound, Revert
+from repro.merkle.iavl import IAVLTree
+from repro.runtime import (
+    BlockEnv,
+    Contract,
+    MapSlot,
+    Runtime,
+    Slot,
+    external,
+    register_contract,
+)
+from repro.runtime.registry import code_for, lookup_code, register_contract as register
+from repro.statedb.state import WorldState
+from repro.vm.gas import ETHEREUM_SCHEDULE
+
+ALICE = KeyPair.from_name("alice").address
+ENV = BlockEnv(chain_id=1, height=1, timestamp=10.0)
+
+
+@pytest.fixture
+def runtime():
+    return Runtime(WorldState(chain_id=1, tree_factory=IAVLTree), ETHEREUM_SCHEDULE)
+
+
+def test_unregistered_class_has_no_code():
+    class Naked(Contract):
+        """Not passed through @register_contract."""
+
+    with pytest.raises(CodeNotFound):
+        code_for(Naked)
+
+
+def test_lookup_unknown_hash():
+    with pytest.raises(CodeNotFound):
+        lookup_code(b"\x00" * 32)
+
+
+def test_dynamic_class_registration_fallback():
+    # Classes created without retrievable source still register with a
+    # stable identity (REPL/exec scenario).
+    cls = type("DynamicThing", (Contract,), {"__doc__": "made at runtime"})
+    registered = register(cls)
+    assert registered.CODE
+    assert lookup_code(registered.CODE_HASH) is registered
+
+
+def test_negative_int_slot_rejected(runtime):
+    @register_contract
+    class Neg(Contract):
+        """Stores an int slot."""
+
+        x = Slot(int)
+
+        @external
+        def set_neg(self):
+            """Try to store a negative value."""
+            self.x = -1
+
+    ctx = runtime.make_context(ALICE, ENV)
+    addr = runtime.deploy(ctx, Neg, (), sender=ALICE)
+    with pytest.raises(ValueError):
+        runtime.call(ctx, addr, "set_neg", sender=ALICE)
+
+
+def test_map_slot_direct_assignment_rejected(runtime):
+    @register_contract
+    class Mapped(Contract):
+        """Has a map slot."""
+
+        table = MapSlot(int, int)
+
+        @external
+        def smash(self):
+            """Illegal: replace the map wholesale."""
+            self.table = {}
+
+    ctx = runtime.make_context(ALICE, ENV)
+    addr = runtime.deploy(ctx, Mapped, (), sender=ALICE)
+    with pytest.raises(AttributeError):
+        runtime.call(ctx, addr, "smash", sender=ALICE)
+
+
+def test_map_slot_delete_and_contains(runtime):
+    @register_contract
+    class Deleting(Contract):
+        """Exercises map deletion."""
+
+        table = MapSlot(int, int)
+
+        @external
+        def put_and_del(self):
+            """Insert then delete a key; report membership."""
+            self.table[1] = 5
+            had = 1 in self.table
+            del self.table[1]
+            return had, 1 in self.table
+
+    ctx = runtime.make_context(ALICE, ENV)
+    addr = runtime.deploy(ctx, Deleting, (), sender=ALICE)
+    assert runtime.call(ctx, addr, "put_and_del", sender=ALICE) == (True, False)
+
+
+def test_view_on_missing_contract(runtime):
+    from repro.errors import StateError
+
+    with pytest.raises(StateError):
+        runtime.view(Address(b"\x01" * 20), "anything")
+
+
+def test_verify_remote_state_without_light_client(runtime):
+    @register_contract
+    class Prover(Contract):
+        """Calls the light-client builtin."""
+
+        @external
+        def check(self, proof):
+            """Try to verify a remote proof."""
+            return self.verify_remote_state(proof)
+
+    ctx = runtime.make_context(ALICE, ENV)  # standalone: no light client
+    addr = runtime.deploy(ctx, Prover, (), sender=ALICE)
+
+    class FakeProof:
+        def size_bytes(self):
+            return 10
+
+        def verify(self, lc):
+            return True
+
+    with pytest.raises(Revert, match="light client"):
+        runtime.call(ctx, addr, "check", (FakeProof(),), sender=ALICE)
+
+
+def test_op_move_to_own_chain_rejected(runtime):
+    @register_contract
+    class SelfMover(Contract):
+        """Tries OP_MOVE to the current chain."""
+
+        @external
+        def bad_move(self):
+            """Illegal self-move."""
+            self.op_move(self.chain_id)
+
+    ctx = runtime.make_context(ALICE, ENV)
+    addr = runtime.deploy(ctx, SelfMover, (), sender=ALICE)
+    with pytest.raises(Revert, match="current chain"):
+        runtime.call(ctx, addr, "bad_move", sender=ALICE)

@@ -1,0 +1,159 @@
+"""Unit tests for SCoin / SAccount (single chain)."""
+
+import pytest
+
+from repro.apps.scoin import SAccount, SCoin
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.chain.tx import CallPayload, DeployPayload
+from repro.crypto.keys import KeyPair, create2_address
+from tests.helpers import ALICE, BOB, CAROL, ManualClock, produce, run_tx
+
+
+@pytest.fixture
+def token_world():
+    chain = Chain(burrow_params(1))
+    clock = ManualClock()
+    receipt = run_tx(chain, clock, ALICE, DeployPayload(code_hash=SCoin.CODE_HASH))
+    assert receipt.success, receipt.error
+    token = receipt.return_value
+    return chain, clock, token
+
+
+def new_account(chain, clock, token, user):
+    receipt = run_tx(chain, clock, user, CallPayload(token, "new_account"))
+    assert receipt.success, receipt.error
+    return receipt.return_value  # (address, salt)
+
+
+def test_new_account_returns_create2_address(token_world):
+    chain, clock, token = token_world
+    account, salt = new_account(chain, clock, token, ALICE)
+    assert salt == 0
+    assert account == create2_address(1, token, salt, SAccount.CODE_HASH)
+    assert chain.view(account, "token_balance") == 0
+    assert chain.view(account, "origin_salt") == 0
+
+
+def test_salts_are_monotonic(token_world):
+    chain, clock, token = token_world
+    _, s0 = new_account(chain, clock, token, ALICE)
+    _, s1 = new_account(chain, clock, token, BOB)
+    _, s2 = new_account(chain, clock, token, CAROL)
+    assert (s0, s1, s2) == (0, 1, 2)
+
+
+def test_mint_owner_only_and_supply(token_world):
+    chain, clock, token = token_world
+    account, _ = new_account(chain, clock, token, ALICE)
+    assert run_tx(chain, clock, ALICE, CallPayload(token, "mint_to", (account, 100))).success
+    assert chain.view(account, "token_balance") == 100
+    assert chain.view(token, "total_supply") == 100
+    refused = run_tx(chain, clock, BOB, CallPayload(token, "mint_to", (account, 5)))
+    assert not refused.success
+
+
+def test_mint_direct_on_account_refused(token_world):
+    chain, clock, token = token_world
+    account, _ = new_account(chain, clock, token, ALICE)
+    receipt = run_tx(chain, clock, ALICE, CallPayload(account, "mint", (100,)))
+    assert not receipt.success
+    assert "only the parent" in receipt.error
+
+
+def test_transfer_between_sibling_accounts(token_world):
+    chain, clock, token = token_world
+    a, _ = new_account(chain, clock, token, ALICE)
+    b, _ = new_account(chain, clock, token, BOB)
+    run_tx(chain, clock, ALICE, CallPayload(token, "mint_to", (a, 100)))
+    receipt = run_tx(chain, clock, ALICE, CallPayload(a, "transfer_tokens", (b, 40)))
+    assert receipt.success, receipt.error
+    assert chain.view(a, "token_balance") == 60
+    assert chain.view(b, "token_balance") == 40
+
+
+def test_transfer_requires_owner(token_world):
+    chain, clock, token = token_world
+    a, _ = new_account(chain, clock, token, ALICE)
+    b, _ = new_account(chain, clock, token, BOB)
+    run_tx(chain, clock, ALICE, CallPayload(token, "mint_to", (a, 100)))
+    receipt = run_tx(chain, clock, BOB, CallPayload(a, "transfer_tokens", (b, 40)))
+    assert not receipt.success
+
+
+def test_transfer_insufficient_tokens(token_world):
+    chain, clock, token = token_world
+    a, _ = new_account(chain, clock, token, ALICE)
+    b, _ = new_account(chain, clock, token, BOB)
+    receipt = run_tx(chain, clock, ALICE, CallPayload(a, "transfer_tokens", (b, 1)))
+    assert not receipt.success
+    assert "insufficient tokens" in receipt.error
+
+
+def test_forged_account_cannot_receive_or_debit(token_world):
+    # A hand-deployed SAccount (not created by SCoin via create2) fails
+    # the origin attestation in both directions (Section V-A's attack).
+    chain, clock, token = token_world
+    a, _ = new_account(chain, clock, token, ALICE)
+    run_tx(chain, clock, ALICE, CallPayload(token, "mint_to", (a, 100)))
+    forged_receipt = run_tx(
+        chain, clock, BOB, DeployPayload(code_hash=SAccount.CODE_HASH, args=(BOB.address, 0))
+    )
+    assert forged_receipt.success
+    forged = forged_receipt.return_value
+    # Transfer to the forgery: A recomputes the create2 address and refuses.
+    receipt = run_tx(chain, clock, ALICE, CallPayload(a, "transfer_tokens", (forged, 10)))
+    assert not receipt.success
+    assert "not a sibling" in receipt.error
+    # The forgery cannot debit a real account either.
+    receipt = run_tx(
+        chain, clock, BOB,
+        CallPayload(a, "debit", (10, (0).to_bytes(32, "big"))),
+    )
+    assert not receipt.success
+
+
+def test_approve_and_transfer_from(token_world):
+    chain, clock, token = token_world
+    a, _ = new_account(chain, clock, token, ALICE)
+    b, _ = new_account(chain, clock, token, BOB)
+    run_tx(chain, clock, ALICE, CallPayload(token, "mint_to", (a, 100)))
+    assert run_tx(chain, clock, ALICE, CallPayload(a, "approve", (CAROL.address, 30))).success
+    assert chain.view(a, "allowance", CAROL.address) == 30
+    receipt = run_tx(chain, clock, CAROL, CallPayload(a, "transfer_from", (b, 20)))
+    assert receipt.success, receipt.error
+    assert chain.view(a, "token_balance") == 80
+    assert chain.view(b, "token_balance") == 20
+    assert chain.view(a, "allowance", CAROL.address) == 10
+    # Exceeding the remaining allowance fails.
+    receipt = run_tx(chain, clock, CAROL, CallPayload(a, "transfer_from", (b, 11)))
+    assert not receipt.success
+
+
+def test_new_account_for(token_world):
+    chain, clock, token = token_world
+    receipt = run_tx(chain, clock, ALICE, CallPayload(token, "new_account_for", (BOB.address,)))
+    account, _salt = receipt.return_value
+    # BOB owns it: BOB can approve, ALICE cannot.
+    assert run_tx(chain, clock, BOB, CallPayload(account, "approve", (CAROL.address, 1))).success
+    assert not run_tx(chain, clock, ALICE, CallPayload(account, "approve", (CAROL.address, 1))).success
+
+
+def test_token_conservation_over_random_transfers(token_world):
+    chain, clock, token = token_world
+    users = [ALICE, BOB, CAROL]
+    accounts = [new_account(chain, clock, token, u)[0] for u in users]
+    for acc in accounts:
+        run_tx(chain, clock, ALICE, CallPayload(token, "mint_to", (acc, 100)))
+    import random
+
+    rng = random.Random(1)
+    for _ in range(15):
+        i, j = rng.sample(range(3), 2)
+        amount = rng.randint(0, 50)
+        run_tx(
+            chain, clock, users[i],
+            CallPayload(accounts[i], "transfer_tokens", (accounts[j], amount)),
+        )
+    total = sum(chain.view(acc, "token_balance") for acc in accounts)
+    assert total == 300

@@ -1,0 +1,98 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.sim import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for name in "abc":
+        sim.schedule(1.0, lambda n=name: order.append(n))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_and_resumes():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == [1.0, 3.0]
+
+
+def test_cancellation():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.0, lambda: sim.schedule_at(4.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [4.0]
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), lambda i=i: fired.append(i))
+    processed = sim.run(max_events=4)
+    assert processed == 4
+    assert fired == [0, 1, 2, 3]
+
+
+def test_rng_is_seeded_and_reproducible():
+    a = Simulator(seed=42).rng.random()
+    b = Simulator(seed=42).rng.random()
+    c = Simulator(seed=43).rng.random()
+    assert a == b
+    assert a != c

@@ -1,0 +1,155 @@
+"""Unit tests for the journaled world state."""
+
+import pytest
+
+from repro.crypto.hashing import keccak
+from repro.crypto.keys import KeyPair
+from repro.errors import StateError
+from repro.merkle.iavl import IAVLTree
+from repro.merkle.proof import verify_proof
+from repro.merkle.trie import MerklePatriciaTrie
+from repro.statedb.state import WorldState, compute_storage_root
+
+ALICE = KeyPair.from_name("alice").address
+BOB = KeyPair.from_name("bob").address
+CONTRACT = KeyPair.from_name("some-contract").address
+CODE = b"class Fake: pass"
+CODE_HASH = keccak(CODE)
+
+
+@pytest.fixture(params=[IAVLTree, MerklePatriciaTrie], ids=["iavl", "trie"])
+def state(request):
+    return WorldState(chain_id=1, tree_factory=request.param)
+
+
+def test_balances_and_transfers(state):
+    state.add_balance(ALICE, 100)
+    state.sub_balance(ALICE, 30)
+    state.add_balance(BOB, 30)
+    assert state.balance_of(ALICE) == 70
+    assert state.balance_of(BOB) == 30
+
+
+def test_insufficient_balance_rejected(state):
+    with pytest.raises(StateError):
+        state.sub_balance(ALICE, 1)
+
+
+def test_nonce_bumps(state):
+    assert state.bump_nonce(ALICE) == 1
+    assert state.bump_nonce(ALICE) == 2
+
+
+def test_contract_lifecycle(state):
+    record = state.create_contract(CONTRACT, CODE_HASH, CODE)
+    assert record.location == 1
+    assert not state.is_locked(CONTRACT)
+    state.storage_set(CONTRACT, b"k", b"v")
+    assert state.storage_get(CONTRACT, b"k") == b"v"
+    assert state.has_code(CODE_HASH)
+
+
+def test_duplicate_contract_rejected(state):
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    with pytest.raises(StateError):
+        state.create_contract(CONTRACT, CODE_HASH, CODE)
+
+
+def test_location_and_lock(state):
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    state.set_location(CONTRACT, 2)
+    assert state.is_locked(CONTRACT)
+    assert state.require_contract(CONTRACT).location == 2
+
+
+def test_move_nonce(state):
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    assert state.bump_move_nonce(CONTRACT) == 1
+    assert state.bump_move_nonce(CONTRACT) == 2
+
+
+def test_revert_unwinds_everything(state):
+    state.add_balance(ALICE, 100)
+    snap = state.snapshot()
+    state.sub_balance(ALICE, 50)
+    state.add_balance(BOB, 50)
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    state.storage_set(CONTRACT, b"k", b"v")
+    state.set_location(CONTRACT, 9)
+    state.revert(snap)
+    assert state.balance_of(ALICE) == 100
+    assert state.balance_of(BOB) == 0
+    assert state.contract(CONTRACT) is None
+
+
+def test_revert_restores_storage_values(state):
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    state.storage_set(CONTRACT, b"k", b"old")
+    snap = state.snapshot()
+    state.storage_set(CONTRACT, b"k", b"new")
+    state.storage_set(CONTRACT, b"k2", b"x")
+    state.revert(snap)
+    assert state.storage_get(CONTRACT, b"k") == b"old"
+    assert state.storage_get(CONTRACT, b"k2") == b""
+
+
+def test_nested_snapshots(state):
+    state.add_balance(ALICE, 10)
+    outer = state.snapshot()
+    state.add_balance(ALICE, 10)
+    inner = state.snapshot()
+    state.add_balance(ALICE, 10)
+    state.revert(inner)
+    assert state.balance_of(ALICE) == 20
+    state.revert(outer)
+    assert state.balance_of(ALICE) == 10
+
+
+def test_commit_changes_root(state):
+    empty = state.commit()
+    state.add_balance(ALICE, 5)
+    root1 = state.commit()
+    assert root1 != empty
+    state.add_balance(ALICE, 5)
+    root2 = state.commit()
+    assert root2 != root1
+
+
+def test_commit_is_idempotent_without_changes(state):
+    state.add_balance(ALICE, 5)
+    root = state.commit()
+    assert state.commit() == root
+
+
+def test_account_proof_verifies_against_committed_root(state):
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    state.storage_set(CONTRACT, b"k", b"v")
+    state.add_balance(ALICE, 3)
+    root = state.commit()
+    proof = state.prove_account(CONTRACT)
+    assert verify_proof(proof, root)
+    # and the proof is stale after further commits
+    state.add_balance(ALICE, 1)
+    new_root = state.commit()
+    assert not verify_proof(proof, new_root) or root == new_root
+
+
+def test_storage_root_is_canonical(state):
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    state.storage_set(CONTRACT, b"b", b"2")
+    state.storage_set(CONTRACT, b"a", b"1")
+    direct = state.storage_root(CONTRACT)
+    rebuilt = compute_storage_root(
+        state._tree_factory, {b"a": b"1", b"b": b"2"}
+    )
+    assert direct == rebuilt
+
+
+def test_contract_leaf_commits_location_and_move_nonce(state):
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    root_before = state.commit()
+    state.set_location(CONTRACT, 7)
+    root_moved = state.commit()
+    assert root_moved != root_before
+    state.bump_move_nonce(CONTRACT)
+    assert state.commit() != root_moved

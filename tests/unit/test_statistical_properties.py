@@ -1,0 +1,107 @@
+"""Statistical validation of the simulation's stochastic models.
+
+Uses scipy to test distributional claims rather than eyeballing means:
+PoW inter-block times must be exponential (the memoryless property
+behind confirmation-depth math), Tendermint block gaps must be tightly
+concentrated just above the configured interval, and the latency
+model's jitter must stay log-normal-shaped around the base.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params, ethereum_params
+from repro.consensus.pow import PowEngine
+from repro.consensus.tendermint import TendermintEngine
+from repro.net.latency import LatencyModel
+from repro.net.sim import Simulator
+from repro.net.transport import Network
+
+
+def pow_gaps(seed, horizon=20_000.0):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    chain = Chain(ethereum_params(2), verify_signatures=False)
+    engine = PowEngine(sim, net, chain, LatencyModel().assign_regions(5, sim.rng))
+    engine.start()
+    sim.run(until=horizon)
+    times = [b.header.timestamp for b in chain.blocks[1:]]
+    return np.diff(np.array(times))
+
+
+def test_pow_interblock_times_are_exponential():
+    gaps = pow_gaps(seed=11)
+    assert len(gaps) > 800
+    # Kolmogorov-Smirnov against Exp(mean): must not reject at 1%.
+    result = stats.kstest(gaps, "expon", args=(0, gaps.mean()))
+    assert result.pvalue > 0.01
+    # Mean close to the configured 15 s.
+    assert 14.0 < gaps.mean() < 16.0
+    # Memorylessness spot check: P(X > 30 | X > 15) ~ P(X > 15).
+    p_tail = (gaps > 15).mean()
+    p_cond = (gaps > 30).sum() / max((gaps > 15).sum(), 1)
+    assert abs(p_tail - p_cond) < 0.1
+
+
+def test_pow_confirmation_wait_matches_erlang():
+    # Waiting p blocks is an Erlang(p, 1/15) sum: mean p*15, and its
+    # coefficient of variation is 1/sqrt(p) — the statistical reason a
+    # deeper p gives *relatively* steadier waits.
+    gaps = pow_gaps(seed=12)
+    p = 6
+    n = (len(gaps) // p) * p
+    waits = gaps[:n].reshape(-1, p).sum(axis=1)
+    assert abs(waits.mean() - p * 15.0) < 7.0
+    cv = waits.std() / waits.mean()
+    assert abs(cv - 1 / np.sqrt(p)) < 0.12
+
+
+def test_tendermint_gaps_concentrated_above_interval():
+    sim = Simulator(seed=13)
+    net = Network(sim)
+    chain = Chain(burrow_params(1), verify_signatures=False)
+    engine = TendermintEngine(sim, net, chain, LatencyModel().assign_regions(10, sim.rng))
+    engine.start()
+    sim.run(until=3_000.0)
+    gaps = np.diff(np.array([b.header.timestamp for b in chain.blocks[1:]]))
+    assert len(gaps) > 400
+    # Every gap exceeds the configured 5 s wait...
+    assert gaps.min() > 5.0
+    # ...by a small quorum-round-trip margin, with tiny dispersion
+    # (nothing like the exponential spread of PoW).
+    assert gaps.mean() < 6.0
+    assert gaps.std() < 0.5
+    # Formally: a KS test against an exponential of the same mean must
+    # strongly reject.
+    result = stats.kstest(gaps, "expon", args=(0, gaps.mean()))
+    assert result.pvalue < 1e-6
+
+
+def test_latency_jitter_is_lognormal_around_base():
+    import random
+
+    model = LatencyModel()
+    rng = random.Random(17)
+    base = model.base_latency("us-east-1", "ap-northeast-1")
+    samples = np.array(
+        [model.sample("us-east-1", "ap-northeast-1", rng) for _ in range(3_000)]
+    )
+    logs = np.log(samples / base)
+    # log of the multiplier ~ Normal(0, 0.06)
+    assert abs(logs.mean()) < 0.01
+    assert abs(logs.std() - 0.06) < 0.01
+    result = stats.kstest(logs, "norm", args=(0, 0.06))
+    assert result.pvalue > 0.01
+
+
+def test_region_assignment_is_uniform():
+    import random
+
+    model = LatencyModel()
+    assigned = model.assign_regions(14_000, random.Random(23))
+    counts = np.array([assigned.count(name) for name in model.region_names])
+    chi2 = ((counts - 1000.0) ** 2 / 1000.0).sum()
+    # 13 dof; 1% critical value ~ 27.7
+    assert chi2 < 27.7

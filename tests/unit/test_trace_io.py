@@ -1,0 +1,55 @@
+"""Unit tests for trace serialization."""
+
+import pytest
+
+from repro.traces.cryptokitties import TraceConfig, generate_trace
+from repro.traces.io import load_trace, save_trace, trace_from_json, trace_to_json
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(TraceConfig(n_ops=150, n_promo=30, n_users=20, seed=11))
+
+
+def test_roundtrip_in_memory(trace):
+    assert trace_from_json(trace_to_json(trace)) == trace
+
+
+def test_roundtrip_on_disk(tmp_path, trace):
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    assert load_trace(path) == trace
+
+
+def test_loaded_trace_replays_identically(tmp_path, trace):
+    from repro.sharding.cluster import ShardedCluster
+    from repro.traces.replay import KittiesReplayer
+
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+
+    reports = []
+    for ops in (trace, loaded):
+        cluster = ShardedCluster(num_shards=2, seed=9, max_block_txs=130)
+        replayer = KittiesReplayer(cluster, trace=list(ops), outstanding_limit=100)
+        reports.append(replayer.run(max_time=40_000))
+    assert reports[0].txs_committed == reports[1].txs_committed
+    assert reports[0].finished_at == reports[1].finished_at
+    assert reports[0].cross_shard_ops == reports[1].cross_shard_ops
+
+
+def test_rejects_foreign_documents():
+    with pytest.raises(ValueError, match="not a trace file"):
+        trace_from_json('{"format": "something-else", "version": 1, "ops": []}')
+    with pytest.raises(ValueError, match="unsupported trace version"):
+        trace_from_json('{"format": "scontracts-move-trace", "version": 99, "ops": []}')
+
+
+def test_rejects_malformed_ops():
+    bad = (
+        '{"format": "scontracts-move-trace", "version": 1, '
+        '"ops": [{"id": 0, "kind": "explode", "objects": [1], "params": {}}]}'
+    )
+    with pytest.raises(ValueError):
+        trace_from_json(bad)

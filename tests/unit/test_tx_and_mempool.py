@@ -1,0 +1,100 @@
+"""Unit tests for transactions, canonical encoding and the mempool."""
+
+import pytest
+
+from repro.chain.mempool import Mempool
+from repro.chain.tx import (
+    CallPayload,
+    DeployPayload,
+    Move1Payload,
+    TransferPayload,
+    canonical_encode,
+    sign_transaction,
+)
+from repro.crypto.keys import Address, KeyPair
+
+ALICE = KeyPair.from_name("alice")
+BOB = KeyPair.from_name("bob")
+TARGET = Address(b"\x01" * 20)
+
+
+def test_canonical_encode_is_injective_on_basic_shapes():
+    samples = [
+        1, "1", b"1", True, None, (1, 2), ((1,), 2), {"a": 1}, Address(b"\x02" * 20),
+        1.5, (1, (2,)),
+    ]
+    encoded = [canonical_encode(s) for s in samples]
+    assert len(set(encoded)) == len(encoded)
+
+
+def test_canonical_encode_dict_order_insensitive():
+    assert canonical_encode({"a": 1, "b": 2}) == canonical_encode({"b": 2, "a": 1})
+
+
+def test_canonical_encode_rejects_unknown():
+    with pytest.raises(TypeError):
+        canonical_encode(object())
+
+
+def test_sign_and_verify_roundtrip():
+    tx = sign_transaction(ALICE, TransferPayload(to=TARGET, amount=5))
+    assert tx.verify()
+    assert tx.sender == ALICE.address
+    assert tx.tx_id
+
+
+def test_tampered_payload_fails_verification():
+    tx = sign_transaction(ALICE, TransferPayload(to=TARGET, amount=5))
+    tx.payload = TransferPayload(to=TARGET, amount=500)
+    assert not tx.verify()
+
+
+def test_wrong_sender_fails_verification():
+    tx = sign_transaction(ALICE, TransferPayload(to=TARGET, amount=5))
+    tx.sender = BOB.address
+    assert not tx.verify()
+
+
+def test_identical_payloads_get_distinct_ids():
+    a = sign_transaction(ALICE, TransferPayload(to=TARGET, amount=5))
+    b = sign_transaction(ALICE, TransferPayload(to=TARGET, amount=5))
+    assert a.tx_id != b.tx_id  # process-unique nonce differentiates
+
+
+def test_all_payload_kinds_signable():
+    for payload in [
+        TransferPayload(to=TARGET, amount=1),
+        DeployPayload(code_hash=b"\x00" * 32, args=(1, TARGET), salt=4),
+        CallPayload(target=TARGET, method="m", args=(b"x",), value=2),
+        Move1Payload(contract=TARGET, target_chain=9),
+    ]:
+        assert sign_transaction(ALICE, payload).verify()
+
+
+def test_mempool_fifo_and_dedup():
+    pool = Mempool()
+    txs = [sign_transaction(ALICE, TransferPayload(to=TARGET, amount=i)) for i in range(5)]
+    for tx in txs:
+        assert pool.add(tx)
+    assert not pool.add(txs[0])  # duplicate
+    assert len(pool) == 5
+    taken = pool.take(3)
+    assert [t.tx_id for t in taken] == [t.tx_id for t in txs[:3]]
+    assert len(pool) == 2
+
+
+def test_mempool_take_more_than_available():
+    pool = Mempool()
+    tx = sign_transaction(ALICE, TransferPayload(to=TARGET, amount=1))
+    pool.add(tx)
+    assert len(pool.take(10)) == 1
+    assert pool.take(10) == []
+
+
+def test_mempool_remove():
+    pool = Mempool()
+    tx = sign_transaction(ALICE, TransferPayload(to=TARGET, amount=1))
+    pool.add(tx)
+    assert pool.remove(tx.tx_id) is tx
+    assert pool.remove(tx.tx_id) is None
+    assert tx.tx_id not in pool

@@ -1,0 +1,256 @@
+"""Unit tests for the bytecode interpreter, including OP_MOVE."""
+
+import pytest
+
+from repro.crypto.hashing import keccak
+from repro.errors import OutOfGas
+from repro.vm.assembler import assemble
+from repro.vm.gas import ETHEREUM_SCHEDULE, GasMeter
+from repro.vm.machine import Machine, MemoryContext
+
+
+@pytest.fixture
+def machine():
+    return Machine(ETHEREUM_SCHEDULE)
+
+
+def run(machine, source, ctx=None, meter=None):
+    ctx = ctx or MemoryContext()
+    result = machine.execute(assemble(source), ctx, meter)
+    return result, ctx
+
+
+def word(result):
+    return int.from_bytes(result.return_data, "big")
+
+
+def ret(expr_source):
+    """Wrap: compute a value on the stack, then return it as one word.
+
+    MSTORE pops (offset, value) and RETURN pops (offset, size), so the
+    operand pushed last sits on top and is popped first.
+    """
+    return expr_source + "\nPUSH1 0\nMSTORE\nPUSH1 32\nPUSH1 0\nRETURN"
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [
+        ("PUSH1 2\nPUSH1 3\nADD", 5),
+        ("PUSH1 2\nPUSH1 3\nMUL", 6),
+        ("PUSH1 3\nPUSH1 10\nSUB", 7),  # SUB pops a then b, computes a-b
+        ("PUSH1 3\nPUSH1 12\nDIV", 4),
+        ("PUSH1 0\nPUSH1 12\nDIV", 0),  # div by zero yields 0
+        ("PUSH1 5\nPUSH1 12\nMOD", 2),
+        ("PUSH1 0\nPUSH1 12\nMOD", 0),
+        ("PUSH1 3\nPUSH1 2\nEXP", 8),  # EXP pops base then exponent? a=2,b=3 -> 8
+        ("PUSH1 9\nPUSH1 4\nLT", 1),
+        ("PUSH1 4\nPUSH1 9\nGT", 1),
+        ("PUSH1 7\nPUSH1 7\nEQ", 1),
+        ("PUSH1 0\nISZERO", 1),
+        ("PUSH1 5\nISZERO", 0),
+        ("PUSH1 12\nPUSH1 10\nAND", 8),
+        ("PUSH1 12\nPUSH1 10\nOR", 14),
+        ("PUSH1 12\nPUSH1 10\nXOR", 6),
+    ],
+)
+def test_arithmetic_and_logic(machine, source, expected):
+    result, _ = run(machine, ret(source))
+    assert result.success, result.error
+    assert word(result) == expected
+
+
+def test_not_is_bitwise_complement(machine):
+    result, _ = run(machine, ret("PUSH1 0\nNOT"))
+    assert word(result) == (1 << 256) - 1
+
+
+def test_overflow_wraps_at_256_bits(machine):
+    source = ret("PUSH32 " + hex((1 << 256) - 1) + "\nPUSH1 1\nADD")
+    result, _ = run(machine, source)
+    assert word(result) == 0
+
+
+def test_sstore_and_sload(machine):
+    source = """
+        PUSH1 42
+        PUSH1 7
+        SSTORE
+        PUSH1 7
+        SLOAD
+    """
+    result, ctx = run(machine, ret(source))
+    assert result.success
+    assert word(result) == 42
+    assert ctx.storage[7] == 42
+
+
+def test_mstore_mload_roundtrip(machine):
+    result, _ = run(machine, ret("PUSH2 0xBEEF\nPUSH1 64\nMSTORE\nPUSH1 64\nMLOAD"))
+    assert word(result) == 0xBEEF
+
+
+def test_sha3_matches_keccak(machine):
+    # store 32-byte word 5 at offset 0, hash those 32 bytes
+    source = ret("PUSH1 5\nPUSH1 0\nMSTORE\nPUSH1 32\nPUSH1 0\nSHA3")
+    result, _ = run(machine, source)
+    expected = int.from_bytes(keccak((5).to_bytes(32, "big")), "big")
+    assert word(result) == expected
+
+
+def test_environment_opcodes(machine):
+    ctx = MemoryContext(address=0xAA, caller=0xBB, callvalue=9, chain_id=3,
+                        block_number=12, timestamp=99)
+    for source, expected in [
+        ("ADDRESS", 0xAA),
+        ("CALLER", 0xBB),
+        ("CALLVALUE", 9),
+        ("CHAINID", 3),
+        ("NUMBER", 12),
+        ("TIMESTAMP", 99),
+    ]:
+        result, _ = run(machine, ret(source), ctx=ctx)
+        assert word(result) == expected
+
+
+def test_balance_opcode(machine):
+    ctx = MemoryContext(balances={0xAB: 77})
+    result, _ = run(machine, ret("PUSH1 0xAB\nBALANCE"), ctx=ctx)
+    assert word(result) == 77
+
+
+def test_jump_skips_code(machine):
+    source = """
+        PUSH @end
+        JUMP
+        PUSH1 1
+        PUSH1 0
+        SSTORE
+        end:
+        STOP
+    """
+    result, ctx = run(machine, source)
+    assert result.success
+    assert ctx.storage == {}
+
+
+def test_jumpi_taken_and_not_taken(machine):
+    template = """
+        PUSH1 {cond}
+        PUSH @skip
+        JUMPI
+        PUSH1 1
+        PUSH1 0
+        SSTORE
+        skip:
+        STOP
+    """
+    _, ctx = run(machine, template.format(cond=1))
+    assert ctx.storage == {}
+    _, ctx = run(machine, template.format(cond=0))
+    assert ctx.storage == {0: 1}
+
+
+def test_invalid_jump_fails(machine):
+    result, _ = run(machine, "PUSH1 1\nJUMP")
+    assert not result.success
+    assert "non-JUMPDEST" in result.error
+
+
+def test_jump_into_push_immediate_rejected(machine):
+    # byte 1 is the immediate of PUSH1 0x5B (a fake JUMPDEST)
+    code = bytes([0x60, 0x5B, 0x60, 0x01, 0x56])  # PUSH1 0x5B; PUSH1 1; JUMP
+    result = machine.execute(code, MemoryContext())
+    assert not result.success
+
+
+def test_revert_reports_message_and_fails(machine):
+    source = """
+        PUSH1 0
+        PUSH1 0
+        REVERT
+    """
+    result, _ = run(machine, source)
+    assert not result.success
+
+
+def test_invalid_opcode(machine):
+    result = machine.execute(bytes([0xEF]), MemoryContext())
+    assert not result.success
+    assert "undefined opcode" in result.error
+
+
+def test_op_move_sets_location(machine):
+    ctx = MemoryContext(chain_id=1)
+    result, _ = run(machine, "PUSH1 2\nMOVE\nSTOP", ctx=ctx)
+    assert result.success
+    assert ctx.location() == 2
+
+
+def test_op_move_charges_storage_class_gas(machine):
+    meter = GasMeter(schedule=ETHEREUM_SCHEDULE)
+    run(machine, "PUSH1 2\nMOVE", meter=meter)
+    assert meter.used >= ETHEREUM_SCHEDULE.move_op
+
+
+def test_location_and_movenonce_opcodes(machine):
+    ctx = MemoryContext(chain_id=5)
+    ctx._move_nonce = 3
+    result, _ = run(machine, ret("LOCATION"), ctx=ctx)
+    assert word(result) == 5
+    result, _ = run(machine, ret("MOVENONCE"), ctx=ctx)
+    assert word(result) == 3
+
+
+def test_out_of_gas_propagates(machine):
+    meter = GasMeter(limit=10, schedule=ETHEREUM_SCHEDULE)
+    with pytest.raises(OutOfGas):
+        machine.execute(assemble("PUSH1 1\nPUSH1 1\nSSTORE"), MemoryContext(), meter)
+
+
+def test_gas_charged_for_arithmetic_is_exact(machine):
+    meter = GasMeter(schedule=ETHEREUM_SCHEDULE)
+    machine.execute(assemble("PUSH1 1\nPUSH1 2\nADD"), MemoryContext(), meter)
+    # 2 pushes + 1 add, all verylow(3)
+    assert meter.used == 9
+
+
+def test_sstore_gas_set_vs_update_vs_clear(machine):
+    sch = ETHEREUM_SCHEDULE
+    ctx = MemoryContext()
+    meter = GasMeter(schedule=sch)
+    machine.execute(assemble("PUSH1 1\nPUSH1 0\nSSTORE"), ctx, meter)
+    assert meter.used == 2 * sch.verylow + sch.sstore_set
+    meter = GasMeter(schedule=sch)
+    machine.execute(assemble("PUSH1 2\nPUSH1 0\nSSTORE"), ctx, meter)
+    assert meter.used == 2 * sch.verylow + sch.sstore_update
+    meter = GasMeter(schedule=sch)
+    machine.execute(assemble("PUSH1 0\nPUSH1 0\nSSTORE"), ctx, meter)
+    assert meter.used == 2 * sch.verylow + sch.sstore_clear
+
+
+def test_dup_and_swap(machine):
+    result, _ = run(machine, ret("PUSH1 1\nPUSH1 2\nDUP2\nADD\nADD"))
+    assert word(result) == 4  # 1 + (2 + 1)
+    result, _ = run(machine, ret("PUSH1 9\nPUSH1 1\nSWAP1\nSUB"))
+    assert word(result) == 8  # SWAP then SUB: 9 - 1
+
+
+def test_log0_records_data(machine):
+    source = """
+        PUSH1 0x41
+        PUSH1 0
+        MSTORE
+        PUSH1 32
+        PUSH1 0
+        LOG0
+    """
+    _, ctx = run(machine, source)
+    assert len(ctx.logs) == 1
+
+
+def test_stack_underflow_is_a_vm_fault(machine):
+    from repro.errors import StackUnderflow
+
+    with pytest.raises(StackUnderflow):
+        machine.execute(assemble("ADD"), MemoryContext())
