@@ -26,13 +26,13 @@ from repro.chain.params import ChainParams
 from repro.chain.tx import Transaction
 from repro.core.proofs import ContractStateProof
 from repro.core.registry import ChainRegistry
-from repro.crypto.hashing import keccak
 from repro.crypto.keys import Address
 from repro.errors import ProofError, StateError
+from repro.merkle.protocol import AuthenticatedTree
 from repro.runtime.context import BlockEnv
 from repro.runtime.runtime import Runtime
 from repro.statedb.receipts import Receipt
-from repro.statedb.state import WorldState, compute_storage_root, encode_contract_leaf
+from repro.statedb.state import WorldState
 
 BlockListener = Callable[[Block, List[Receipt]], None]
 
@@ -63,8 +63,11 @@ class Chain:
         self.mempool = Mempool()
         self.blocks: List[Block] = []
         self.receipts: Dict[str, Receipt] = {}
-        self._tree_snapshots: Dict[int, object] = {}
+        self._tree_snapshots: Dict[int, AuthenticatedTree] = {}
         self._post_roots: Dict[int, bytes] = {}
+        #: lowest non-genesis height whose snapshot is still retained;
+        #: advances as produce_block prunes past the retention horizon
+        self._snapshot_floor = 1
         self._listeners: List[BlockListener] = []
         self._waiters: Dict[str, List[Callable[[Receipt], None]]] = {}
         self._make_genesis()
@@ -169,6 +172,7 @@ class Chain:
         post_root = self.state.commit()
         self._post_roots[height] = post_root
         self._tree_snapshots[height] = self.state.snapshot_tree()
+        self._prune_expired_snapshots(head=height)
 
         # Header root: Burrow-flavoured chains publish the *previous*
         # block's post-state root (state_root_lag = 1).
@@ -245,7 +249,7 @@ class Chain:
         tree = self._tree_snapshots.get(state_height)
         if tree is None:
             raise ProofError(f"no state snapshot at height {state_height}")
-        account_proof = tree.prove(address.raw)  # type: ignore[attr-defined]
+        account_proof = tree.prove(address.raw)
         code = self.state.code_store.get(record.code_hash)
         if code is None:
             raise ProofError("contract code missing from the code store")
@@ -286,12 +290,14 @@ class Chain:
         tree = self._tree_snapshots.get(state_height)
         if tree is None:
             raise ProofError(f"no state snapshot at height {state_height}")
-        account_proof = tree.prove(container.raw)  # type: ignore[attr-defined]
-        storage_tree = self.params.tree_factory()
-        for storage_key in sorted(record.storage):
-            storage_tree.set(storage_key, record.storage[storage_key])  # type: ignore[attr-defined]
+        account_proof = tree.prove(container.raw)
+        # Serve the storage proof from the contract's committed trie
+        # snapshot (O(1) to obtain, O(log S) to prove) instead of
+        # rebuilding the trie from the raw slots; the historical-root
+        # check below still guards against post-height mutation.
+        storage_tree = self.state.storage_trie_snapshot(container)
         try:
-            storage_proof = storage_tree.prove(key)  # type: ignore[attr-defined]
+            storage_proof = storage_tree.prove(key)
         except KeyError:
             raise ProofError(f"container has no storage entry {key.hex()[:16]}…") from None
         proof = RemoteStateProof(
@@ -303,7 +309,7 @@ class Chain:
         )
         expected_root = self._post_roots[state_height]
         if account_proof.computed_root() != expected_root or (
-            account_proof.value[-32:] != storage_tree.root_hash  # type: ignore[attr-defined]
+            account_proof.value[-32:] != storage_tree.root_hash
         ):
             raise ProofError(
                 f"container storage at head no longer matches height {state_height}"
@@ -324,19 +330,40 @@ class Chain:
             self.state, current_height=self.height, min_age_blocks=min_age_blocks
         )
 
+    def _prune_expired_snapshots(self, head: int) -> None:
+        """Bound snapshot/root retention to the configured horizon.
+
+        Runs after every block: snapshots and post-state roots older
+        than ``params.snapshot_retention`` blocks are dropped, so
+        neither ``_post_roots`` nor ``_tree_snapshots`` grows without
+        bound on a long-running chain.  The horizon is sized to outlive
+        every peer's light-client confirmation window and the GC age
+        gate (see :class:`~repro.chain.params.ChainParams`), so no
+        still-provable Move1 loses its snapshot.
+        """
+        retention = self.params.snapshot_retention
+        if retention <= 0:
+            return
+        self._drop_snapshots_below(head - retention)
+
+    def _drop_snapshots_below(self, horizon: int) -> int:
+        """Drop snapshots/roots at heights ``(0, horizon)``; height 0
+        stays as the header-root fallback for the first lagged blocks.
+        Returns how many snapshots were dropped."""
+        dropped = 0
+        while self._snapshot_floor < horizon:
+            if self._tree_snapshots.pop(self._snapshot_floor, None) is not None:
+                dropped += 1
+            self._post_roots.pop(self._snapshot_floor, None)
+            self._snapshot_floor += 1
+        return dropped
+
     def prune_snapshots(self, keep_last: int) -> int:
         """Drop per-block tree snapshots older than ``keep_last`` blocks
         (historical proofs beyond that horizon become unavailable —
         safe once peers' confirmation windows have passed).  Returns
         how many snapshots were dropped."""
-        horizon = self.height - keep_last
-        # Height 0 stays: it is the header-root fallback for the first
-        # lagged blocks.
-        stale = [h for h in self._tree_snapshots if 0 < h < horizon]
-        for height in stale:
-            del self._tree_snapshots[height]
-            self._post_roots.pop(height, None)
-        return len(stale)
+        return self._drop_snapshots_below(self.height - keep_last)
 
     def verify_chain(self) -> bool:
         """Structural self-audit of the ledger.

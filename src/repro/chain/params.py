@@ -9,10 +9,10 @@ wait two blocks anyway — and six blocks for Ethereum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
 
 from repro.merkle.iavl import IAVLTree
+from repro.merkle.protocol import TreeFactory
 from repro.merkle.trie import MerklePatriciaTrie
 from repro.vm.gas import BURROW_SCHEDULE, ETHEREUM_SCHEDULE, GasSchedule
 
@@ -27,7 +27,7 @@ class ChainParams:
     block_interval: float  # seconds between consecutive blocks
     confirmation_depth: int  # p: blocks behind head before accepted by peers
     gas_schedule: GasSchedule
-    tree_factory: Callable[[], object]
+    tree_factory: TreeFactory
     max_block_txs: int = 500
     #: Tendermint/Burrow quirk: the app state root of block n is carried
     #: by header n+1, so proofs about block n need header n+1.
@@ -40,6 +40,13 @@ class ChainParams:
     #: congested and fees increase, users are tempted to move their
     #: contracts to underused shards".
     gas_price: int = 0
+    #: how many recent blocks keep their post-state root and account
+    #: tree snapshot for serving historical proofs.  Must comfortably
+    #: exceed every peer's ``state_root_lag + confirmation_depth`` (the
+    #: light-client horizon) plus any GC age gate, so pending Move2
+    #: proofs are never orphaned; beyond that, retaining roots forever
+    #: just leaks memory on long-running chains.  0 disables pruning.
+    snapshot_retention: int = 256
 
     def min_proof_height(self, inclusion_height: int) -> int:
         """First own-chain height at which a tx included at

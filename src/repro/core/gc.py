@@ -74,10 +74,11 @@ def collect_stale_contracts(
         report.bytes_freed += sum(
             len(key) + len(value) for key, value in record.storage.items()
         )
-        # Direct clear (not journaled): GC runs between blocks, outside
-        # any transaction, exactly like a state-pruning pass would.
-        record.storage.clear()
-        state.mark_dirty(address)
+        # Unjournaled wipe: GC runs between blocks, outside any
+        # transaction, exactly like a state-pruning pass would.  The
+        # state resets the contract's live storage trie alongside the
+        # raw slots so the next commit recommits the empty root.
+        state.wipe_storage(address)
 
     # Drop code blobs no live record references.
     referenced = {record.code_hash for record in state.contracts.values()}

@@ -157,9 +157,8 @@ def apply_move2(
             balance=bundle.balance,
         )
     else:
-        # The contract lived here before: refresh the stale record.
-        for key in list(existing.storage):
-            state.storage_set(bundle.contract, key, b"")
+        # The contract lived here before: refresh the stale record (the
+        # bulk load below replaces its storage wholesale).
         state.set_location(bundle.contract, state.chain_id)
         delta = bundle.move_nonce - existing.move_nonce
         for _ in range(delta):
@@ -172,10 +171,12 @@ def apply_move2(
         record = existing
 
     # Line 12: SSTORE every proven slot, at full storage-write cost.
+    # The slots are bulk-loaded in one journaled pass so the target's
+    # live storage trie is built canonically once, not per write.
     schedule = ctx.meter.schedule
-    for key in sorted(bundle.storage):
+    for _ in bundle.storage:
         ctx.charge(schedule.sstore_set)
-        state.storage_set(bundle.contract, key, bundle.storage[key])
+    state.load_storage(bundle.contract, bundle.storage)
 
     # Line 13: the developer's moveFinish hook.  Raw bytecode contracts
     # have no Python hook — their post-move logic, if any, runs inside

@@ -12,13 +12,14 @@ field can be tampered with independently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
 
 from repro.crypto.hashing import keccak
 from repro.crypto.keys import Address
 from repro.errors import ProofError
 from repro.merkle.proof import MembershipProof, verify_proof
+from repro.merkle.protocol import TreeFactory
 from repro.statedb.state import (
     WorldState,
     compute_storage_root,
@@ -68,12 +69,16 @@ class ContractStateProof:
         return len(self.code) + storage_bytes + self.account_proof.size_bytes()
 
     def verify_against_root(
-        self, trusted_root: bytes, tree_factory: Callable[[], object]
+        self, trusted_root: bytes, tree_factory: TreeFactory
     ) -> bool:
         """``VP(V ↦ m)``: does this bundle reconstruct ``trusted_root``?
 
         ``tree_factory`` must be the *source* chain's tree flavour so
         the storage root is rebuilt the way the source committed it.
+        This is deliberately the canonical from-scratch rebuild
+        (:func:`~repro.statedb.state.compute_storage_root`) — the
+        verifier-side reference the source's incremental commit path is
+        required to match bit-for-bit.
         """
         if self.account_proof.key != self.contract.raw:
             return False
@@ -181,7 +186,7 @@ def build_contract_proof(
         account_proof=account_proof,
         proof_height=proof_height,
     )
-    if not bundle.verify_against_root(state.committed_root, state._tree_factory):
+    if not bundle.verify_against_root(state.committed_root, state.tree_factory):
         raise ProofError(
             "proof bundle does not verify against the committed root — "
             "the contract changed since the last commit"

@@ -139,8 +139,23 @@ def _delete(node: Optional[_Node], key: bytes) -> Tuple[Optional[_Node], bool]:
 class IAVLTree:
     """Mutable facade over the persistent node structure."""
 
+    #: AVL rotation order leaks into the shape: the root is a function
+    #: of the full operation history, not just the final content (all
+    #: replicas applying the same ordered writes still agree).
+    history_independent = False
+
     def __init__(self) -> None:
         self._root: Optional[_Node] = None
+
+    def snapshot(self) -> "IAVLTree":
+        """O(1) frozen copy sharing the immutable node structure.
+
+        The copy never changes as this tree evolves; writing to the
+        copy forks it (persistent-structure semantics).
+        """
+        clone = IAVLTree()
+        clone._root = self._root
+        return clone
 
     @property
     def root_hash(self) -> bytes:

@@ -1,0 +1,102 @@
+"""Typed protocols over the authenticated structures.
+
+Everything that commits state in this repository is "a Merkle-tree" to
+the paper; this module gives that notion a static type so the higher
+layers (:mod:`repro.statedb`, :mod:`repro.chain`, :mod:`repro.core`)
+can hold trees without poking at implementation privates or sprinkling
+``type: ignore`` over duck-typed calls.
+
+Two capability levels exist:
+
+* :class:`MerkleCommitment` — anything with a ``root_hash`` and an
+  O(1) ``snapshot()``.  The binary transaction tree qualifies.
+* :class:`AuthenticatedTree` — a mutable authenticated *map* (the IAVL
+  tree and the Patricia trie): keyed get/set/delete, membership proofs,
+  ordered iteration.
+
+``snapshot()`` is cheap by construction: every implementation stores
+immutable, structurally shared nodes, so a snapshot is one new facade
+object holding the same root pointer.  The snapshot stays valid forever
+as the live tree evolves — the chain retains one per block to serve
+historical proofs.
+
+``history_independent`` declares whether the root is a function of the
+*content* alone (Patricia trie: yes) or of the operation history too
+(IAVL: AVL rotation order leaks into the shape).  The incremental
+commitment layer in :mod:`repro.statedb.state` keys its strategy off
+this flag: history-independent trees fold changed slots in place, while
+history-dependent ones must canonically refold when a key set changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.merkle.proof import MembershipProof
+
+
+@runtime_checkable
+class MerkleCommitment(Protocol):
+    """Anything committing data under a Merkle root."""
+
+    @property
+    def root_hash(self) -> bytes:
+        """Root digest committing the full content."""
+        ...
+
+    def snapshot(self) -> "MerkleCommitment":
+        """O(1) frozen view sharing the immutable node structure."""
+        ...
+
+
+@runtime_checkable
+class AuthenticatedTree(Protocol):
+    """A mutable authenticated map producing ``{v} ↦ m`` proofs.
+
+    Implemented by :class:`~repro.merkle.iavl.IAVLTree` and
+    :class:`~repro.merkle.trie.MerklePatriciaTrie`; the world state and
+    per-contract storage commitments are built on this interface.
+    """
+
+    #: True when the root depends only on the key/value content, not on
+    #: the order the operations arrived in.
+    history_independent: bool
+
+    @property
+    def root_hash(self) -> bytes:
+        """Root digest committing the full key/value map."""
+        ...
+
+    def set(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        ...
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value for ``key`` or ``None``."""
+        ...
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        ...
+
+    def prove(self, key: bytes) -> MembershipProof:
+        """Build a ``{v} ↦ m`` membership proof for ``key``."""
+        ...
+
+    def snapshot(self) -> "AuthenticatedTree":
+        """O(1) frozen copy sharing the immutable node structure.
+
+        The copy never changes as the live tree evolves; writing to the
+        copy forks it (persistent-structure semantics).
+        """
+        ...
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield the committed (key, value) pairs."""
+        ...
+
+    def __contains__(self, key: object) -> bool: ...
+
+
+#: A chain's tree flavour: zero-arg constructor of its authenticated map.
+TreeFactory = Callable[[], AuthenticatedTree]

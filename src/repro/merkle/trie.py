@@ -205,8 +205,22 @@ def _delete(node: Optional[_TrieNode], path: Nibbles) -> Tuple[Optional[_TrieNod
 class MerklePatriciaTrie:
     """Mutable facade over the persistent trie nodes."""
 
+    #: Radix structure: the trie shape — and so the root — is fully
+    #: determined by the key/value content, whatever the write order.
+    history_independent = True
+
     def __init__(self) -> None:
         self._root: Optional[_TrieNode] = None
+
+    def snapshot(self) -> "MerklePatriciaTrie":
+        """O(1) frozen copy sharing the immutable node structure.
+
+        The copy never changes as this trie evolves; writing to the
+        copy forks it (persistent-structure semantics).
+        """
+        clone = MerklePatriciaTrie()
+        clone._root = self._root
+        return clone
 
     @property
     def root_hash(self) -> bytes:

@@ -7,30 +7,60 @@ monotonically increasing **move nonce** used against replay (Fig. 2).
 
 Commitment layout
 -----------------
-Each contract's storage is committed to its own ``storage_root``, built
-canonically (keys inserted in sorted order) with the chain's tree
-flavour, so any verifier can rebuild the root from the full storage
-contents carried by a Move2 proof.  The account tree maps
-``address -> leaf`` where the leaf serializes balance, nonce, code hash,
-``L_c``, move nonce and storage root; its root is the block header's
-``state_root`` ``m``, and ``prove_account`` produces the ``{v} ↦ m``
-account proof embedded in Move2 transactions.
+Each contract's storage is committed to its own ``storage_root``.  The
+*canonical* definition of that root — what any Move2 verifier rebuilds
+from the raw storage contents carried by a proof bundle — is a fresh
+tree of the chain's flavour with the keys inserted in sorted order
+(:func:`compute_storage_root`).
+
+The committing chain, however, does **not** rebuild from scratch every
+block.  It keeps one *live* persistent storage trie per contract
+(:class:`~repro.merkle.protocol.AuthenticatedTree`) and, at commit,
+folds only the block's dirty slots into it, so commit cost is
+O(dirty · log S) per touched contract instead of O(S).  The incremental
+root is guaranteed bit-identical to the canonical rebuild:
+
+* **history-independent** flavours (the Patricia trie) commit to
+  content, not history — folding changed slots in any order lands on
+  exactly the canonical root;
+* **history-dependent** flavours (the IAVL tree, whose AVL rotations
+  make the shape order-sensitive) fold *value overwrites* in place
+  (overwriting a leaf never rotates, so the canonical sorted-insertion
+  shape is preserved) and canonically refold the contract's trie only
+  when its **key set** changed in the block.  Bulk transitions —
+  Move2 recreation (:meth:`WorldState.load_storage`) and garbage
+  collection (:meth:`WorldState.wipe_storage`) — rebuild the trie
+  canonically in a single pass.
+
+The equivalence is enforced by the property tests in
+``tests/property/test_storage_commitment_properties.py``.
+
+The account tree maps ``address -> leaf`` where the leaf serializes
+balance, nonce, code hash, ``L_c``, move nonce and storage root; its
+root is the block header's ``state_root`` ``m``, and ``prove_account``
+produces the ``{v} ↦ m`` account proof embedded in Move2 transactions.
 
 Journaling
 ----------
 Every mutation appends an undo closure.  ``snapshot()`` / ``revert()``
 give transaction-level atomicity: a failed transaction (revert, out of
 gas, locked contract) unwinds to the pre-transaction state exactly.
+Dirty-slot sets are deliberately *not* unwound: they over-approximate,
+and folding an unchanged slot at commit just rewrites an identical
+leaf.  Where a live trie is replaced wholesale inside a transaction
+(:meth:`WorldState.load_storage`), the undo closure restores the prior
+root pointer — an O(1) operation thanks to structural sharing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set
 
 from repro.crypto.keys import Address
 from repro.errors import StateError
 from repro.merkle.proof import MembershipProof
+from repro.merkle.protocol import AuthenticatedTree, TreeFactory
 
 
 @dataclass
@@ -92,7 +122,7 @@ class WorldState:
     Ethereum-flavoured ones).
     """
 
-    def __init__(self, chain_id: int, tree_factory: Callable[[], object]):
+    def __init__(self, chain_id: int, tree_factory: TreeFactory):
         self.chain_id = chain_id
         self._tree_factory = tree_factory
         self.accounts: Dict[Address, AccountRecord] = {}
@@ -101,9 +131,20 @@ class WorldState:
         self.code_store: Dict[bytes, bytes] = {}
         self._journal: List[Callable[[], None]] = []
         self._dirty: Set[Address] = set()
-        self._account_tree = tree_factory()
-        self._committed_root: bytes = self._account_tree.root_hash  # type: ignore[attr-defined]
+        #: per-contract set of slots written since the last commit; the
+        #: incremental commit folds exactly these into the live trie
+        self._dirty_slots: Dict[Address, Set[bytes]] = {}
+        #: one live persistent storage trie per contract, kept root-
+        #: identical to the canonical sorted rebuild at every commit
+        self._storage_tries: Dict[Address, AuthenticatedTree] = {}
+        self._account_tree: AuthenticatedTree = tree_factory()
+        self._committed_root: bytes = self._account_tree.root_hash
         self._storage_roots: Dict[Address, bytes] = {}
+
+    @property
+    def tree_factory(self) -> TreeFactory:
+        """The chain's tree flavour (public, for proof builders)."""
+        return self._tree_factory
 
     # ------------------------------------------------------------------
     # Journal
@@ -218,12 +259,18 @@ class WorldState:
             balance=balance,
         )
         self.contracts[address] = record
+        self._storage_tries[address] = self._tree_factory()
         self._dirty.add(address)
+
         # Undo removes the record but leaves the dirty flag: earlier
         # journaled mutations (e.g. a balance credit) may also have
         # dirtied this address, and an over-approximate dirty set is
         # harmless (commit just re-writes an identical leaf).
-        self._record(lambda: self.contracts.pop(address, None))
+        def undo_create() -> None:
+            self.contracts.pop(address, None)
+            self._storage_tries.pop(address, None)
+
+        self._record(undo_create)
         if code_hash not in self.code_store:
             self.code_store[code_hash] = code
             self._record(lambda: self.code_store.pop(code_hash, None))
@@ -248,6 +295,7 @@ class WorldState:
         else:
             record.storage.pop(key, None)
         self._dirty.add(address)
+        self._dirty_slots.setdefault(address, set()).add(key)
 
         def undo() -> None:
             if old is None:
@@ -256,6 +304,58 @@ class WorldState:
                 record.storage[key] = old
 
         self._record(undo)
+
+    def load_storage(self, address: Address, entries: Mapping[bytes, bytes]) -> None:
+        """Replace a contract's storage wholesale (journaled).
+
+        Move2 recreation uses this to bulk-load the proven slots: the
+        live storage trie is rebuilt canonically in a single sorted
+        pass instead of journaling one write per slot.  The undo
+        closure restores the prior dict contents *and* the prior trie
+        root pointer (O(1) — the old nodes are structurally shared).
+        """
+        record = self.require_contract(address)
+        prior_storage = dict(record.storage)
+        prior_tree = self._storage_tries.get(address)
+        prior_dirty = self._dirty_slots.get(address)
+        record.storage.clear()
+        for key, value in entries.items():
+            if value:
+                record.storage[key] = value
+        self._storage_tries[address] = build_storage_trie(
+            self._tree_factory, record.storage
+        )
+        # The fresh trie matches the dict exactly — no slots left to fold.
+        self._dirty_slots[address] = set()
+        self._dirty.add(address)
+
+        def undo() -> None:
+            record.storage.clear()
+            record.storage.update(prior_storage)
+            if prior_tree is None:
+                self._storage_tries.pop(address, None)
+            else:
+                self._storage_tries[address] = prior_tree
+            if prior_dirty is None:
+                self._dirty_slots.pop(address, None)
+            else:
+                self._dirty_slots[address] = prior_dirty
+
+        self._record(undo)
+
+    def wipe_storage(self, address: Address) -> None:
+        """Clear a contract's storage outside any transaction (GC).
+
+        Not journaled: garbage collection runs between blocks, exactly
+        like a state-pruning pass would.  The live trie is reset to an
+        empty one (canonical for the empty key set) and the address is
+        marked for re-commitment.
+        """
+        record = self.require_contract(address)
+        record.storage.clear()
+        self._storage_tries[address] = self._tree_factory()
+        self._dirty_slots.pop(address, None)
+        self._dirty.add(address)
 
     def set_location(
         self, address: Address, target_chain: int, height: Optional[int] = None
@@ -304,26 +404,70 @@ class WorldState:
         record = self.require_contract(address)
         return compute_storage_root(self._tree_factory, record.storage)
 
+    def _live_storage_trie(self, address: Address) -> AuthenticatedTree:
+        """Fetch-or-build the contract's live storage trie."""
+        tree = self._storage_tries.get(address)
+        if tree is None:
+            record = self.require_contract(address)
+            tree = build_storage_trie(self._tree_factory, record.storage)
+            self._storage_tries[address] = tree
+        return tree
+
+    def _commit_storage(self, address: Address, record: ContractRecord) -> bytes:
+        """Fold the block's dirty slots into the live trie; return the
+        root — bit-identical to the canonical sorted rebuild."""
+        tree = self._storage_tries.get(address)
+        if tree is None:
+            tree = build_storage_trie(self._tree_factory, record.storage)
+            self._storage_tries[address] = tree
+            return tree.root_hash
+        dirty = self._dirty_slots.get(address)
+        if not dirty:
+            return tree.root_hash
+        if not tree.history_independent and any(
+            (key in record.storage) != (key in tree) for key in dirty
+        ):
+            # The key set changed: overwrite-folding cannot reproduce
+            # the canonical (sorted-insertion) shape of a history-
+            # dependent tree, so refold this contract from scratch.
+            tree = build_storage_trie(self._tree_factory, record.storage)
+            self._storage_tries[address] = tree
+            return tree.root_hash
+        # Pure incremental path: either the tree commits to content
+        # alone, or every dirty slot is a value overwrite (which never
+        # rotates, preserving the canonical shape).
+        for key in sorted(dirty):
+            value = record.storage.get(key)
+            if value is None:
+                tree.delete(key)
+            else:
+                tree.set(key, value)
+        return tree.root_hash
+
     def commit(self) -> bytes:
         """Fold dirty entries into the account tree; return the root.
 
-        The journal is cleared — commit happens at block boundaries,
-        after which individual transactions can no longer be reverted.
+        Per dirty contract, only the slots written since the last
+        commit are folded into its live storage trie (O(dirty · log S)
+        instead of the O(S) rebuild).  The journal is cleared — commit
+        happens at block boundaries, after which individual
+        transactions can no longer be reverted.
         """
         for address in sorted(self._dirty):
             if address in self.contracts:
                 record = self.contracts[address]
-                root = compute_storage_root(self._tree_factory, record.storage)
+                root = self._commit_storage(address, record)
                 self._storage_roots[address] = root
                 leaf = encode_contract_leaf(record, root)
             elif address in self.accounts:
                 leaf = encode_account_leaf(self.accounts[address])
             else:
                 continue  # account created and reverted within the block
-            self._account_tree.set(address.raw, leaf)  # type: ignore[attr-defined]
+            self._account_tree.set(address.raw, leaf)
         self._dirty.clear()
+        self._dirty_slots.clear()
         self._journal.clear()
-        self._committed_root = self._account_tree.root_hash  # type: ignore[attr-defined]
+        self._committed_root = self._account_tree.root_hash
         return self._committed_root
 
     @property
@@ -331,25 +475,40 @@ class WorldState:
         """Root as of the last :meth:`commit`."""
         return self._committed_root
 
-    def snapshot_tree(self):
-        """A facade over the current committed account tree.
+    def snapshot_tree(self) -> AuthenticatedTree:
+        """An O(1) snapshot of the current committed account tree.
 
         The underlying nodes are immutable and structurally shared, so
-        this is O(1) and the snapshot stays valid as the live tree
-        evolves — the chain retains one per block to serve *historical*
-        account proofs (Move2 proofs target the Move1 block's root, not
-        the head's).
+        the snapshot stays valid as the live tree evolves — the chain
+        retains one per block to serve *historical* account proofs
+        (Move2 proofs target the Move1 block's root, not the head's).
         """
-        tree = self._tree_factory()
-        tree._root = self._account_tree._root  # type: ignore[attr-defined]
-        return tree
+        return self._account_tree.snapshot()
+
+    def storage_trie_snapshot(self, address: Address) -> AuthenticatedTree:
+        """An O(1) snapshot of the contract's committed storage trie.
+
+        Valid between commits (the live trie is only mutated at commit
+        or by whole-trie replacement inside a transaction); the chain
+        uses it to serve storage-entry proofs without rebuilding the
+        trie from the raw slots.
+        """
+        return self._live_storage_trie(address).snapshot()
 
     def prove_account(self, address: Address) -> MembershipProof:
         """``{leaf} ↦ state_root`` proof against the last committed tree.
 
         Raises :class:`KeyError` if the address was never committed.
         """
-        return self._account_tree.prove(address.raw)  # type: ignore[attr-defined]
+        return self._account_tree.prove(address.raw)
+
+    def prove_storage(self, address: Address, key: bytes) -> MembershipProof:
+        """``{slot} ↦ storage_root`` proof against the contract's
+        committed storage trie.
+
+        Raises :class:`KeyError` if the slot is not committed.
+        """
+        return self._live_storage_trie(address).prove(key)
 
     def committed_storage_root(self, address: Address) -> bytes:
         """Storage root as of the last commit that touched the address."""
@@ -359,13 +518,25 @@ class WorldState:
         return root
 
 
-def compute_storage_root(tree_factory: Callable[[], object], storage: Dict[bytes, bytes]) -> bytes:
-    """Rebuild a contract storage root canonically (sorted insertion).
-
-    Both the committing chain and any Move2 verifier call this, so the
-    root is reproducible from the raw storage contents alone.
-    """
+def build_storage_trie(
+    tree_factory: TreeFactory, storage: Mapping[bytes, bytes]
+) -> AuthenticatedTree:
+    """Build a contract storage trie canonically (sorted insertion)."""
     tree = tree_factory()
     for key in sorted(storage):
-        tree.set(key, storage[key])  # type: ignore[attr-defined]
-    return tree.root_hash  # type: ignore[attr-defined]
+        tree.set(key, storage[key])
+    return tree
+
+
+def compute_storage_root(
+    tree_factory: TreeFactory, storage: Mapping[bytes, bytes]
+) -> bytes:
+    """Rebuild a contract storage root canonically (sorted insertion).
+
+    This is the *reference* definition of the storage commitment: any
+    Move2 verifier calls it on the raw storage contents carried by a
+    proof bundle, so the root is reproducible with no write history.
+    The committing chain's incremental path (:meth:`WorldState.commit`)
+    is guaranteed to produce the identical root.
+    """
+    return build_storage_trie(tree_factory, storage).root_hash

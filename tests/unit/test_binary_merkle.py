@@ -76,3 +76,11 @@ def test_verify_against_none_root_is_false():
 def test_proof_length_is_logarithmic():
     tree = BinaryMerkleTree(leaves(1024))
     assert len(tree.prove(0)) == 10
+
+
+def test_root_hash_alias_and_snapshot():
+    tree = BinaryMerkleTree(leaves(5))
+    assert tree.root_hash == tree.root
+    snap = tree.snapshot()
+    assert snap.root_hash == tree.root_hash
+    assert verify_proof(snap.prove(2), tree.root)

@@ -7,6 +7,8 @@ break an active contract.
 
 import pytest
 
+from repro.chain.chain import Chain, ChainRegistry
+from repro.chain.params import burrow_params
 from repro.chain.tx import CallPayload, Move1Payload, Move2Payload
 from repro.errors import ProofError
 from tests.helpers import (
@@ -144,6 +146,33 @@ def test_gc_blocks_pending_proof_construction(moved_world):
         produce(ethereum, clock)
     with pytest.raises(ProofError):
         ethereum.prove_contract_at(addr, inclusion)
+
+
+def test_snapshot_retention_bounds_growth_automatically():
+    # With a small retention horizon, _post_roots/_tree_snapshots stay
+    # bounded as blocks flow — no manual prune_snapshots() call needed.
+    registry = ChainRegistry()
+    burrow = Chain(burrow_params(1, snapshot_retention=5), registry)
+    clock = ManualClock()
+    deploy_store(burrow, clock, ALICE)
+    produce(burrow, clock, 20)
+    live = [h for h in burrow._tree_snapshots if h > 0]
+    assert min(live) == burrow.height - 5
+    # genesis fallback plus the inclusive retention window survive
+    assert len(burrow._tree_snapshots) == 5 + 2
+    assert len(burrow._post_roots) == 5 + 2
+    # heights inside the horizon still serve proofs
+    burrow.prove_contract_at(
+        next(iter(burrow.state.contracts)), burrow.height - 2
+    )
+
+
+def test_zero_retention_disables_auto_pruning():
+    registry = ChainRegistry()
+    burrow = Chain(burrow_params(1, snapshot_retention=0), registry)
+    clock = ManualClock()
+    produce(burrow, clock, 10)
+    assert len(burrow._post_roots) == burrow.height + 1  # every block kept
 
 
 def test_prune_snapshots_keeps_recent_window():

@@ -97,6 +97,24 @@ def test_proof_invalidated_by_later_write():
     assert not verify_proof(proof, tree.root_hash)
 
 
+def test_snapshot_is_stable_and_forks():
+    tree = IAVLTree()
+    for i in range(16):
+        tree.set(key(i), b"v")
+    snap = tree.snapshot()
+    frozen_root = snap.root_hash
+    tree.set(key(3), b"changed")
+    assert snap.root_hash == frozen_root  # live writes don't leak in
+    assert tree.root_hash != frozen_root
+    assert snap.get(key(3)) == b"v"
+    snap.set(key(3), b"forked")  # writing the snapshot forks it
+    assert tree.get(key(3)) == b"changed"
+
+
+def test_history_independence_flag():
+    assert IAVLTree.history_independent is False
+
+
 def test_proof_length_logarithmic():
     tree = IAVLTree()
     for i in range(1024):

@@ -145,6 +145,73 @@ def test_storage_root_is_canonical(state):
     assert direct == rebuilt
 
 
+def test_incremental_commit_matches_canonical_rebuild(state):
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    for i in range(20):
+        state.storage_set(CONTRACT, b"k%02d" % i, b"v%02d" % i)
+    state.commit()
+    # Overwrite a few slots across several blocks: the live trie folds
+    # only the dirty slots, yet the root must equal the sorted rebuild.
+    for block in range(3):
+        state.storage_set(CONTRACT, b"k05", b"b%02d" % block)
+        state.storage_set(CONTRACT, b"k17", b"c%02d" % block)
+        state.commit()
+        expected = compute_storage_root(
+            state.tree_factory, state.require_contract(CONTRACT).storage
+        )
+        assert state.committed_storage_root(CONTRACT) == expected
+
+
+def test_load_storage_replaces_wholesale_and_reverts(state):
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    state.storage_set(CONTRACT, b"old", b"1")
+    state.commit()
+    root_before = state.committed_storage_root(CONTRACT)
+    snap = state.snapshot()
+    state.load_storage(CONTRACT, {b"a": b"1", b"b": b"2", b"empty": b""})
+    assert state.storage_get(CONTRACT, b"old") == b""
+    assert state.storage_get(CONTRACT, b"a") == b"1"
+    assert state.storage_get(CONTRACT, b"empty") == b""  # empty deletes
+    state.revert(snap)
+    assert state.storage_get(CONTRACT, b"old") == b"1"
+    assert state.storage_get(CONTRACT, b"a") == b""
+    assert state.commit() is not None
+    assert state.committed_storage_root(CONTRACT) == root_before
+
+
+def test_wipe_storage_commits_empty_root(state):
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    state.storage_set(CONTRACT, b"k", b"v")
+    state.commit()
+    state.wipe_storage(CONTRACT)
+    state.commit()
+    assert state.committed_storage_root(CONTRACT) == compute_storage_root(
+        state.tree_factory, {}
+    )
+
+
+def test_prove_storage_verifies_against_committed_root(state):
+    state.create_contract(CONTRACT, CODE_HASH, CODE)
+    state.storage_set(CONTRACT, b"k1", b"v1")
+    state.storage_set(CONTRACT, b"k2", b"v2")
+    state.commit()
+    proof = state.prove_storage(CONTRACT, b"k1")
+    assert proof.value == b"v1"
+    assert verify_proof(proof, state.committed_storage_root(CONTRACT))
+    with pytest.raises(KeyError):
+        state.prove_storage(CONTRACT, b"missing")
+
+
+def test_snapshot_tree_is_public_and_stable(state):
+    state.add_balance(ALICE, 5)
+    root = state.commit()
+    snap = state.snapshot_tree()
+    assert snap.root_hash == root
+    state.add_balance(ALICE, 5)
+    state.commit()
+    assert snap.root_hash == root  # snapshot frozen as the live tree moves
+
+
 def test_contract_leaf_commits_location_and_move_nonce(state):
     state.create_contract(CONTRACT, CODE_HASH, CODE)
     root_before = state.commit()
