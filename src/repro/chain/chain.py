@@ -119,7 +119,16 @@ class Chain:
     # ------------------------------------------------------------------
 
     def submit(self, tx: Transaction) -> bool:
-        """Queue a transaction for inclusion; False for duplicates."""
+        """Queue a transaction for inclusion; False for duplicates.
+
+        Duplicate delivery is idempotent end-to-end: the mempool
+        de-duplicates *pending* transactions, and a copy arriving after
+        the original already executed (a gossip duplicate delayed past
+        inclusion) is rejected here — without this receipt check the
+        transaction would re-enter the mempool and execute twice.
+        """
+        if tx.tx_id in self.receipts:
+            return False
         return self.mempool.add(tx)
 
     def subscribe(self, listener: BlockListener) -> None:
@@ -384,11 +393,18 @@ class Chain:
                 raise StateError(f"txs_root mismatch at height {block.height}")
         return True
 
-    def observe_chain(self, params: ChainParams) -> None:
-        """Start maintaining a light client of a peer chain."""
+    def observe_chain(self, params: ChainParams, fork_aware: bool = False) -> None:
+        """Start maintaining a light client of a peer chain.
+
+        ``fork_aware=True`` tracks competing branches of the peer
+        (appropriate for PoW peers, whose chains reorg); the default
+        store suits BFT peers with instant finality.
+        """
         if params.chain_id not in self.registry:
             self.registry.register(params)
-        self.light_client.observe(params.chain_id, params.confirmation_depth)
+        self.light_client.observe(
+            params.chain_id, params.confirmation_depth, fork_aware=fork_aware
+        )
 
     def ingest_header(self, header: BlockHeader) -> None:
         """Feed a peer-chain header to this chain's light client."""

@@ -25,13 +25,27 @@ class HeaderStore:
         self.confirmation_depth = confirmation_depth
         self._headers: Dict[int, BlockHeader] = {}
         self.head_height = -1
+        #: conflicting headers seen (and rejected) at an occupied height
+        self.equivocations = 0
 
     def add_header(self, header: BlockHeader) -> None:
-        """Ingest a header (relayed or downloaded)."""
+        """Ingest a header (relayed or downloaded).
+
+        Exactly-once is *not* assumed: re-delivering a known header is a
+        no-op, and a *conflicting* header at an occupied height — two
+        distinct headers at one height of a non-forking chain are
+        equivocation evidence — is rejected (first-seen wins) and
+        counted in :attr:`equivocations` instead of silently replacing
+        the root that peers may already have verified proofs against.
+        """
         if header.chain_id != self.chain_id:
             raise StateError(
                 f"header of chain {header.chain_id} fed to store of {self.chain_id}"
             )
+        existing = self._headers.get(header.height)
+        if existing is not None and existing.hash() != header.hash():
+            self.equivocations += 1
+            return
         self._headers[header.height] = header
         self.head_height = max(self.head_height, header.height)
 
@@ -70,7 +84,13 @@ class ForkAwareHeaderStore(HeaderStore):
       tie, like a node that mines on what it saw first);
     * ``trusted_state_root`` answers only for canonical, ``p``-deep
       headers — a root from an orphaned branch is never trusted, and a
-      root that *was* canonical stops validating after a reorg.
+      root that *was* canonical stops validating after a reorg;
+    * a reorg that replaces a header which was already ``p``-confirmed
+      breaks the protocol's safety assumption (a root peers were
+      entitled to trust has been invalidated) — it is **detected** and
+      counted in :attr:`deep_reorgs`, never silently absorbed, so
+      operators and the chaos invariant checker can flag every Move2
+      that may have built on the orphaned side.
     """
 
     def __init__(self, chain_id: int, confirmation_depth: int):
@@ -79,6 +99,8 @@ class ForkAwareHeaderStore(HeaderStore):
         self._tip: Optional[BlockHeader] = None
         self._canonical: Dict[int, bytes] = {}  # height -> canonical hash
         self.reorgs = 0
+        #: reorgs that replaced an already-p-confirmed canonical header
+        self.deep_reorgs = 0
 
     def add_header(self, header: BlockHeader) -> None:
         """Ingest a linked header; competing branches are tracked."""
@@ -95,11 +117,19 @@ class ForkAwareHeaderStore(HeaderStore):
         self._headers[header.height] = header  # latest writer, superseded below
         if self._tip is None or header.height > self._tip.height:
             old_tip = self._tip
+            old_head = self.head_height
+            old_canonical = dict(self._canonical)
             self._tip = header
             self.head_height = header.height
             self._rebuild_canonical()
             if old_tip is not None and self._canonical.get(old_tip.height) != old_tip.hash():
                 self.reorgs += 1
+                if any(
+                    self._canonical.get(height) != canonical_hash
+                    and height + self.confirmation_depth <= old_head
+                    for height, canonical_hash in old_canonical.items()
+                ):
+                    self.deep_reorgs += 1
 
     def _rebuild_canonical(self) -> None:
         self._canonical.clear()

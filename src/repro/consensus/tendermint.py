@@ -65,6 +65,7 @@ class TendermintEngine:
         self.interval = chain.params.block_interval
         prefix = name_prefix or f"val-{chain.chain_id}"
         self.validators = [f"{prefix}-{i}" for i in range(len(regions))]
+        self._validator_set = frozenset(self.validators)
         self._quorum = (2 * len(self.validators)) // 3 + 1
         self._prevotes: Dict[Tuple[str, int], Set[str]] = {}
         self._precommits: Dict[Tuple[str, int], Set[str]] = {}
@@ -104,6 +105,16 @@ class TendermintEngine:
         """Bring a crashed validator back (it rejoins at new rounds)."""
         self.crashed.discard(validator)
 
+    def stall(self, validator: str, duration: float) -> None:
+        """Stall a validator for ``duration`` simulated seconds.
+
+        Models a proposer that freezes (GC pause, disk stall) and later
+        resumes: a crash followed by a scheduled recovery.  While
+        stalled, its proposal slots cost the set one round timeout each.
+        """
+        self.crash(validator)
+        self.sim.schedule(duration, lambda: self.recover(validator))
+
     def start(self) -> None:
         """Schedule the first proposal one interval from now."""
         self._running = True
@@ -142,6 +153,12 @@ class TendermintEngine:
 
     def _on_message(self, me: str, src: str, msg: object) -> None:
         if not self._running or me in self.crashed:
+            return
+        if isinstance(msg, _Vote) and msg.voter not in self._validator_set:
+            # Quorum arithmetic must only ever count members of the
+            # validator set: a faulty network that duplicates, replays
+            # or mis-routes traffic (or an outright forged vote) must
+            # not be able to manufacture a 2/3+ quorum.
             return
         if isinstance(msg, _Proposal):
             if msg.height <= self._committed_height:

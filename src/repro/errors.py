@@ -88,5 +88,18 @@ class SignatureError(ReproError):
     """Signature verification failed or a key was malformed."""
 
 
+class InvariantViolation(ReproError):
+    """A cross-chain protocol invariant failed during simulation.
+
+    Raised by :class:`~repro.faults.invariants.InvariantChecker` the
+    instant a simulated block leaves the system in a state the paper's
+    safety argument forbids (dual mutability, a move-nonce regression,
+    pegged-supply inflation, or a commitment-root mismatch)."""
+
+
+class FaultPlanError(ReproError):
+    """A fault schedule is malformed or targets an unknown component."""
+
+
 class AssemblerError(ReproError):
     """The VM assembler met an unknown mnemonic or malformed operand."""

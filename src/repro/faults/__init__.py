@@ -1,0 +1,16 @@
+"""Deterministic fault injection + cross-chain invariant checking.
+
+See ``docs/FAULTS.md`` for the fault model and the four invariants.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "InvariantChecker",
+]

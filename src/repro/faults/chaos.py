@@ -1,0 +1,498 @@
+"""Seeded chaos runs: random faults over real Move workloads.
+
+``run_chaos(seed)`` builds a small two-chain deployment (plus an
+optional PoW bystander whose headers reorg), runs the SCoin or
+ScalableKitties workload over it while a :class:`FaultInjector` executes
+``FaultPlan.from_seed(seed)``, and keeps an
+:class:`~repro.faults.invariants.InvariantChecker` attached so every
+block of every chain re-proves the paper's safety properties.
+
+The design target is FoundationDB-style *deterministic* simulation
+testing: everything stochastic — consensus timing, network latency,
+fault timing, fault dice, workload choices — derives from ``seed``, so
+a violation report is fully reproduced by re-running the same call.
+Liveness is intentionally not asserted here (a partition or withheld
+relay may stall moves for its whole window); what chaos runs establish
+is that no fault schedule the plan generator emits can make the system
+*unsafe*.
+
+The world:
+
+* chains 1 and 2: Burrow/Tendermint, four validators each (quorum 3,
+  so every single-validator fault is survivable), 5 s blocks;
+* optional chain 3 (``pow_peer=True``): Ethereum-flavoured PoW
+  bystander observed fork-aware by the others — the target of ``reorg``
+  and the reason their light clients must track branches;
+* header relays with a small simulated delay, one per source chain, so
+  withhold/stale faults have a real seam to grab;
+* a handful of closed-loop actors moving their contracts back and
+  forth between chains 1 and 2, transferring tokens (SCoin) or breeding
+  cats (ScalableKitties) whenever co-located, with Move2 retried on
+  stale-view failures exactly like a real relayer client would.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params, ethereum_params
+from repro.chain.tx import CallPayload, DeployPayload, Move1Payload, Move2Payload, sign_transaction
+from repro.consensus.pow import PowEngine
+from repro.consensus.tendermint import TendermintEngine
+from repro.core.registry import ChainRegistry
+from repro.crypto.keys import Address, KeyPair
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan
+from repro.net.sim import Simulator
+from repro.net.transport import Network
+from repro.ibc.headers import HeaderRelay
+
+#: chains the workload actually moves contracts between
+WORKLOAD_CHAINS = (1, 2)
+#: id of the optional PoW bystander
+POW_CHAIN = 3
+#: one-way client-to-chain submission latency
+SUBMIT_LATENCY = 0.1
+#: simulated header-relay delay (gives withhold/stale faults a seam)
+RELAY_DELAY = 0.2
+#: Move2 retry backoff and cap: a stale target view (withheld or lagging
+#: relay) clears once headers flow again; a permanently replaced root
+#: (deep reorg) never does, so the client eventually gives up with the
+#: contract parked in its locked source copy — safe, just not moved.
+MOVE2_RETRY_DELAY = 10.0
+MOVE2_MAX_RETRIES = 12
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run observed — safety counters included."""
+
+    seed: int
+    duration: float
+    workload: str
+    plan_counts: Dict[str, int] = field(default_factory=dict)
+    injected: Dict[str, int] = field(default_factory=dict)
+    blocks: Dict[int, int] = field(default_factory=dict)
+    moves_started: int = 0
+    moves_completed: int = 0
+    moves_abandoned: int = 0
+    move2_retries: int = 0
+    actions_completed: int = 0  # transfers (SCoin) / births (kitties)
+    actions_failed: int = 0
+    invariant_checks: int = 0
+    equivocations_rejected: int = 0
+    deep_reorgs_detected: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+
+
+@dataclass
+class _Actor:
+    keypair: KeyPair
+    contract: Optional[Address] = None
+    location: int = 1
+    busy: bool = False
+    # kitties: the actor's second (stationary) cat on chain 1
+    partner: Optional[Address] = None
+
+
+class ChaosWorld:
+    """The deployment + workload harness a chaos run executes in."""
+
+    def __init__(self, seed: int, pow_peer: bool = False, actors: int = 3):
+        self.seed = seed
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim)
+        self.registry = ChainRegistry()
+        self.rng = random.Random(seed ^ 0xC4A05)
+        self.chains: Dict[int, Chain] = {}
+        self.engines: Dict[int, object] = {}
+        self.relays: Dict[int, HeaderRelay] = {}
+        for chain_id in WORKLOAD_CHAINS:
+            chain = Chain(
+                burrow_params(chain_id, validator_count=4),
+                self.registry,
+                verify_signatures=False,
+            )
+            regions = self.network.latency.assign_regions(4, self.sim.rng)
+            self.chains[chain_id] = chain
+            self.engines[chain_id] = TendermintEngine(
+                self.sim, self.network, chain, regions
+            )
+        if pow_peer:
+            chain = Chain(
+                ethereum_params(POW_CHAIN), self.registry, verify_signatures=False
+            )
+            regions = self.network.latency.assign_regions(4, self.sim.rng)
+            self.chains[POW_CHAIN] = chain
+            self.engines[POW_CHAIN] = PowEngine(self.sim, self.network, chain, regions)
+        all_chains = list(self.chains.values())
+        for chain_id, chain in self.chains.items():
+            targets = [c for c in all_chains if c is not chain]
+            self.relays[chain_id] = HeaderRelay(
+                chain,
+                targets,
+                sim=self.sim,
+                delay=RELAY_DELAY,
+                fork_aware=(chain_id == POW_CHAIN),
+            )
+        self.actors = [
+            _Actor(keypair=KeyPair.from_name(f"chaos-{seed}-actor-{i}"))
+            for i in range(actors)
+        ]
+        self.owner = KeyPair.from_name(f"chaos-{seed}-owner")
+        funds = {kp.address: 10**12 for kp in [self.owner] + [a.keypair for a in self.actors]}
+        for chain in all_chains:
+            chain.fund(funds)
+        self.report: Optional[ChaosReport] = None
+        self.deadline = 0.0
+
+    # ------------------------------------------------------------------
+    # Generic plumbing
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every chain's consensus engine."""
+        for engine in self.engines.values():
+            engine.start()
+
+    def submit(self, chain_id: int, tx) -> None:
+        """Hand ``tx`` to a chain's mempool after client-side latency."""
+        chain = self.chains[chain_id]
+        self.sim.schedule(SUBMIT_LATENCY, lambda: chain.submit(tx))
+
+    def run_tx(self, chain_id: int, keypair: KeyPair, payload, callback) -> None:
+        """Sign, submit and invoke ``callback(receipt)`` on inclusion."""
+        tx = sign_transaction(keypair, payload)
+        self.chains[chain_id].wait_for(tx.tx_id, callback)
+        self.submit(chain_id, tx)
+
+    # ------------------------------------------------------------------
+    # The Move loop (with the Move2 retry a real relayer client has)
+    # ------------------------------------------------------------------
+
+    def move(
+        self,
+        actor: _Actor,
+        target_id: int,
+        on_done: Callable[[bool], None],
+    ) -> None:
+        """Move the actor's contract to ``target_id``; ``on_done(ok)``."""
+        source_id = actor.location
+        source = self.chains[source_id]
+        target = self.chains[target_id]
+        self.report.moves_started += 1
+        actor.busy = True
+
+        def finish(ok: bool) -> None:
+            actor.busy = False
+            if ok:
+                actor.location = target_id
+                self.report.moves_completed += 1
+            else:
+                self.report.moves_abandoned += 1
+            on_done(ok)
+
+        def after_move1(receipt) -> None:
+            if not receipt.success:
+                finish(False)
+                return
+            inclusion = receipt.block_height
+            ready = source.proof_ready_height(inclusion)
+
+            def when_ready(block, _receipts) -> None:
+                if block.height >= ready:
+                    source.unsubscribe(when_ready)
+                    try_move2(inclusion, 0)
+
+            if source.height >= ready:
+                try_move2(inclusion, 0)
+            else:
+                source.subscribe(when_ready)
+
+        def try_move2(inclusion: int, attempt: int) -> None:
+            bundle = source.prove_contract_at(actor.contract, inclusion)
+
+            def after_move2(receipt) -> None:
+                if receipt.success:
+                    finish(True)
+                    return
+                # The target's light client has not (or no longer)
+                # trusts the proven root — retry once headers flow.
+                if attempt >= MOVE2_MAX_RETRIES or self.sim.now >= self.deadline:
+                    finish(False)
+                    return
+                self.report.move2_retries += 1
+                self.sim.schedule(
+                    MOVE2_RETRY_DELAY, lambda: try_move2(inclusion, attempt + 1)
+                )
+
+            tx = sign_transaction(actor.keypair, Move2Payload(bundle=bundle))
+            target.wait_for(tx.tx_id, after_move2)
+            self.submit(target_id, tx)
+
+        self.run_tx(
+            source_id,
+            actor.keypair,
+            Move1Payload(contract=actor.contract, target_chain=target_id),
+            after_move1,
+        )
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+
+
+def _scoin_setup(world: ChaosWorld, on_ready: Callable[[int], None]) -> None:
+    """Deploy SCoin on chain 1, one SAccount per actor, mint tokens.
+
+    ``on_ready(total_supply)`` fires once every account holds tokens.
+    """
+    from repro.apps.scoin import SCoin
+
+    tokens_each = 1000
+    home = WORKLOAD_CHAINS[0]
+    pending = [len(world.actors)]
+
+    def after_deploy(receipt) -> None:
+        assert receipt.success, receipt.error
+        token = receipt.return_value
+        for actor in world.actors:
+            world.run_tx(
+                home,
+                actor.keypair,
+                CallPayload(token, "new_account_for", (actor.keypair.address,)),
+                lambda r, a=actor: after_create(a, r, token),
+            )
+
+    def after_create(actor: _Actor, receipt, token: Address) -> None:
+        assert receipt.success, receipt.error
+        actor.contract, _salt = receipt.return_value
+        actor.location = home
+        world.run_tx(
+            home,
+            world.owner,
+            CallPayload(token, "mint_to", (actor.contract, tokens_each)),
+            lambda r: after_mint(r),
+        )
+
+    def after_mint(receipt) -> None:
+        assert receipt.success, receipt.error
+        pending[0] -= 1
+        if pending[0] == 0:
+            on_ready(tokens_each * len(world.actors))
+
+    world.run_tx(
+        home, world.owner, DeployPayload(code_hash=SCoin.CODE_HASH), after_deploy
+    )
+
+
+def _scoin_step(world: ChaosWorld, actor: _Actor) -> None:
+    """One closed-loop op: transfer to a co-located sibling if there is
+    one (exercising supply conservation), else hop to the other chain."""
+    if world.sim.now >= world.deadline or actor.busy:
+        return
+
+    def next_step(_ok=None) -> None:
+        world.sim.schedule(world.rng.uniform(1.0, 5.0), lambda: _scoin_step(world, actor))
+
+    siblings = [
+        a
+        for a in world.actors
+        if a is not actor and not a.busy and a.location == actor.location
+    ]
+    if siblings and world.rng.random() < 0.5:
+        target = world.rng.choice(siblings)
+
+        def after(receipt) -> None:
+            if receipt.success:
+                world.report.actions_completed += 1
+            else:
+                world.report.actions_failed += 1
+            next_step()
+
+        world.run_tx(
+            actor.location,
+            actor.keypair,
+            CallPayload(actor.contract, "transfer_tokens", (target.contract, 1)),
+            after,
+        )
+        return
+    destination = WORKLOAD_CHAINS[1] if actor.location == WORKLOAD_CHAINS[0] else WORKLOAD_CHAINS[0]
+    world.move(actor, destination, next_step)
+
+
+def _kitties_setup(world: ChaosWorld, on_ready: Callable[[int], None]) -> None:
+    """Registry + two gen-0 cats per actor on chain 1: one stationary
+    partner, one roaming cat that moves between the chains."""
+    from repro.apps.kitties import KittyRegistry
+
+    home = WORKLOAD_CHAINS[0]
+    pending = [2 * len(world.actors)]
+
+    def after_deploy(receipt) -> None:
+        assert receipt.success, receipt.error
+        registry = receipt.return_value
+        for actor in world.actors:
+            for which in ("roamer", "partner"):
+                world.run_tx(
+                    home,
+                    world.owner,
+                    CallPayload(registry, "create_promo_kitty", (actor.keypair.address,)),
+                    lambda r, a=actor, w=which: after_cat(a, w, r),
+                )
+
+    def after_cat(actor: _Actor, which: str, receipt) -> None:
+        assert receipt.success, receipt.error
+        if which == "roamer":
+            actor.contract = receipt.return_value
+            actor.location = home
+        else:
+            actor.partner = receipt.return_value
+        pending[0] -= 1
+        if pending[0] == 0:
+            on_ready(0)
+
+    world.run_tx(
+        home, world.owner, DeployPayload(code_hash=KittyRegistry.CODE_HASH), after_deploy
+    )
+
+
+def _kitties_step(world: ChaosWorld, actor: _Actor) -> None:
+    """One closed-loop op: at home, breed the roamer with its partner
+    (breed + give_birth = one new movable contract); then hop away and
+    back — Fig. 5's move-to-breed choreography under faults."""
+    if world.sim.now >= world.deadline or actor.busy:
+        return
+    home = WORKLOAD_CHAINS[0]
+
+    def next_step(_ok=None) -> None:
+        world.sim.schedule(world.rng.uniform(1.0, 5.0), lambda: _kitties_step(world, actor))
+
+    if actor.location != home:
+        world.move(actor, home, next_step)
+        return
+
+    def after_breed(receipt) -> None:
+        if not receipt.success:
+            world.report.actions_failed += 1
+            next_step()
+            return
+        world.run_tx(
+            home,
+            actor.keypair,
+            CallPayload(actor.contract, "give_birth", ()),
+            after_birth,
+        )
+
+    def after_birth(receipt) -> None:
+        if receipt.success:
+            world.report.actions_completed += 1
+        else:
+            world.report.actions_failed += 1
+        # Hop to the other chain and come back for the next litter.
+        world.move(
+            actor,
+            WORKLOAD_CHAINS[1],
+            lambda ok: next_step(),
+        )
+
+    world.run_tx(
+        home,
+        actor.keypair,
+        CallPayload(actor.contract, "breed_with", (actor.partner,)),
+        after_breed,
+    )
+
+
+_WORKLOADS = {
+    "scoin": (_scoin_setup, _scoin_step),
+    "kitties": (_kitties_setup, _kitties_step),
+}
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def run_chaos(
+    seed: int,
+    duration: float = 300.0,
+    workload: str = "scoin",
+    plan: Optional[FaultPlan] = None,
+    intensity: float = 1.0,
+    pow_peer: bool = False,
+    check_roots: bool = True,
+) -> ChaosReport:
+    """One fully seeded chaos run; raises
+    :class:`~repro.errors.InvariantViolation` on the first unsafe block.
+
+    ``plan`` defaults to ``FaultPlan.from_seed(seed, duration, ...)``
+    with reorg faults enabled iff ``pow_peer`` adds the PoW bystander.
+    Re-invoking with the same arguments replays the run exactly.
+    """
+    if workload not in _WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}")
+    setup, step = _WORKLOADS[workload]
+
+    world = ChaosWorld(seed, pow_peer=pow_peer)
+    report = ChaosReport(seed=seed, duration=duration, workload=workload)
+    world.report = report
+    # Leave a quiescent tail: no new operations in the last 10 %.
+    world.deadline = 0.9 * duration
+
+    if plan is None:
+        pow_chains = (
+            {POW_CHAIN: world.chains[POW_CHAIN].params.confirmation_depth}
+            if pow_peer
+            else None
+        )
+        plan = FaultPlan.from_seed(
+            seed,
+            duration=duration,
+            pow_chains=pow_chains,
+            intensity=intensity,
+        )
+    report.plan_counts = plan.counts()
+
+    checker = InvariantChecker(world.chains.values(), check_roots=check_roots)
+    checker.attach()
+    injector = FaultInjector(
+        world.sim,
+        network=world.network,
+        chains=world.chains,
+        engines={cid: world.engines[cid] for cid in WORKLOAD_CHAINS},
+        relays=world.relays,
+        seed=seed,
+    )
+    injector.apply(plan)
+
+    def on_ready(total_supply: int) -> None:
+        if total_supply:
+            checker.expected_token_supply = total_supply
+        for actor in world.actors:
+            step(world, actor)
+
+    world.start()
+    setup(world, on_ready)
+    world.sim.run(until=duration)
+    checker.final_check()
+
+    report.injected = dict(injector.injected)
+    report.blocks = {cid: chain.height for cid, chain in world.chains.items()}
+    report.invariant_checks = checker.checks_run
+    report.messages_dropped = world.network.messages_dropped
+    report.messages_duplicated = world.network.messages_duplicated
+    for chain in world.chains.values():
+        for peer_id in world.chains:
+            store = chain.light_client.store_for(peer_id)
+            if store is not None:
+                report.equivocations_rejected += getattr(store, "equivocations", 0)
+                report.deep_reorgs_detected += getattr(store, "deep_reorgs", 0)
+    return report

@@ -13,13 +13,22 @@ protocols must already tolerate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.errors import SimulationError
 from repro.net.latency import LatencyModel
 from repro.net.sim import Simulator
 
 MessageHandler = Callable[[str, Any], None]
+
+#: Fault-injection hook: inspects an outbound message *after* partition
+#: filtering and latency sampling, and returns the list of delivery
+#: delays to use instead — ``[]`` drops the message, one entry delivers
+#: it once (possibly delayed or hastened, which reorders it relative to
+#: its peers), several entries duplicate it.  ``None`` leaves the
+#: sampled latency untouched.  Installed by
+#: :class:`~repro.faults.injector.FaultInjector`.
+FaultHook = Callable[[str, str, Any, float], Optional[List[float]]]
 
 
 @dataclass
@@ -41,7 +50,10 @@ class Network:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
         self._partition: Optional[Dict[str, int]] = None
+        #: optional fault-injection hook (see :data:`FaultHook`)
+        self.fault_hook: Optional[FaultHook] = None
 
     def attach(self, name: str, region: str, handler: MessageHandler) -> Endpoint:
         """Register a process; ``handler(sender_name, payload)`` receives."""
@@ -97,6 +109,15 @@ class Network:
             self.messages_dropped += 1
             return
         delay = self.latency.sample(source.region, destination.region, self.sim.rng)
+        delays = [delay]
+        if self.fault_hook is not None:
+            hooked = self.fault_hook(src, dst, payload, delay)
+            if hooked is not None:
+                delays = [max(0.0, d) for d in hooked]
+                if not delays:
+                    self.messages_dropped += 1
+                    return
+                self.messages_duplicated += len(delays) - 1
         self.messages_sent += 1
         self.bytes_sent += size_bytes
 
@@ -105,7 +126,8 @@ class Network:
             if target is not None:
                 target.handler(src, payload)
 
-        self.sim.schedule(delay, deliver)
+        for scheduled_delay in delays:
+            self.sim.schedule(scheduled_delay, deliver)
 
     def broadcast(self, src: str, dsts: Iterable[str], payload: Any, size_bytes: int = 0) -> None:
         """Send the same payload to many destinations (independent latencies)."""

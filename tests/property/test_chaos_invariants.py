@@ -1,0 +1,126 @@
+"""Property: no seeded fault schedule makes the Move protocol unsafe.
+
+Hypothesis draws (seed, intensity, workload) triples; each triple fully
+determines a chaos run — deployment, consensus timing, network jitter,
+fault schedule, fault dice and workload choices all derive from the
+seed — over which the :class:`InvariantChecker` re-asserts the paper's
+four safety invariants at every block of every chain.  A failing
+example therefore IS its own reproduction: re-running
+``run_chaos(seed, ...)`` with the printed arguments replays the run
+byte-for-byte, and ``FaultPlan.from_seed(seed)`` re-derives the exact
+fault schedule for a bug report.
+
+A fixed seed matrix (exercised by the CI chaos job) pins a handful of
+runs permanently, so a regression in any faulted code path fails the
+same seed on every machine.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan
+from repro.faults.chaos import run_chaos
+
+CHAOS_SETTINGS = settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Plan reproducibility: the seed is the whole bug report
+# ----------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    duration=st.sampled_from([120.0, 300.0, 600.0]),
+    intensity=st.sampled_from([0.5, 1.0, 2.0]),
+)
+@settings(max_examples=50, deadline=None)
+def test_fault_plans_reproduce_byte_identically(seed, duration, intensity):
+    first = FaultPlan.from_seed(seed, duration=duration, intensity=intensity)
+    second = FaultPlan.from_seed(seed, duration=duration, intensity=intensity)
+    assert first.encode() == second.encode()
+    assert first.events == second.events
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=50, deadline=None)
+def test_fault_plans_are_survivable_by_construction(seed):
+    plan = FaultPlan.from_seed(seed, duration=300.0, intensity=2.0)
+    busy = {}
+    for event in plan.events:
+        assert event.time <= 0.70 * plan.duration
+        assert event.time + event.duration <= 0.85 * plan.duration + 1e-9
+        if event.kind in ("crash", "stall_proposer"):
+            # At most one validator per chain down at a time (f = 1).
+            assert event.time >= busy.get(event.chain, 0.0)
+            busy[event.chain] = event.time + event.duration
+        if event.kind == "partition":
+            # Partitions isolate a single validator: quorum survives.
+            assert "," not in event.target
+
+
+# ----------------------------------------------------------------------
+# Randomized chaos runs (small, Hypothesis-driven)
+# ----------------------------------------------------------------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    workload=st.sampled_from(["scoin", "kitties"]),
+)
+@CHAOS_SETTINGS
+def test_invariants_hold_under_random_fault_schedules(seed, workload):
+    report = run_chaos(seed=seed, duration=120.0, workload=workload)
+    # The run completing IS the safety assertion (violations raise);
+    # make sure it actually exercised something.
+    assert report.invariant_checks > 0
+    assert all(height > 0 for height in report.blocks.values())
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@CHAOS_SETTINGS
+def test_chaos_runs_reproduce_exactly(seed):
+    first = run_chaos(seed=seed, duration=90.0, workload="scoin")
+    second = run_chaos(seed=seed, duration=90.0, workload="scoin")
+    assert first.blocks == second.blocks
+    assert first.injected == second.injected
+    assert first.moves_completed == second.moves_completed
+    assert first.actions_completed == second.actions_completed
+    assert first.invariant_checks == second.invariant_checks
+
+
+# ----------------------------------------------------------------------
+# Fixed seed matrix: the CI chaos job's fast subset
+# ----------------------------------------------------------------------
+
+SEED_MATRIX = [
+    pytest.param(1, "scoin", False, id="seed1_scoin"),
+    # pow_peer: with the PoW bystander chain (reorg faults live)
+    pytest.param(7, "scoin", True, id="seed7_scoin_pow"),
+    pytest.param(11, "kitties", False, id="seed11_kitties"),
+    pytest.param(23, "scoin", False, id="seed23_scoin"),
+    pytest.param(42, "kitties", True, id="seed42_kitties_pow"),
+]
+
+
+@pytest.mark.parametrize("seed,workload,pow_peer", SEED_MATRIX)
+def test_chaos_seed_matrix(seed, workload, pow_peer):
+    report = run_chaos(
+        seed=seed,
+        duration=200.0,
+        workload=workload,
+        intensity=1.5,
+        pow_peer=pow_peer,
+    )
+    assert report.invariant_checks > 0
+    # Both workload chains made progress despite the schedule.
+    for chain_id in (1, 2):
+        assert report.blocks[chain_id] > 5
+    # The schedule actually injected faults.
+    assert sum(report.plan_counts.values()) >= 4
+    assert report.moves_started > 0
