@@ -30,6 +30,8 @@ from repro.ibc.scenarios import (
     IBCExperiment,
 )
 from repro.metrics.report import format_table
+from repro.telemetry import Telemetry
+from repro.telemetry.phases import trace_phases
 
 DIRECTIONS = (
     ("Burrow -> Ethereum", BURROW_ID, ETHEREUM_ID),
@@ -41,22 +43,36 @@ def _seeds():
     return range(5) if full_scale() else range(3)
 
 
+def _run_one(app, label, src, dst, seed):
+    """One traced run: (MovePhases, telemetry TracePhases of the
+    measured move — the *last* finished trace; setup moves come first)."""
+    telemetry = Telemetry.enabled()
+    experiment = IBCExperiment(seed=seed, telemetry=telemetry)
+    phases = experiment.run_app(app, src, dst)
+    traces = trace_phases(telemetry.tracer.finished_spans())
+    return phases, traces[-1]
+
+
 def _run_all():
     results = {}
     for app in APPS:
         for label, src, dst in DIRECTIONS:
-            runs = [IBCExperiment(seed=seed).run_app(app, src, dst) for seed in _seeds()]
+            runs = [_run_one(app, label, src, dst, seed) for seed in _seeds()]
             results[(app, label)] = runs
     return results
 
 
 def _mean_phases(runs):
     return (
-        statistics.mean(p.move1_time for p in runs),
-        statistics.mean(p.wait_proof_time for p in runs),
-        statistics.mean(p.move2_time for p in runs),
-        statistics.mean(p.complete_time for p in runs),
+        statistics.mean(p.move1_time for p, _t in runs),
+        statistics.mean(p.wait_proof_time for p, _t in runs),
+        statistics.mean(p.move2_time for p, _t in runs),
+        statistics.mean(p.complete_time for p, _t in runs),
     )
+
+
+def _mean_trace_phase(runs, phase):
+    return statistics.mean(t.phase(phase) for _p, t in runs)
 
 
 def test_fig8_ibc_latency(benchmark):
@@ -64,16 +80,25 @@ def test_fig8_ibc_latency(benchmark):
 
     sections = []
     means = {}
+    confirm_share = {}
     for label, _src, _dst in DIRECTIONS:
         rows = []
         for app in APPS:
-            move1, wait, move2, complete = _mean_phases(results[(app, label)])
+            runs = results[(app, label)]
+            move1, wait, move2, complete = _mean_phases(runs)
             means[(app, label)] = (move1, wait, move2, complete)
+            # Telemetry splits the wait+proof column into its parts:
+            # the p-block confirmation wait vs actual proof building.
+            confirm = _mean_trace_phase(runs, "confirm.wait")
+            proof = _mean_trace_phase(runs, "proof.build")
+            confirm_share[(app, label)] = (confirm, proof, wait)
             rows.append(
                 [
                     APP_LABELS[app],
                     round(move1, 1),
                     round(wait, 1),
+                    round(confirm, 1),
+                    round(proof, 2),
                     round(move2, 1),
                     round(complete, 1),
                     round(move1 + wait + move2 + complete, 1),
@@ -82,12 +107,26 @@ def test_fig8_ibc_latency(benchmark):
         sections.append(f"--- Time from {label} ---")
         sections.append(
             format_table(
-                ["application", "move1 (s)", "wait+proof (s)", "move2 (s)", "complete (s)", "total (s)"],
+                [
+                    "application",
+                    "move1 (s)",
+                    "wait+proof (s)",
+                    "confirm (s)",
+                    "proof (s)",
+                    "move2 (s)",
+                    "complete (s)",
+                    "total (s)",
+                ],
                 rows,
             )
         )
         sections.append("")
     emit("fig8_ibc_latency", "\n".join(sections))
+
+    # The traced phases must agree with the bridge's own bookkeeping:
+    # confirm.wait + proof.build is exactly the wait+proof column.
+    for (app, label), (confirm, proof, wait) in confirm_share.items():
+        assert abs((confirm + proof) - wait) < 0.5, (app, label, confirm, proof, wait)
 
     for app in APPS:
         b2e = means[(app, "Burrow -> Ethereum")]

@@ -33,6 +33,7 @@ from repro.runtime.context import BlockEnv
 from repro.runtime.runtime import Runtime
 from repro.statedb.receipts import Receipt
 from repro.statedb.state import WorldState
+from repro.telemetry import Telemetry
 
 BlockListener = Callable[[Block, List[Receipt]], None]
 
@@ -45,11 +46,21 @@ class Chain:
         params: ChainParams,
         registry: Optional[ChainRegistry] = None,
         verify_signatures: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.params = params
         self.registry = registry if registry is not None else ChainRegistry()
         if params.chain_id not in self.registry:
             self.registry.register(params)
+        #: shared tracing + metrics; the default is a private, disabled
+        #: bundle so an un-instrumented chain stays dependency-free
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        metrics = self.telemetry.metrics
+        self._m_blocks = metrics.counter("chain_blocks_total", chain=params.chain_id)
+        self._m_block_txs = metrics.histogram("chain_block_txs", chain=params.chain_id)
+        self._m_headers_in = metrics.counter(
+            "lightclient_headers_total", chain=params.chain_id
+        )
         self.state = WorldState(params.chain_id, params.tree_factory)
         self.runtime = Runtime(self.state, params.gas_schedule)
         self.light_client = LightClient()
@@ -59,8 +70,10 @@ class Chain:
             self.registry,
             verify_signatures,
             gas_price=params.gas_price,
+            telemetry=self.telemetry,
+            chain_id=params.chain_id,
         )
-        self.mempool = Mempool()
+        self.mempool = Mempool(metrics=metrics, chain_id=params.chain_id)
         self.blocks: List[Block] = []
         self.receipts: Dict[str, Receipt] = {}
         self._tree_snapshots: Dict[int, AuthenticatedTree] = {}
@@ -127,9 +140,19 @@ class Chain:
         inclusion) is rejected here — without this receipt check the
         transaction would re-enter the mempool and execute twice.
         """
+        tracer = self.telemetry.tracer
         if tx.tx_id in self.receipts:
+            if tracer.enabled and tx.meta:
+                tracer.meta_event(tx.meta, "mempool.duplicate", chain=self.chain_id)
             return False
-        return self.mempool.add(tx)
+        admitted = self.mempool.add(tx)
+        if tracer.enabled and tx.meta:
+            tracer.meta_event(
+                tx.meta,
+                "mempool.admit" if admitted else "mempool.duplicate",
+                chain=self.chain_id,
+            )
+        return admitted
 
     def subscribe(self, listener: BlockListener) -> None:
         """Invoke ``listener(block, receipts)`` after each block."""
@@ -177,6 +200,9 @@ class Chain:
             receipt.block_time = timestamp
             receipts.append(receipt)
             self.receipts[tx.tx_id] = receipt
+
+        self._m_blocks.inc()
+        self._m_block_txs.observe(len(txs))
 
         post_root = self.state.commit()
         self._post_roots[height] = post_root
@@ -409,3 +435,7 @@ class Chain:
     def ingest_header(self, header: BlockHeader) -> None:
         """Feed a peer-chain header to this chain's light client."""
         self.light_client.add_header(header)
+        self._m_headers_in.inc()
+        tracer = self.telemetry.tracer
+        if tracer.enabled and tracer.has_watches():
+            tracer.header_accepted(self.chain_id, header.chain_id, header.height)

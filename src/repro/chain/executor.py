@@ -36,6 +36,8 @@ from repro.runtime.context import BlockEnv
 from repro.runtime.registry import lookup_code
 from repro.runtime.runtime import Runtime
 from repro.statedb.receipts import Receipt
+from repro.telemetry import Telemetry
+from repro.telemetry.tracer import NULL_SPAN, pop_span, push_span
 from repro.vm.gas import GasMeter
 from repro.vm.machine import Machine
 
@@ -59,6 +61,8 @@ class TransactionExecutor:
         verify_signatures: bool = True,
         tx_gas_limit: int = DEFAULT_TX_GAS_LIMIT,
         gas_price: int = 0,
+        telemetry: Optional[Telemetry] = None,
+        chain_id: int = 0,
     ):
         self.runtime = runtime
         self.light_client = light_client
@@ -67,6 +71,14 @@ class TransactionExecutor:
         self.tx_gas_limit = tx_gas_limit
         self.gas_price = gas_price
         self.machine = Machine(runtime.schedule)
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self.chain_id = chain_id
+        metrics = self.telemetry.metrics
+        self._m_txs_ok = metrics.counter("chain_txs_total", chain=chain_id, status="ok")
+        self._m_txs_failed = metrics.counter(
+            "chain_txs_total", chain=chain_id, status="failed"
+        )
+        self._m_tx_gas = metrics.histogram("chain_tx_gas", chain=chain_id)
 
     def _charge_fee(self, sender, gas_used: int) -> int:
         """Deduct the gas fee (EVM semantics: failed transactions pay
@@ -92,7 +104,41 @@ class TransactionExecutor:
         return "execution"
 
     def execute(self, tx: Transaction, env: BlockEnv) -> Receipt:
-        """Run one transaction; always returns a receipt."""
+        """Run one transaction; always returns a receipt.
+
+        When the transaction carries a trace context (``tx.meta``), its
+        execution becomes a ``tx.exec`` span of that trace and is made
+        the *active* span, so Move-protocol internals (``VS`` / ``VP``
+        / nonce / storage replay events) attach to it without plumbing.
+        """
+        span = self.telemetry.tracer.span_from_meta(
+            "tx.exec",
+            tx.meta,
+            chain=self.chain_id,
+            height=env.height,
+            kind=type(tx.payload).__name__,
+        )
+        traced = span is not NULL_SPAN
+        if traced:
+            push_span(span)
+        try:
+            receipt = self._execute_inner(tx, env)
+        finally:
+            if traced:
+                pop_span()
+        if receipt.success:
+            self._m_txs_ok.inc()
+        else:
+            self._m_txs_failed.inc()
+        self._m_tx_gas.observe(receipt.gas_used)
+        if traced:
+            if receipt.success:
+                span.end(success=True, gas=receipt.gas_used)
+            else:
+                span.end(success=False, gas=receipt.gas_used, error=receipt.error)
+        return receipt
+
+    def _execute_inner(self, tx: Transaction, env: BlockEnv) -> Receipt:
         state = self.runtime.state
         schedule = self.runtime.schedule
         meter = GasMeter(limit=self.tx_gas_limit, schedule=schedule)

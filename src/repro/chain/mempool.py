@@ -6,23 +6,33 @@ from collections import OrderedDict
 from typing import List, Optional
 
 from repro.chain.tx import Transaction
+from repro.telemetry.metrics import MetricsRegistry
 
 
 class Mempool:
     """Pending transactions awaiting inclusion.
 
     FIFO order approximates the gossip arrival order the paper's
-    clients observe; duplicates (same tx id) are dropped.
+    clients observe; duplicates (same tx id) are dropped.  Admission,
+    rejection and queue depth feed the chain's shared
+    :class:`~repro.telemetry.metrics.MetricsRegistry`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None, chain_id: int = 0):
         self._pending: "OrderedDict[str, Transaction]" = OrderedDict()
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_admitted = metrics.counter("mempool_admitted_total", chain=chain_id)
+        self._m_duplicates = metrics.counter("mempool_duplicates_total", chain=chain_id)
+        self._m_depth = metrics.gauge("mempool_depth", chain=chain_id)
 
     def add(self, tx: Transaction) -> bool:
         """Queue a transaction; returns False for duplicates."""
         if tx.tx_id in self._pending:
+            self._m_duplicates.inc()
             return False
         self._pending[tx.tx_id] = tx
+        self._m_admitted.inc()
+        self._m_depth.set(len(self._pending))
         return True
 
     def take(self, limit: int) -> List[Transaction]:
@@ -31,11 +41,16 @@ class Mempool:
         while self._pending and len(out) < limit:
             _tx_id, tx = self._pending.popitem(last=False)
             out.append(tx)
+        if out:
+            self._m_depth.set(len(self._pending))
         return out
 
     def remove(self, tx_id: str) -> Optional[Transaction]:
         """Drop a specific pending transaction (e.g. seen in a block)."""
-        return self._pending.pop(tx_id, None)
+        tx = self._pending.pop(tx_id, None)
+        if tx is not None:
+            self._m_depth.set(len(self._pending))
+        return tx
 
     def __len__(self) -> int:
         return len(self._pending)

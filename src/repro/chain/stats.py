@@ -9,7 +9,7 @@ post-mortems.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.chain.chain import Chain
@@ -53,6 +53,7 @@ class ChainStats:
     contracts_locked: int = 0
     moves_in: int = 0
     moves_out: int = 0
+    moves_failed: int = 0
     storage_slots: int = 0
     storage_bytes: int = 0
 
@@ -61,6 +62,12 @@ class ChainStats:
         if not self.total_txs:
             return 1.0
         return 1.0 - self.failed_txs / self.total_txs
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (all fields plus the derived rate)."""
+        out = asdict(self)
+        out["success_rate"] = self.success_rate
+        return out
 
     def lines(self) -> List[str]:
         """Human-readable summary block."""
@@ -81,7 +88,10 @@ class ChainStats:
             f"  contracts       : {self.contracts_total} "
             f"({self.contracts_active} active, {self.contracts_locked} moved away)"
         )
-        out.append(f"  moves           : {self.moves_in} in, {self.moves_out} out")
+        out.append(
+            f"  moves           : {self.moves_in} in, {self.moves_out} out, "
+            f"{self.moves_failed} failed"
+        )
         out.append(
             f"  storage         : {self.storage_slots} slots, {self.storage_bytes:,} bytes"
         )
@@ -110,6 +120,8 @@ def collect_chain_stats(chain: Chain) -> ChainStats:
                 stats.total_gas += receipt.gas_used
                 if not receipt.success:
                     stats.failed_txs += 1
+                    if isinstance(tx.payload, (Move1Payload, Move2Payload)):
+                        stats.moves_failed += 1
                 elif isinstance(tx.payload, Move2Payload):
                     stats.moves_in += 1
             if isinstance(tx.payload, Move1Payload) and receipt and receipt.success:

@@ -8,6 +8,12 @@
     python -m repro trace  --shards 4 --ops 2000
     python -m repro scoin  --shards 4 --clients 40 --cross 0.10 --duration 300
     python -m repro ibc    --app store10 --direction e2b
+    python -m repro telemetry breakdown --workload scoin --duration 300
+    python -m repro telemetry slowest   --top 5
+    python -m repro telemetry export    --format chrome --out trace.json
+
+``info``, ``ibc``, ``trace --inspect`` and the ``telemetry`` analyses
+accept ``--json`` for machine-readable output.
 
 Every command prints the same quantities the paper's corresponding
 section reports.  Heavier, assertion-checked versions of these runs
@@ -17,15 +23,16 @@ live in ``benchmarks/``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 
-def _cmd_info(_args) -> int:
-    from repro import __doc__ as package_doc
+def _print_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
-    print("Smart Contracts on the Move — DSN 2020 reproduction")
-    print()
+
+def _cmd_info(args) -> int:
     inventory = [
         ("repro.core", "Move1/Move2, proof bundles, replay guard, relay, swap, GC"),
         ("repro.vm", "EVM-flavoured VM + gas schedule + OP_MOVE"),
@@ -35,7 +42,17 @@ def _cmd_info(_args) -> int:
         ("repro.traces", "synthetic CryptoKitties trace + dependency-DAG replay"),
         ("repro.sharding", "hash partitioning, N-shard clusters, load balancer"),
         ("repro.ibc", "header relays, cross-chain bridge, Fig. 8/9 scenarios"),
+        ("repro.telemetry", "move-lifecycle tracing, metrics registry, exporters"),
+        ("repro.faults", "seeded fault plans, chaos runs, safety invariants"),
     ]
+    if getattr(args, "json", False):
+        _print_json({
+            "paper": "Smart Contracts on the Move (DSN 2020)",
+            "subsystems": {name: what for name, what in inventory},
+        })
+        return 0
+    print("Smart Contracts on the Move — DSN 2020 reproduction")
+    print()
     for name, what in inventory:
         print(f"  {name:17s} {what}")
     print()
@@ -178,8 +195,12 @@ def _cmd_trace(args) -> int:
     if args.inspect:
         from repro.chain.stats import collect_chain_stats
 
-        for shard in cluster.shards:
-            print("\n".join(collect_chain_stats(shard).lines()))
+        stats = [collect_chain_stats(shard) for shard in cluster.shards]
+        if args.json:
+            _print_json([s.to_dict() for s in stats])
+        else:
+            for s in stats:
+                print("\n".join(s.lines()))
     return 0
 
 
@@ -225,6 +246,22 @@ def _cmd_ibc(args) -> int:
     experiment = IBCExperiment(seed=args.seed)
     phases = experiment.run_app(args.app, src, dst)
     total_gas = sum(phases.gas.values())
+    if args.json:
+        _print_json({
+            "app": args.app,
+            "direction": label,
+            "phases": {
+                "move1": phases.move1_time,
+                "wait_proof": phases.wait_proof_time,
+                "move2": phases.move2_time,
+                "complete": phases.complete_time,
+                "total": phases.total_time,
+            },
+            "gas": dict(sorted(phases.gas.items())),
+            "gas_total": total_gas,
+            "usd": gas_to_usd(total_gas),
+        })
+        return 0
     print(f"{args.app} {label}")
     print(f"  move1        : {phases.move1_time:7.1f} s")
     print(f"  wait + proof : {phases.wait_proof_time:7.1f} s")
@@ -237,6 +274,102 @@ def _cmd_ibc(args) -> int:
     return 0
 
 
+def _traced_chaos(args):
+    """Run one traced chaos workload; returns (telemetry, report)."""
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry.enabled()
+    plan = None
+    if getattr(args, "no_faults", False):
+        plan = FaultPlan(seed=args.seed, duration=args.duration, events=())
+    report = run_chaos(
+        args.seed,
+        duration=args.duration,
+        workload=args.workload,
+        plan=plan,
+        intensity=args.intensity,
+        telemetry=telemetry,
+    )
+    return telemetry, report
+
+
+def _cmd_telemetry_breakdown(args) -> int:
+    from repro.telemetry.phases import breakdown_rows, trace_phases
+
+    telemetry, report = _traced_chaos(args)
+    traces = trace_phases(telemetry.tracer.finished_spans())
+    rows = breakdown_rows(traces)
+    if args.json:
+        _print_json({
+            "seed": args.seed,
+            "workload": args.workload,
+            "traces": len(traces),
+            "moves_completed": report.moves_completed,
+            "breakdown": [t.to_dict() for t in traces],
+            "phases": {
+                row[0]: {"mean": row[1], "p50": row[2], "p99": row[3]}
+                for row in rows
+                if row[0] != "total"
+            },
+        })
+        return 0
+    print(
+        f"{args.workload} under chaos (seed {args.seed}, {args.duration:.0f}s): "
+        f"{len(traces)} move traces, {report.moves_completed} completed"
+    )
+    print(f"  {'phase':<14}{'mean (s)':>10}{'p50 (s)':>10}{'p99 (s)':>10}{'share':>8}")
+    for phase, mean, p50, p99, share in rows:
+        print(f"  {phase:<14}{mean:>10}{p50:>10}{p99:>10}{share:>8}")
+    return 0
+
+
+def _cmd_telemetry_slowest(args) -> int:
+    from repro.telemetry.phases import PHASES, slowest_traces, trace_phases
+
+    telemetry, _report = _traced_chaos(args)
+    traces = trace_phases(telemetry.tracer.finished_spans())
+    slowest = slowest_traces(traces, top=args.top)
+    if args.json:
+        _print_json([t.to_dict() for t in slowest])
+        return 0
+    print(f"slowest {len(slowest)} of {len(traces)} move traces:")
+    for t in slowest:
+        phase_text = " ".join(f"{p}={t.phase(p):.1f}" for p in PHASES if t.phase(p))
+        status = "ok" if t.attrs.get("success") else "failed"
+        print(
+            f"  trace {t.trace_id:>3}  {t.total:7.1f}s  "
+            f"{t.attrs.get('source_chain')}->{t.attrs.get('target_chain')} "
+            f"[{status}]  {phase_text}"
+        )
+    return 0
+
+
+def _cmd_telemetry_export(args) -> int:
+    from repro.telemetry.exporters import (
+        chrome_trace_json,
+        registry_to_prometheus,
+        spans_to_jsonl,
+    )
+
+    telemetry, _report = _traced_chaos(args)
+    spans = telemetry.tracer.finished_spans()
+    if args.format == "jsonl":
+        text = spans_to_jsonl(spans)
+    elif args.format == "chrome":
+        text = chrome_trace_json(spans)
+    else:
+        text = registry_to_prometheus(telemetry.metrics)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {len(spans)} spans to {args.out} ({args.format})")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with every subcommand."""
     parser = argparse.ArgumentParser(
@@ -245,7 +378,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="system inventory").set_defaults(fn=_cmd_info)
+    info = sub.add_parser("info", help="system inventory")
+    info.add_argument("--json", action="store_true", help="machine-readable output")
+    info.set_defaults(fn=_cmd_info)
     sub.add_parser("move-demo", help="move a contract between two chains").set_defaults(
         fn=_cmd_move_demo
     )
@@ -262,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--save", metavar="PATH", help="write the trace as JSON")
     trace.add_argument("--load", metavar="PATH", help="replay a saved trace")
     trace.add_argument("--inspect", action="store_true", help="per-shard statistics")
+    trace.add_argument("--json", action="store_true", help="emit --inspect stats as JSON")
     trace.set_defaults(fn=_cmd_trace)
 
     scoin = sub.add_parser("scoin", help="closed-loop SCoin workload (Fig. 6/7)")
@@ -279,7 +415,43 @@ def build_parser() -> argparse.ArgumentParser:
     ibc.add_argument("--app", choices=APPS, default="store10")
     ibc.add_argument("--direction", choices=["b2e", "e2b"], default="b2e")
     ibc.add_argument("--seed", type=int, default=1)
+    ibc.add_argument("--json", action="store_true", help="machine-readable output")
     ibc.set_defaults(fn=_cmd_ibc)
+
+    tele = sub.add_parser(
+        "telemetry", help="traced chaos run: phase breakdown, slowest traces, export"
+    )
+    tsub = tele.add_subparsers(dest="telemetry_command", required=True)
+
+    def _chaos_args(p) -> None:
+        p.add_argument("--seed", type=int, default=11)
+        p.add_argument("--duration", type=float, default=300.0)
+        p.add_argument("--workload", choices=["scoin", "kitties"], default="scoin")
+        p.add_argument("--intensity", type=float, default=1.0)
+        p.add_argument("--no-faults", action="store_true", help="empty fault plan")
+
+    breakdown = tsub.add_parser(
+        "breakdown", help="per-phase latency table over all move traces"
+    )
+    _chaos_args(breakdown)
+    breakdown.add_argument("--json", action="store_true")
+    breakdown.set_defaults(fn=_cmd_telemetry_breakdown)
+
+    slowest = tsub.add_parser("slowest", help="the slowest move traces")
+    _chaos_args(slowest)
+    slowest.add_argument("--top", type=int, default=10)
+    slowest.add_argument("--json", action="store_true")
+    slowest.set_defaults(fn=_cmd_telemetry_slowest)
+
+    export = tsub.add_parser(
+        "export", help="dump spans (JSONL / Chrome trace) or metrics (Prometheus)"
+    )
+    _chaos_args(export)
+    export.add_argument(
+        "--format", choices=["jsonl", "chrome", "prometheus"], default="jsonl"
+    )
+    export.add_argument("--out", metavar="PATH", help="write to a file (default stdout)")
+    export.set_defaults(fn=_cmd_telemetry_export)
 
     return parser
 

@@ -48,6 +48,16 @@ class PowEngine:
         #: a find within this window of the previous one would have
         #: raced its propagation — counted as a (resolved) short fork
         self.propagation_window = 0.3
+        metrics = chain.telemetry.metrics
+        self._m_commits = metrics.counter(
+            "consensus_commits_total", chain=chain.chain_id, engine="pow"
+        )
+        self._m_forks = metrics.counter(
+            "pow_fork_events_total", chain=chain.chain_id
+        )
+        self._m_interval = metrics.histogram(
+            "consensus_commit_interval_seconds", chain=chain.chain_id
+        )
         for miner, region in zip(self.miners, regions):
             network.attach(
                 miner, region, lambda src, msg, me=miner: self._on_message(me, src, msg)
@@ -76,8 +86,12 @@ class PowEngine:
         winner = self.sim.rng.choices(self.miners, weights=self._weights)[0]
         if self.commit_times and self.sim.now - self.commit_times[-1] < self.propagation_window:
             self.fork_events += 1  # raced the previous block's propagation
+            self._m_forks.inc()
         height = self.chain.height + 1
         block = self.chain.produce_block(self.sim.now, proposer=winner)
+        self._m_commits.inc()
+        if self.commit_times:
+            self._m_interval.observe(self.sim.now - self.commit_times[-1])
         self.commit_times.append(self.sim.now)
         self.network.broadcast(
             winner, self.miners, ("block", height, block.hash()), size_bytes=32_768

@@ -82,6 +82,16 @@ class TendermintEngine:
         #: advancing to the next round with the next proposer
         self.round_timeout = max(3.0, self.interval)
         self.rounds_advanced = 0
+        metrics = chain.telemetry.metrics
+        self._m_commits = metrics.counter(
+            "consensus_commits_total", chain=chain.chain_id, engine="tendermint"
+        )
+        self._m_rounds = metrics.counter(
+            "consensus_rounds_total", chain=chain.chain_id
+        )
+        self._m_interval = metrics.histogram(
+            "consensus_commit_interval_seconds", chain=chain.chain_id
+        )
         for validator, region in zip(self.validators, regions):
             network.attach(
                 validator, region, lambda src, msg, me=validator: self._on_message(me, src, msg)
@@ -147,6 +157,7 @@ class TendermintEngine:
         def on_timeout() -> None:
             if self._running and height > self._committed_height:
                 self.rounds_advanced += 1
+                self._m_rounds.inc()
                 self._propose(height, round + 1)
 
         self.sim.schedule(self.round_timeout, on_timeout)
@@ -209,6 +220,9 @@ class TendermintEngine:
         self._committed_height = height
         txs = self._proposed_txs.pop(height, None)
         self.chain.produce_block(self.sim.now, proposer=proposer, txs=txs)
+        self._m_commits.inc()
+        if self.commit_times:
+            self._m_interval.observe(self.sim.now - self.commit_times[-1])
         self.commit_times.append(self.sim.now)
         self.network.broadcast(
             proposer, self.validators, _Commit(height=height), size_bytes=256

@@ -43,6 +43,7 @@ from repro.errors import CodeNotFound, MoveError, ProofError, ReplayError, Unkno
 from repro.runtime.context import Msg, TxContext
 from repro.runtime.registry import lookup_code
 from repro.runtime.runtime import Runtime
+from repro.telemetry.tracer import current_span
 
 
 def apply_move1(
@@ -86,6 +87,7 @@ def apply_move1(
     ctx.charge(ctx.meter.schedule.move_op)
     state.set_location(contract, target_chain, height=ctx.env.height)
     state.bump_move_nonce(contract)
+    current_span().event("move1.locked", target_chain=target_chain)
 
 
 def validate_move2(
@@ -112,14 +114,19 @@ def validate_move2(
             f"state root at source height {bundle.proof_height} is unknown "
             "or not yet p-confirmed (VS failed)"
         )
+    current_span().event(
+        "move2.vs_ok", source_chain=bundle.source_chain, height=bundle.proof_height
+    )
     if not bundle.verify_against_root(root, source_params.tree_factory):
         raise ProofError("proof bundle fails verification (VP failed)")
+    current_span().event("move2.vp_ok", proof_bytes=bundle.size_bytes())
     existing = state.contract(bundle.contract)
     if existing is not None and existing.move_nonce >= bundle.move_nonce:
         raise ReplayError(
             f"stale move: local move nonce {existing.move_nonce} >= "
             f"proven {bundle.move_nonce} (replay prevented)"
         )
+    current_span().event("move2.nonce_ok", move_nonce=bundle.move_nonce)
 
 
 def apply_move2(
@@ -177,6 +184,7 @@ def apply_move2(
     for _ in bundle.storage:
         ctx.charge(schedule.sstore_set)
     state.load_storage(bundle.contract, bundle.storage)
+    current_span().event("move2.storage_replayed", slots=len(bundle.storage))
 
     # Line 13: the developer's moveFinish hook.  Raw bytecode contracts
     # have no Python hook — their post-move logic, if any, runs inside
@@ -191,3 +199,4 @@ def apply_move2(
         instance.move_finish()
     finally:
         ctx.pop_msg()
+    current_span().event("move2.move_finish")

@@ -50,6 +50,7 @@ from repro.faults.plan import FaultPlan
 from repro.net.sim import Simulator
 from repro.net.transport import Network
 from repro.ibc.headers import HeaderRelay
+from repro.telemetry import Telemetry
 
 #: chains the workload actually moves contracts between
 WORKLOAD_CHAINS = (1, 2)
@@ -103,9 +104,17 @@ class _Actor:
 class ChaosWorld:
     """The deployment + workload harness a chaos run executes in."""
 
-    def __init__(self, seed: int, pow_peer: bool = False, actors: int = 3):
+    def __init__(
+        self,
+        seed: int,
+        pow_peer: bool = False,
+        actors: int = 3,
+        telemetry: Optional[Telemetry] = None,
+    ):
         self.seed = seed
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         self.sim = Simulator(seed=seed)
+        self.telemetry.bind_clock(lambda: self.sim.now)
         self.network = Network(self.sim)
         self.registry = ChainRegistry()
         self.rng = random.Random(seed ^ 0xC4A05)
@@ -117,6 +126,7 @@ class ChaosWorld:
                 burrow_params(chain_id, validator_count=4),
                 self.registry,
                 verify_signatures=False,
+                telemetry=self.telemetry,
             )
             regions = self.network.latency.assign_regions(4, self.sim.rng)
             self.chains[chain_id] = chain
@@ -125,7 +135,10 @@ class ChaosWorld:
             )
         if pow_peer:
             chain = Chain(
-                ethereum_params(POW_CHAIN), self.registry, verify_signatures=False
+                ethereum_params(POW_CHAIN),
+                self.registry,
+                verify_signatures=False,
+                telemetry=self.telemetry,
             )
             regions = self.network.latency.assign_regions(4, self.sim.rng)
             self.chains[POW_CHAIN] = chain
@@ -187,22 +200,35 @@ class ChaosWorld:
         target = self.chains[target_id]
         self.report.moves_started += 1
         actor.busy = True
+        tracer = self.telemetry.tracer
+        root = tracer.start_trace(
+            "move", source_chain=source_id, target_chain=target_id
+        )
+        live = {"span": tracer.start_span("move1", root, chain=source_id)}
 
         def finish(ok: bool) -> None:
             actor.busy = False
             if ok:
                 actor.location = target_id
                 self.report.moves_completed += 1
+                root.end(success=True)
             else:
                 self.report.moves_abandoned += 1
+                root.end(success=False)
             on_done(ok)
 
         def after_move1(receipt) -> None:
             if not receipt.success:
+                live["span"].end(success=False)
                 finish(False)
                 return
             inclusion = receipt.block_height
             ready = source.proof_ready_height(inclusion)
+            live["span"].end(success=True)
+            live["span"] = tracer.start_span(
+                "confirm.wait", root, chain=source_id, ready_height=ready
+            )
+            tracer.watch_header(root, source_id, ready, observer=target_id)
 
             def when_ready(block, _receipts) -> None:
                 if block.height >= ready:
@@ -215,14 +241,23 @@ class ChaosWorld:
                 source.subscribe(when_ready)
 
         def try_move2(inclusion: int, attempt: int) -> None:
+            if attempt == 0:
+                live["span"].end(success=True)
+            live["span"] = tracer.start_span("proof.build", root, chain=source_id)
             bundle = source.prove_contract_at(actor.contract, inclusion)
+            live["span"].end(success=True, proof_bytes=bundle.size_bytes())
+            live["span"] = tracer.start_span(
+                "move2", root, chain=target_id, attempt=attempt
+            )
 
             def after_move2(receipt) -> None:
                 if receipt.success:
+                    live["span"].end(success=True)
                     finish(True)
                     return
                 # The target's light client has not (or no longer)
                 # trusts the proven root — retry once headers flow.
+                live["span"].end(success=False)
                 if attempt >= MOVE2_MAX_RETRIES or self.sim.now >= self.deadline:
                     finish(False)
                     return
@@ -232,15 +267,17 @@ class ChaosWorld:
                 )
 
             tx = sign_transaction(actor.keypair, Move2Payload(bundle=bundle))
+            tracer.inject(live["span"], tx.meta)
             target.wait_for(tx.tx_id, after_move2)
             self.submit(target_id, tx)
 
-        self.run_tx(
-            source_id,
+        move1 = sign_transaction(
             actor.keypair,
             Move1Payload(contract=actor.contract, target_chain=target_id),
-            after_move1,
         )
+        tracer.inject(live["span"], move1.meta)
+        source.wait_for(move1.tx_id, after_move1)
+        self.submit(source_id, move1)
 
 
 # ----------------------------------------------------------------------
@@ -429,6 +466,7 @@ def run_chaos(
     intensity: float = 1.0,
     pow_peer: bool = False,
     check_roots: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> ChaosReport:
     """One fully seeded chaos run; raises
     :class:`~repro.errors.InvariantViolation` on the first unsafe block.
@@ -441,7 +479,7 @@ def run_chaos(
         raise ValueError(f"unknown workload {workload!r}")
     setup, step = _WORKLOADS[workload]
 
-    world = ChaosWorld(seed, pow_peer=pow_peer)
+    world = ChaosWorld(seed, pow_peer=pow_peer, telemetry=telemetry)
     report = ChaosReport(seed=seed, duration=duration, workload=workload)
     world.report = report
     # Leave a quiescent tail: no new operations in the last 10 %.

@@ -33,6 +33,7 @@ from repro.faults.plan import MESSAGE_KINDS, FaultEvent, FaultPlan
 from repro.ibc.headers import HeaderRelay
 from repro.net.sim import Simulator
 from repro.net.transport import Network
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -53,12 +54,17 @@ class FaultInjector:
         engines: Mapping[int, Any] = None,
         relays: Mapping[int, HeaderRelay] = None,
         seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.sim = sim
         self.network = network
         self.chains: Dict[int, Chain] = dict(chains or {})
         self.engines: Dict[int, Any] = dict(engines or {})
         self.relays: Dict[int, HeaderRelay] = dict(relays or {})
+        if telemetry is None:
+            first = next(iter(self.chains.values()), None)
+            telemetry = first.telemetry if first is not None else Telemetry.disabled()
+        self.telemetry = telemetry
         self.rng = random.Random(seed ^ 0x5FA17)
         self.injected: Dict[str, int] = {}
         self._windows: List[_MessageWindow] = []
@@ -77,9 +83,19 @@ class FaultInjector:
 
     def _count(self, kind: str) -> None:
         self.injected[kind] = self.injected.get(kind, 0) + 1
+        self.telemetry.metrics.counter("faults_injected_total", kind=kind).inc()
 
     def _fire(self, event: FaultEvent) -> None:
         self._count(event.kind)
+        # Plan-level faults become tagged events on every active trace
+        # they can affect (per-message drops/delays only count — they
+        # would drown traces in events).
+        self.telemetry.tracer.fault_event(
+            event.kind,
+            chain=event.chain,
+            duration=event.duration,
+            magnitude=event.magnitude,
+        )
         if event.kind in MESSAGE_KINDS:
             self._windows.append(
                 _MessageWindow(

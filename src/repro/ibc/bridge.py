@@ -26,6 +26,7 @@ from repro.chain.tx import Move1Payload, Move2Payload, Transaction, sign_transac
 from repro.crypto.keys import Address, KeyPair
 from repro.net.sim import Simulator
 from repro.statedb.receipts import Receipt
+from repro.telemetry import Telemetry
 
 #: builds the i-th completion transaction, given the mover's keypair
 CompletionFactory = Callable[[KeyPair], Transaction]
@@ -88,10 +89,26 @@ class MovePhases:
 class IBCBridge:
     """Drives cross-chain moves between registered chains."""
 
-    def __init__(self, sim: Simulator, chains: Sequence[Chain], submit_latency: float = 0.05):
+    def __init__(
+        self,
+        sim: Simulator,
+        chains: Sequence[Chain],
+        submit_latency: float = 0.05,
+        telemetry: Optional[Telemetry] = None,
+    ):
         self.sim = sim
         self.chains: Dict[int, Chain] = {chain.chain_id: chain for chain in chains}
         self.submit_latency = submit_latency
+        if telemetry is None:
+            # Inherit the chains' bundle so move traces and chain spans
+            # land in the same tracer (experiments share one bundle).
+            first = next(iter(self.chains.values()), None)
+            telemetry = first.telemetry if first is not None else Telemetry.disabled()
+        self.telemetry = telemetry
+        metrics = telemetry.metrics
+        self._m_moves_ok = metrics.counter("bridge_moves_total", status="ok")
+        self._m_moves_failed = metrics.counter("bridge_moves_total", status="failed")
+        self._m_move_seconds = metrics.histogram("bridge_move_seconds")
 
     def chain(self, chain_id: int) -> Chain:
         """The registered chain object for an id."""
@@ -123,12 +140,29 @@ class IBCBridge:
             target_chain=target_id,
             started_at=self.sim.now,
         )
+        tracer = self.telemetry.tracer
+        root = tracer.start_trace(
+            "move", source_chain=source_id, target_chain=target_id
+        )
+        # The currently open phase span (mutable cell so the nested
+        # callbacks can close whichever phase a failure interrupts).
+        live = {"span": tracer.start_span("move1", root, chain=source_id)}
+
+        def finish(success: bool, error: Optional[str] = None) -> None:
+            self._m_move_seconds.observe(self.sim.now - phases.started_at)
+            (self._m_moves_ok if success else self._m_moves_failed).inc()
+            if success:
+                root.end(success=True)
+            else:
+                root.end(success=False, error=error)
+            if on_done is not None:
+                on_done(phases)
 
         def fail(receipt: Receipt) -> None:
             phases.success = False
             phases.error = receipt.error
-            if on_done is not None:
-                on_done(phases)
+            live["span"].end(success=False)
+            finish(False, receipt.error)
 
         def after_move1(receipt: Receipt) -> None:
             if not receipt.success:
@@ -138,12 +172,23 @@ class IBCBridge:
             phases.add_gas(receipt.gas_by_category, "move1")
             inclusion = receipt.block_height
             ready_at = source.proof_ready_height(inclusion)
+            live["span"].end(success=True)
+            live["span"] = tracer.start_span(
+                "confirm.wait", root, chain=source_id, ready_height=ready_at
+            )
+            # Attribute the header hop that unblocks VS at the target.
+            tracer.watch_header(root, source_id, ready_at, observer=target_id)
             self._when_height(source, ready_at, lambda: send_move2(inclusion))
 
         def send_move2(inclusion_height: int) -> None:
             phases.proof_ready_at = self.sim.now
+            live["span"].end(success=True)
+            live["span"] = tracer.start_span("proof.build", root, chain=source_id)
             bundle = source.prove_contract_at(contract, inclusion_height)
+            live["span"].end(success=True, proof_bytes=bundle.size_bytes())
+            live["span"] = tracer.start_span("move2", root, chain=target_id)
             move2 = sign_transaction(mover, Move2Payload(bundle=bundle))
+            tracer.inject(live["span"], move2.meta)
             target.wait_for(move2.tx_id, after_move2)
             self._submit(target, move2)
 
@@ -153,16 +198,19 @@ class IBCBridge:
                 return
             phases.move2_included_at = self.sim.now
             phases.add_gas(receipt.gas_by_category, "move2")
+            live["span"].end(success=True)
+            live["span"] = tracer.start_span("complete", root, chain=target_id)
             run_completion(0)
 
         def run_completion(index: int) -> None:
             if index >= len(completions):
                 phases.completed_at = self.sim.now
-                if on_done is not None:
-                    on_done(phases)
+                live["span"].end(success=True, txs=len(completions))
+                finish(True)
                 return
             tx = completions[index](mover)
             tx.meta.setdefault("gas_category", "complete")
+            tracer.inject(live["span"], tx.meta)
 
             def after(receipt: Receipt) -> None:
                 if not receipt.success:
@@ -175,6 +223,7 @@ class IBCBridge:
             self._submit(target, tx)
 
         move1 = sign_transaction(mover, Move1Payload(contract=contract, target_chain=target_id))
+        tracer.inject(live["span"], move1.meta)
         source.wait_for(move1.tx_id, after_move1)
         self._submit(source, move1)
         return phases

@@ -49,6 +49,13 @@ class HeaderRelay:
         self.extra_delay = 0.0
         self.headers_relayed = 0
         self.headers_withheld = 0
+        metrics = source.telemetry.metrics
+        self._m_relayed = metrics.counter(
+            "relay_headers_relayed_total", chain=source.chain_id
+        )
+        self._m_withheld = metrics.counter(
+            "relay_headers_withheld_total", chain=source.chain_id
+        )
         self._withheld: List[BlockHeader] = []
         self._paused = False
         #: per-target simulated time of the last scheduled delivery —
@@ -81,11 +88,17 @@ class HeaderRelay:
         if self._paused:
             self._withheld.append(header)
             self.headers_withheld += 1
+            self._m_withheld.inc()
             return
         self._deliver(header)
 
     def _deliver(self, header: BlockHeader) -> None:
         self.headers_relayed += 1
+        self._m_relayed.inc()
+        tracer = self.source.telemetry.tracer
+        if tracer.enabled and tracer.has_watches():
+            for target in self.targets:
+                tracer.header_relayed(header.chain_id, target.chain_id, header.height)
         total_delay = self.delay + self.extra_delay
         if self.sim is None or total_delay <= 0:
             for target in self.targets:

@@ -36,6 +36,7 @@ from repro.ibc.headers import connect_chains
 from repro.net.latency import LatencyModel
 from repro.net.sim import Simulator
 from repro.net.transport import Network
+from repro.telemetry import Telemetry
 
 BURROW_ID = 1
 ETHEREUM_ID = 2
@@ -59,19 +60,24 @@ class IBCExperiment:
         validators: int = 10,
         burrow_overrides: Optional[dict] = None,
         ethereum_overrides: Optional[dict] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         self.sim = Simulator(seed=seed)
+        self.telemetry.bind_clock(lambda: self.sim.now)
         self.network = Network(self.sim)
         registry = ChainRegistry()
         self.burrow = Chain(
             burrow_params(BURROW_ID, **(burrow_overrides or {})),
             registry,
             verify_signatures=False,
+            telemetry=self.telemetry,
         )
         self.ethereum = Chain(
             ethereum_params(ETHEREUM_ID, **(ethereum_overrides or {})),
             registry,
             verify_signatures=False,
+            telemetry=self.telemetry,
         )
         connect_chains([self.burrow, self.ethereum])
         model = LatencyModel()
@@ -83,7 +89,9 @@ class IBCExperiment:
             self.sim, self.network, self.ethereum,
             model.assign_regions(validators, self.sim.rng),
         )
-        self.bridge = IBCBridge(self.sim, [self.burrow, self.ethereum])
+        self.bridge = IBCBridge(
+            self.sim, [self.burrow, self.ethereum], telemetry=self.telemetry
+        )
         self.user = KeyPair.from_name("ibc-user")
         self.peer = KeyPair.from_name("ibc-peer")
         self.tendermint.start()

@@ -2,40 +2,70 @@
 
 from __future__ import annotations
 
+import bisect
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
 class ThroughputCollector:
-    """Counts committed operations; reports rates over time windows."""
+    """Counts committed operations; reports rates over time windows.
+
+    Batched recordings are stored as ``(time, count)`` pairs — a block
+    committing 500 transactions is one entry, not 500 — so memory and
+    record cost are O(recordings), and windowed queries run on a
+    lazily sorted prefix-sum index via :mod:`bisect`.
+    """
 
     def __init__(self) -> None:
-        self._times: List[float] = []
+        self._entries: List[Tuple[float, int]] = []
+        self._total = 0
+        #: lazily rebuilt query index: sorted times + prefix counts
+        self._times: Optional[List[float]] = None
+        self._prefix: List[int] = []
 
     def record(self, time: float, count: int = 1) -> None:
         """Record ``count`` completed operations at ``time``."""
-        for _ in range(count):
-            self._times.append(time)
+        if count <= 0:
+            if count == 0:
+                return
+            raise ValueError("negative count")
+        self._entries.append((time, count))
+        self._total += count
+        self._times = None
+
+    def _index(self) -> List[float]:
+        if self._times is None:
+            self._entries.sort(key=lambda e: e[0])
+            self._times = [t for t, _ in self._entries]
+            prefix = [0]
+            for _, count in self._entries:
+                prefix.append(prefix[-1] + count)
+            self._prefix = prefix
+        return self._times
 
     @property
     def total(self) -> int:
-        return len(self._times)
+        """Total operations recorded."""
+        return self._total
 
     def rate(self, start: float, end: float) -> float:
         """Average ops/second within ``[start, end)``."""
         if end <= start:
             return 0.0
-        hits = sum(1 for t in self._times if start <= t < end)
+        times = self._index()
+        lo = bisect.bisect_left(times, start)
+        hi = bisect.bisect_left(times, end)
+        hits = self._prefix[hi] - self._prefix[lo]
         return hits / (end - start)
 
     def series(self, bucket: float = 10.0, end: Optional[float] = None) -> List[Tuple[float, float]]:
         """``(bucket_start, ops/s)`` pairs — Fig. 5 (right)'s series."""
-        if not self._times and end is None:
+        if not self._entries and end is None:
             return []
-        horizon = end if end is not None else max(self._times)
+        horizon = end if end is not None else max(t for t, _ in self._entries)
         buckets: Dict[int, int] = defaultdict(int)
-        for t in self._times:
-            buckets[int(t // bucket)] += 1
+        for t, count in self._entries:
+            buckets[int(t // bucket)] += count
         out: List[Tuple[float, float]] = []
         index = 0
         while index * bucket < horizon:

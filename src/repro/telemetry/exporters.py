@@ -1,0 +1,168 @@
+"""Serialize traces and metrics: JSONL, Chrome ``trace_event``,
+Prometheus text exposition.
+
+All exporters are deterministic: spans are ordered by ``(trace_id,
+start, span_id)``, JSON keys are sorted, and floats serialize via
+``repr`` semantics — two identically seeded runs therefore export
+byte-identical documents (asserted by the chaos determinism test).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.tracer import Span
+
+
+def _ordered(spans: Iterable[Span]) -> List[Span]:
+    return sorted(spans, key=lambda s: (s.trace_id, s.start, s.span_id))
+
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """One span as a plain JSON-serializable dict."""
+    return {
+        "trace": span.trace_id,
+        "span": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "start": span.start,
+        "end": span.end_time,
+        "attrs": dict(span.attrs),
+        "events": [
+            {"name": e.name, "time": e.time, "attrs": dict(e.attrs)}
+            for e in span.events
+        ],
+    }
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line, one line per span."""
+    lines = [
+        json.dumps(span_to_dict(span), sort_keys=True, separators=(",", ":"))
+        for span in _ordered(spans)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_to_chrome_trace(spans: Iterable[Span]) -> Dict[str, Any]:
+    """The Chrome ``trace_event`` document (load in ``chrome://tracing``
+    or Perfetto).
+
+    Mapping: one *process* row per trace, one *thread* row per chain
+    (span attr ``chain``; 0 when unset, e.g. client-side phases), so a
+    cross-chain move renders as one group whose rows are the two chains
+    plus the client.  Simulated seconds become microseconds; durations
+    of still-open spans are clamped to 0.  Span events become instant
+    events on the same row.
+    """
+    events: List[Dict[str, Any]] = []
+    trace_ids = []
+    for span in _ordered(spans):
+        if span.trace_id not in trace_ids:
+            trace_ids.append(span.trace_id)
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": span.trace_id,
+                    "name": "process_name",
+                    "args": {"name": f"trace {span.trace_id}: {span.name}"},
+                }
+            )
+        tid = int(span.attrs.get("chain", 0) or 0)
+        end = span.end_time if span.end_time is not None else span.start
+        events.append(
+            {
+                "ph": "X",
+                "pid": span.trace_id,
+                "tid": tid,
+                "name": span.name,
+                "cat": "span",
+                "ts": span.start * 1e6,
+                "dur": max(0.0, end - span.start) * 1e6,
+                "args": dict(span.attrs),
+            }
+        )
+        for ev in span.events:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": span.trace_id,
+                    "tid": tid,
+                    "name": ev.name,
+                    "cat": "event",
+                    "ts": ev.time * 1e6,
+                    "s": "t",
+                    "args": dict(ev.attrs),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(spans: Iterable[Span]) -> str:
+    """:func:`spans_to_chrome_trace` as a deterministic JSON string."""
+    return json.dumps(spans_to_chrome_trace(spans), sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _labels_text(labels, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def registry_to_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format.
+
+    Counters and gauges render one sample per label set; histograms
+    render summary-style ``quantile`` samples plus ``_count`` and
+    ``_sum`` (exact quantiles — the raw samples are retained).
+    """
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for instrument in registry.instruments():
+        name = instrument.name
+        if isinstance(instrument, Counter):
+            kind = "counter"
+        elif isinstance(instrument, Gauge):
+            kind = "gauge"
+        elif isinstance(instrument, Histogram):
+            kind = "summary"
+        else:  # pragma: no cover - registry only makes the three kinds
+            continue
+        if name not in seen_types:
+            seen_types[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            lines.append(f"{name}{_labels_text(instrument.labels)} {_number(instrument.value)}")
+        else:
+            for q in _QUANTILES:
+                try:
+                    value = instrument.percentile(q)
+                except ValueError:
+                    continue
+                extra = 'quantile="%s"' % q
+                lines.append(
+                    f"{name}{_labels_text(instrument.labels, extra)} {_number(value)}"
+                )
+            lines.append(
+                f"{name}_count{_labels_text(instrument.labels)} {instrument.count}"
+            )
+            lines.append(
+                f"{name}_sum{_labels_text(instrument.labels)} {_number(instrument.sum)}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,182 @@
+"""Labeled counters, gauges and histograms — the metrics half of
+:mod:`repro.telemetry`.
+
+A :class:`MetricsRegistry` is the single place a deployment's
+components register their instruments: ``registry.counter(name,
+**labels)`` returns the *same* :class:`Counter` object for the same
+``(name, labels)`` pair, so callers pre-bind instruments once (in
+``__init__``) and the hot path is a bare attribute increment — no dict
+lookup, no string formatting, no branching on whether telemetry is
+enabled.  This is what replaces the ad-hoc integer counters that used
+to be scattered across the chain, relay, consensus and fault layers.
+
+Instruments are deliberately simple (this is a simulation, not an
+agent): counters and gauges hold one float; histograms keep their raw
+samples, which makes exact percentiles — the quantity the paper's
+figures report — trivial.  :func:`~repro.telemetry.exporters
+.registry_to_prometheus` renders the whole registry in Prometheus text
+exposition format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    """Canonical (sorted, stringified) identity of a label set."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depths, active counts)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.value -= amount
+
+
+class Histogram:
+    """A distribution of observations with exact percentiles.
+
+    Raw samples are retained (simulated experiments observe at most a
+    few hundred thousand values); :meth:`percentile` sorts lazily and
+    caches until the next observation.
+    """
+
+    __slots__ = ("name", "labels", "_samples", "_sorted", "sum")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._samples.append(value)
+        self._sorted = None
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self._samples) if self._samples else 0.0
+
+    def samples(self) -> Tuple[float, ...]:
+        """All recorded observations, in observation order."""
+        return tuple(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) by nearest rank.
+
+        Raises :class:`ValueError` when the histogram is empty or
+        ``q`` falls outside ``[0, 1]``.
+        """
+        if not self._samples:
+            raise ValueError(f"histogram {self.name} has no samples")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = min(int(q * len(self._sorted)), len(self._sorted) - 1)
+        return self._sorted[rank]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument of one deployment.
+
+    One registry is shared by all chains, relays, engines and fault
+    machinery of an experiment (see :class:`~repro.telemetry.Telemetry`),
+    so a single export shows the whole system.  Within one name, every
+    label set is an independent time series, exactly as in Prometheus;
+    requesting an existing ``(name, labels)`` pair with a *different*
+    instrument kind raises, which catches name collisions early.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], object] = {}
+
+    def _get(self, cls, name: str, labels: Dict[str, object]):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"{name}{dict(key[1])} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter for ``(name, labels)`` (created on first use)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge for ``(name, labels)`` (created on first use)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """The histogram for ``(name, labels)`` (created on first use)."""
+        return self._get(Histogram, name, labels)
+
+    def instruments(self) -> Iterator[object]:
+        """Every registered instrument, in deterministic (name, label)
+        order."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def value(self, name: str, **labels: object) -> float:
+        """Convenience read of a counter/gauge value (0.0 if absent)."""
+        instrument = self._instruments.get((name, _label_key(labels)))
+        if instrument is None:
+            return 0.0
+        return getattr(instrument, "value", 0.0)
+
+    def total(self, name: str) -> float:
+        """Sum of a counter's value across every label set."""
+        return sum(
+            instrument.value
+            for (iname, _), instrument in self._instruments.items()
+            if iname == name and isinstance(instrument, Counter)
+        )
