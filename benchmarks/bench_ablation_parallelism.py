@@ -1,0 +1,250 @@
+"""Ablation: optimistic parallel block execution vs the serial loop.
+
+Sweeps the block executor across 1/2/4/8 workers over two SCoin
+workloads on a single Burrow-flavoured chain:
+
+* **conflict-light** — every transaction is a token transfer between a
+  *disjoint* pair of per-user SAccount contracts, so the scheduler
+  packs whole blocks into single waves;
+* **conflict-heavy** — every transaction pays into one hot account, so
+  the conflict chain serializes the block and parallelism cannot help
+  (the honest lower bound).
+
+Every run's receipts and final state root are asserted identical to
+the serial loop — the ablation measures *time*, never behaviour.
+
+Timing is reported two ways (see ``docs/PERFORMANCE.md``):
+``measured`` is real wall-clock, which on this single-core/GIL host
+cannot show concurrency; ``modeled`` assigns each wave's measured
+per-transaction costs round-robin to W ideal lanes and charges the
+longest lane plus all sequential work (scheduling, validation, ordered
+commit, barriers).  The CI gate is on the modeled conflict-light
+speedup at 4 workers.
+
+Results: ``benchmarks/results/BENCH_parallelism.json`` (+ a text
+table), including the keccak-memo micro-benchmark satellite note.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from bench_common import RESULTS_DIR, emit, full_scale, once
+
+from repro.apps.scoin import SCoin
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.chain.tx import CallPayload, DeployPayload, sign_transaction
+from repro.crypto.keys import KeyPair
+from repro.metrics.report import format_table
+from repro.parallel.executor import ParallelBlockReport
+
+WORKER_SWEEP = (1, 2, 4, 8)
+#: CI gate: modeled conflict-light speedup at 4 workers must beat this
+MIN_SPEEDUP_4W = 1.5
+
+if full_scale():
+    USERS, BLOCKS = 64, 8
+else:
+    USERS, BLOCKS = 32, 4
+
+KEYPAIRS = [KeyPair.from_name(f"ablation-par-{i}") for i in range(USERS)]
+
+
+def _setup_chain(workers: int):
+    """Chain + SCoin + one funded SAccount per user."""
+    chain = Chain(burrow_params(1, executor_workers=workers), verify_signatures=True)
+    chain.fund({kp.address: 10**9 for kp in KEYPAIRS})
+    deploy = sign_transaction(KEYPAIRS[0], DeployPayload(code_hash=SCoin.CODE_HASH), nonce=1)
+    chain.submit(deploy)
+    chain.produce_block(timestamp=1.0)
+    token = chain.receipts[deploy.tx_id].return_value
+    creates = [
+        sign_transaction(kp, CallPayload(token, "new_account_for", (kp.address,)), nonce=10 + i)
+        for i, kp in enumerate(KEYPAIRS)
+    ]
+    for tx in creates:
+        chain.submit(tx)
+    chain.produce_block(timestamp=2.0)
+    accounts = [chain.receipts[tx.tx_id].return_value[0] for tx in creates]
+    mints = [
+        sign_transaction(KEYPAIRS[0], CallPayload(token, "mint_to", (a, 10_000)), nonce=100 + i)
+        for i, a in enumerate(accounts)
+    ]
+    for tx in mints:
+        chain.submit(tx)
+    chain.produce_block(timestamp=3.0)
+    return chain, accounts
+
+
+def _workload_txs(accounts, conflict: str):
+    """The benchmark blocks: one transaction per user per block."""
+    blocks = []
+    nonce = 1000
+    for block_index in range(BLOCKS):
+        txs = []
+        if conflict == "light":
+            # Disjoint pairs, rotated per block so every account both
+            # debits and credits across the run.
+            for pair in range(USERS // 2):
+                src = (2 * pair + block_index) % USERS
+                dst = (2 * pair + 1 + block_index) % USERS
+                if src == dst:
+                    continue
+                txs.append(
+                    sign_transaction(
+                        KEYPAIRS[src],
+                        CallPayload(accounts[src], "transfer_tokens", (accounts[dst], 1)),
+                        nonce=nonce,
+                    )
+                )
+                nonce += 1
+        else:
+            # Everyone pays the same hot account: a full conflict chain.
+            for src in range(1, USERS):
+                txs.append(
+                    sign_transaction(
+                        KEYPAIRS[src],
+                        CallPayload(accounts[src], "transfer_tokens", (accounts[0], 1)),
+                        nonce=nonce,
+                    )
+                )
+                nonce += 1
+        blocks.append(txs)
+    return blocks
+
+
+def _run(workers: int, conflict: str):
+    """Execute the workload; returns (root, receipt digest, report)."""
+    chain, accounts = _setup_chain(workers)
+    blocks = _workload_txs(accounts, conflict)
+    aggregate = ParallelBlockReport(workers=max(1, workers))
+    timestamp = 4.0
+    wall_start = time.perf_counter()
+    for txs in blocks:
+        for tx in txs:
+            chain.submit(tx)
+        chain.produce_block(timestamp=timestamp)
+        timestamp += 5.0
+        if chain.last_parallel_report is not None:
+            aggregate.absorb(chain.last_parallel_report)
+            chain.last_parallel_report = None
+    wall = time.perf_counter() - wall_start
+    digest = tuple(
+        (chain.receipts[tx.tx_id].success, chain.receipts[tx.tx_id].gas_used)
+        for txs in blocks
+        for tx in txs
+    )
+    assert all(ok for ok, _gas in digest), "benchmark workload must not abort"
+    return chain.state.committed_root, digest, aggregate, wall
+
+
+def _keccak_memo_note():
+    """Satellite micro-benchmark: memoized vs direct small-input hashing."""
+    from repro.crypto.hashing import keccak, keccak_memo_info
+
+    payloads = [b"slot-key-derivation-%04d" % (i % 64) for i in range(20_000)]
+    keccak(b"warm")  # ensure the table exists
+    before = keccak_memo_info()
+    start = time.perf_counter()
+    for payload in payloads:
+        keccak(payload)
+    hot = time.perf_counter() - start
+    after = keccak_memo_info()
+
+    import hashlib
+
+    start = time.perf_counter()
+    for payload in payloads:
+        hashlib.sha3_256(payload).digest()
+    cold = time.perf_counter() - start
+    return {
+        "repeated_small_hashes": len(payloads),
+        "memoized_seconds": round(hot, 6),
+        "direct_seconds": round(cold, 6),
+        "speedup": round(cold / hot, 2) if hot > 0 else None,
+        "cache_hits_gained": after.hits - before.hits,
+    }
+
+
+def _sweep():
+    results = {"workloads": {}, "root_identity": True}
+    for conflict in ("light", "heavy"):
+        serial_root, serial_digest, _rep, serial_wall = _run(0, conflict)
+        per_worker = {}
+        for workers in WORKER_SWEEP:
+            root, digest, report, wall = _run(workers, conflict)
+            assert root == serial_root, f"{conflict}@{workers}w: state root diverged"
+            assert digest == serial_digest, f"{conflict}@{workers}w: receipts diverged"
+            per_worker[workers] = {
+                "txs": report.tx_count,
+                "waves": report.wave_count,
+                "barriers": report.barrier_count,
+                "max_wave_size": report.max_wave_size,
+                "reexecuted": report.reexecuted,
+                "unsupported": report.unsupported,
+                "measured_seconds": round(wall, 4),
+                "modeled_seconds": round(report.modeled_seconds(workers), 4),
+                "modeled_serial_seconds": round(report.modeled_serial_seconds(), 4),
+                "modeled_speedup": round(report.modeled_speedup(workers), 3),
+            }
+        results["workloads"][f"conflict_{conflict}"] = {
+            "serial_measured_seconds": round(serial_wall, 4),
+            "workers": per_worker,
+        }
+    results["keccak_memo"] = _keccak_memo_note()
+    return results
+
+
+def test_ablation_parallelism(benchmark):
+    results = once(benchmark, _sweep)
+
+    rows = []
+    for workload, data in results["workloads"].items():
+        for workers, stats in data["workers"].items():
+            rows.append(
+                [
+                    workload,
+                    workers,
+                    stats["txs"],
+                    stats["waves"],
+                    stats["max_wave_size"],
+                    stats["reexecuted"],
+                    stats["modeled_seconds"],
+                    f"{stats['modeled_speedup']:.2f}x",
+                ]
+            )
+    table = format_table(
+        ["workload", "workers", "txs", "waves", "max wave", "re-exec", "modeled s", "speedup"],
+        rows,
+    )
+    memo = results["keccak_memo"]
+    table += (
+        f"\nkeccak memo: {memo['repeated_small_hashes']} repeated small hashes, "
+        f"{memo['memoized_seconds']}s memoized vs {memo['direct_seconds']}s direct "
+        f"({memo['speedup']}x)\n"
+        "determinism: receipts + state roots identical to serial at every worker count"
+    )
+    emit("ablation_parallelism", table)
+
+    light = results["workloads"]["conflict_light"]["workers"]
+    heavy = results["workloads"]["conflict_heavy"]["workers"]
+
+    results["gate"] = {
+        "min_modeled_speedup_4w_conflict_light": MIN_SPEEDUP_4W,
+        "achieved": light[4]["modeled_speedup"],
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallelism.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+
+    # CI gates: the conflict-light workload must parallelize, the
+    # hot-account workload must honestly not (it serializes).
+    assert light[4]["modeled_speedup"] >= MIN_SPEEDUP_4W
+    assert light[4]["modeled_speedup"] >= light[2]["modeled_speedup"] * 0.9
+    assert heavy[4]["modeled_speedup"] < 1.3
+    assert heavy[4]["max_wave_size"] == 1
+    # Memoization must not be slower than direct hashing on hot inputs.
+    assert memo["speedup"] is None or memo["speedup"] > 1.0

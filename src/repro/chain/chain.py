@@ -73,6 +73,19 @@ class Chain:
             telemetry=self.telemetry,
             chain_id=params.chain_id,
         )
+        #: optimistic parallel block pipeline (None = serial loop); the
+        #: last block's ParallelBlockReport is kept for benchmarks
+        self.parallel_executor = None
+        self.last_parallel_report = None
+        if params.executor_workers >= 1:
+            from repro.parallel.executor import ParallelBlockExecutor
+
+            self.parallel_executor = ParallelBlockExecutor(
+                self.executor,
+                workers=params.executor_workers,
+                telemetry=self.telemetry,
+                chain_id=params.chain_id,
+            )
         self.mempool = Mempool(metrics=metrics, chain_id=params.chain_id)
         self.blocks: List[Block] = []
         self.receipts: Dict[str, Receipt] = {}
@@ -193,12 +206,17 @@ class Chain:
         env = BlockEnv(chain_id=self.chain_id, height=height, timestamp=timestamp)
         if txs is None:
             txs = self.mempool.take(self.params.max_block_txs)
-        receipts: List[Receipt] = []
-        for tx in txs:
-            receipt = self.executor.execute(tx, env)
+        if self.parallel_executor is not None:
+            # Schedule → speculate → validate/commit pipeline; receipts
+            # come back in transaction order, byte-identical to the
+            # serial loop below for any worker count.
+            receipts, report = self.parallel_executor.execute_block(txs, env)
+            self.last_parallel_report = report
+        else:
+            receipts = [self.executor.execute(tx, env) for tx in txs]
+        for tx, receipt in zip(txs, receipts):
             receipt.block_height = height
             receipt.block_time = timestamp
-            receipts.append(receipt)
             self.receipts[tx.tx_id] = receipt
 
         self._m_blocks.inc()

@@ -40,6 +40,12 @@ class ChainParams:
     #: congested and fees increase, users are tempted to move their
     #: contracts to underused shards".
     gas_price: int = 0
+    #: block-execution worker count.  0 (default) keeps the classic
+    #: serial transaction loop; any value ≥ 1 routes blocks through the
+    #: optimistic parallel pipeline (:mod:`repro.parallel`) with that
+    #: many speculation threads — 1 is the pipeline's serial baseline.
+    #: Results are byte-identical either way (see docs/PERFORMANCE.md).
+    executor_workers: int = 0
     #: how many recent blocks keep their post-state root and account
     #: tree snapshot for serving historical proofs.  Must comfortably
     #: exceed every peer's ``state_root_lag + confirmation_depth`` (the

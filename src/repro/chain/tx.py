@@ -26,6 +26,10 @@ from repro.crypto.keys import Address, KeyPair
 from repro.crypto.signature import Signer, SimulatedSigner
 
 _DEFAULT_SIGNER = SimulatedSigner()
+#: public alias — batch verifiers must seed ``_verify_cache`` with the
+#: *same* signer instance ``Transaction.verify`` defaults to (the cache
+#: compares signers by identity)
+DEFAULT_SIGNER = _DEFAULT_SIGNER
 _tx_counter = itertools.count()
 
 
@@ -162,20 +166,54 @@ class Transaction:
     tx_id: str = ""
     #: local bookkeeping for experiments (set by harnesses, not signed)
     meta: dict = field(default_factory=dict)
+    #: memoized canonical encoding, keyed by the signed fields — the
+    #: encoding is the dominant cost of re-verification (mempool
+    #: admission, executor, batch verifiers all call it)
+    _sb_cache: Optional[Tuple[Tuple[Any, ...], bytes]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: memoized verification verdict, keyed by (signature, signing
+    #: bytes, signer) so tampering with any signed field or the
+    #: signature itself invalidates the cache
+    _verify_cache: Optional[Tuple[bytes, bytes, Any, bool]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def signing_bytes(self) -> bytes:
-        """The exact bytes the client signature covers."""
-        return canonical_encode(
+        """The exact bytes the client signature covers (memoized)."""
+        key = (self.sender, self.public_key, self.nonce, self.payload)
+        cached = self._sb_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        encoded = canonical_encode(
             (self.sender, self.public_key, self.nonce, self.payload.signing_fields())
         )
+        self._sb_cache = (key, encoded)
+        return encoded
 
     def verify(self, signer: Signer = _DEFAULT_SIGNER) -> bool:
-        """Check the signature and that the key matches the sender."""
+        """Check the signature and that the key matches the sender.
+
+        The verdict is cached against the exact (signing bytes,
+        signature) pair, so the mempool-admission check and the
+        executor's re-validation don't pay for verification twice.
+        """
+        message = self.signing_bytes()
+        cached = self._verify_cache
+        if (
+            cached is not None
+            and cached[0] == self.signature
+            and cached[1] == message
+            and cached[2] is signer
+        ):
+            return cached[3]
         from repro.crypto.keys import derive_address
 
-        if derive_address(self.public_key) != self.sender:
-            return False
-        return signer.verify(self.public_key, self.signing_bytes(), self.signature)
+        ok = derive_address(self.public_key) == self.sender and signer.verify(
+            self.public_key, message, self.signature
+        )
+        self._verify_cache = (self.signature, message, signer, ok)
+        return ok
 
 
 def sign_transaction(

@@ -12,19 +12,50 @@ node as a leaf (second-preimage attack on naive Merkle trees).
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 DIGEST_SIZE = 32
 
 _LEAF_PREFIX = b"\x00"
 _NODE_PREFIX = b"\x01"
 
+#: Inputs up to this many bytes go through the memo table.  Small
+#: inputs are the repeated ones — storage-slot key derivations
+#: (``keccak(map_base, account)``), address derivations, simulated
+#: signatures — while big inputs (code blobs, proof bodies) are rarely
+#: re-hashed and would only churn the cache.
+_MEMO_MAX_LEN = 128
+
+#: Bounded LRU: ~64k entries × (≤128 B key + 32 B digest) stays small
+#: while covering every hot key-derivation in a simulation run.
+_MEMO_SIZE = 65536
+
+
+@lru_cache(maxsize=_MEMO_SIZE)
+def _keccak_small(data: bytes) -> bytes:
+    return hashlib.sha3_256(data).digest()
+
 
 def keccak(*chunks: bytes) -> bytes:
-    """Return the 32-byte SHA3-256 digest of the concatenated chunks."""
-    h = hashlib.sha3_256()
-    for chunk in chunks:
-        h.update(chunk)
-    return h.digest()
+    """Return the 32-byte SHA3-256 digest of the concatenated chunks.
+
+    Small inputs are memoized (bounded LRU, thread-safe): the hot paths
+    re-derive the same storage-slot keys and addresses millions of
+    times per experiment, and a dict hit beats a SHA3 permutation by an
+    order of magnitude.
+    """
+    if len(chunks) == 1:
+        data = chunks[0]
+    else:
+        data = b"".join(chunks)
+    if len(data) <= _MEMO_MAX_LEN:
+        return _keccak_small(data)
+    return hashlib.sha3_256(data).digest()
+
+
+def keccak_memo_info():
+    """Cache statistics of the small-input memo (for benchmarks)."""
+    return _keccak_small.cache_info()
 
 
 def keccak_hex(*chunks: bytes) -> str:

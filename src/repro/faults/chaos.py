@@ -85,6 +85,9 @@ class ChaosReport:
     actions_completed: int = 0  # transfers (SCoin) / births (kitties)
     actions_failed: int = 0
     invariant_checks: int = 0
+    #: final committed state root per chain (hex) — lets determinism
+    #: harnesses compare whole runs without holding the worlds alive
+    final_roots: Dict[int, str] = field(default_factory=dict)
     equivocations_rejected: int = 0
     deep_reorgs_detected: int = 0
     messages_dropped: int = 0
@@ -110,6 +113,7 @@ class ChaosWorld:
         pow_peer: bool = False,
         actors: int = 3,
         telemetry: Optional[Telemetry] = None,
+        executor_workers: int = 0,
     ):
         self.seed = seed
         self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
@@ -123,7 +127,9 @@ class ChaosWorld:
         self.relays: Dict[int, HeaderRelay] = {}
         for chain_id in WORKLOAD_CHAINS:
             chain = Chain(
-                burrow_params(chain_id, validator_count=4),
+                burrow_params(
+                    chain_id, validator_count=4, executor_workers=executor_workers
+                ),
                 self.registry,
                 verify_signatures=False,
                 telemetry=self.telemetry,
@@ -135,7 +141,7 @@ class ChaosWorld:
             )
         if pow_peer:
             chain = Chain(
-                ethereum_params(POW_CHAIN),
+                ethereum_params(POW_CHAIN, executor_workers=executor_workers),
                 self.registry,
                 verify_signatures=False,
                 telemetry=self.telemetry,
@@ -467,19 +473,26 @@ def run_chaos(
     pow_peer: bool = False,
     check_roots: bool = True,
     telemetry: Optional[Telemetry] = None,
+    executor_workers: int = 0,
 ) -> ChaosReport:
     """One fully seeded chaos run; raises
     :class:`~repro.errors.InvariantViolation` on the first unsafe block.
 
     ``plan`` defaults to ``FaultPlan.from_seed(seed, duration, ...)``
     with reorg faults enabled iff ``pow_peer`` adds the PoW bystander.
-    Re-invoking with the same arguments replays the run exactly.
+    Re-invoking with the same arguments replays the run exactly —
+    including with a different ``executor_workers`` value, which must
+    not change any observable outcome (the parallel-determinism
+    property tests re-run the seed matrix at several worker counts and
+    compare these reports field by field).
     """
     if workload not in _WORKLOADS:
         raise ValueError(f"unknown workload {workload!r}")
     setup, step = _WORKLOADS[workload]
 
-    world = ChaosWorld(seed, pow_peer=pow_peer, telemetry=telemetry)
+    world = ChaosWorld(
+        seed, pow_peer=pow_peer, telemetry=telemetry, executor_workers=executor_workers
+    )
     report = ChaosReport(seed=seed, duration=duration, workload=workload)
     world.report = report
     # Leave a quiescent tail: no new operations in the last 10 %.
@@ -524,6 +537,9 @@ def run_chaos(
 
     report.injected = dict(injector.injected)
     report.blocks = {cid: chain.height for cid, chain in world.chains.items()}
+    report.final_roots = {
+        cid: chain.state.committed_root.hex() for cid, chain in world.chains.items()
+    }
     report.invariant_checks = checker.checks_run
     report.messages_dropped = world.network.messages_dropped
     report.messages_duplicated = world.network.messages_duplicated

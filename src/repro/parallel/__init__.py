@@ -1,0 +1,44 @@
+"""Optimistic parallel block execution.
+
+The serial block loop executes one transaction at a time; this package
+replaces it — when a chain is configured with ``executor_workers > 1``
+— with a three-stage pipeline that is **bit-for-bit deterministic**:
+serial and N-worker runs produce identical receipts, gas accounting,
+state roots and protocol telemetry for every block.
+
+1. **Schedule** (:mod:`repro.parallel.scheduler`): each transaction
+   declares (``tx.meta["footprint"]``) or is speculated into a
+   footprint of touched accounts and storage slots
+   (:mod:`repro.parallel.footprint`); a greedy order-preserving graph
+   coloring partitions the block into *waves* of speculatively
+   conflict-free transactions.  Move1/Move2, deployments and traced
+   cross-chain relay transactions are serialization barriers.
+2. **Speculate** (:mod:`repro.parallel.executor`): each wave runs on a
+   thread pool; every transaction executes against the shared state
+   through a private :class:`~repro.statedb.state.SpeculationFrame`
+   that buffers all writes and records the observed read/write sets —
+   speculating threads cannot interact, so results are independent of
+   scheduling, interleaving and worker count.
+3. **Validate + commit**: frames are committed in original transaction
+   order; a frame whose observed reads overlap a same-wave
+   predecessor's writes (mis-speculation) is discarded and the
+   transaction re-executed serially at exactly its commit position —
+   which is, by construction, the serial outcome.
+
+See ``docs/PERFORMANCE.md`` for the footprint model, the determinism
+argument and the worker-count ablation.
+"""
+
+from repro.parallel.executor import ParallelBlockExecutor, ParallelBlockReport
+from repro.parallel.footprint import Footprint, footprint_of, is_barrier
+from repro.parallel.scheduler import BlockSchedule, schedule_block
+
+__all__ = [
+    "BlockSchedule",
+    "Footprint",
+    "ParallelBlockExecutor",
+    "ParallelBlockReport",
+    "footprint_of",
+    "is_barrier",
+    "schedule_block",
+]

@@ -1,0 +1,296 @@
+"""Optimistic parallel block execution with deterministic commit.
+
+:class:`ParallelBlockExecutor` replaces the serial per-transaction
+block loop.  Per schedule item (see :mod:`repro.parallel.scheduler`):
+
+* a **serial item** (barrier / footprint-less transaction) runs on the
+  ordinary :meth:`~repro.chain.executor.TransactionExecutor.execute`
+  path;
+* a **wave** speculates all members concurrently on a thread pool —
+  every member executes through a private
+  :class:`~repro.statedb.state.SpeculationFrame` against shared state
+  that is *frozen* for the duration of the wave (no commit overlaps any
+  speculation), then frames are **validated and committed
+  single-threadedly in original transaction order**.
+
+Validation is read-vs-predecessor-write: a frame is valid iff its
+observed reads are disjoint from the union of the *observed* write sets
+already committed in the same wave.  (Earlier waves committed before
+this wave speculated, so they cannot invalidate anything; write/write
+overlap alone is harmless because frames replay in serial order and
+balance writes are commutative deltas.)  An invalid frame is discarded
+and its transaction re-executed **at its exact commit position** — at
+that point every predecessor has committed, so re-execution observes
+precisely the serial state and its fresh frame needs no validation.
+
+Determinism argument (the property tests enforce it):
+
+1. speculation never mutates shared structures, so concurrently
+   speculating threads cannot observe each other — a frame's content
+   is a pure function of (transaction, pre-wave state);
+2. validation and commit are single-threaded in transaction order, so
+   which frames commit and which re-execute is also a pure function of
+   the block — independent of worker count, pool scheduling and timing;
+3. a committed frame replays its op log through the normal journaled
+   mutation path in transaction order, and a re-executed transaction
+   runs at its serial position — either way the receipts, gas, state
+   and metrics transitions are byte-identical to the serial loop.
+
+Hence **any** worker count (including 1) produces identical receipts,
+state roots, gas accounting and telemetry.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import List, Optional, Sequence, Tuple
+
+from repro.chain.executor import TransactionExecutor
+from repro.chain.tx import Transaction
+from repro.errors import SpeculationUnsupported
+from repro.parallel.scheduler import BlockSchedule, schedule_block
+from repro.runtime.context import BlockEnv
+from repro.statedb.receipts import Receipt
+from repro.statedb.state import SpeculationFrame
+from repro.telemetry import Telemetry
+
+
+@dataclass
+class ParallelBlockReport:
+    """Execution accounting for one block (or an aggregate of blocks).
+
+    ``wave_costs`` holds the measured speculation seconds of every wave
+    member (in transaction order); ``sequential_seconds`` is everything
+    that runs single-threadedly — barriers, validation, frame replay
+    and re-executions.  :meth:`modeled_seconds` projects the wall-clock
+    of an ideal ``W``-lane machine from those measurements: wave members
+    are dealt round-robin onto ``W`` lanes (deterministic, in
+    transaction order) and each wave costs its longest lane.  On a
+    single-core host (GIL) the *measured* wall-clock cannot show the
+    concurrency; the model is how the ablation quantifies it honestly —
+    see ``docs/PERFORMANCE.md``.
+    """
+
+    workers: int
+    tx_count: int = 0
+    wave_count: int = 0
+    barrier_count: int = 0
+    max_wave_size: int = 0
+    speculated: int = 0
+    committed: int = 0
+    reexecuted: int = 0
+    unsupported: int = 0
+    measured_seconds: float = 0.0
+    sequential_seconds: float = 0.0
+    wave_costs: List[List[float]] = field(default_factory=list)
+
+    def modeled_seconds(self, workers: Optional[int] = None) -> float:
+        """Projected wall-clock on ``workers`` ideal lanes (see class
+        docstring); defaults to the executing worker count."""
+        lanes_count = max(1, workers if workers is not None else self.workers)
+        total = self.sequential_seconds
+        for costs in self.wave_costs:
+            lanes = [0.0] * min(lanes_count, max(1, len(costs)))
+            for position, cost in enumerate(costs):
+                lanes[position % len(lanes)] += cost
+            total += max(lanes, default=0.0)
+        return total
+
+    def modeled_serial_seconds(self) -> float:
+        """Projected wall-clock on a single lane (the serial baseline)."""
+        return self.modeled_seconds(1)
+
+    def modeled_speedup(self, workers: Optional[int] = None) -> float:
+        """Single-lane projection divided by the ``workers``-lane one."""
+        parallel = self.modeled_seconds(workers)
+        if parallel <= 0.0:
+            return 1.0
+        return self.modeled_serial_seconds() / parallel
+
+    def absorb(self, other: "ParallelBlockReport") -> None:
+        """Fold another block's report into this aggregate."""
+        self.tx_count += other.tx_count
+        self.wave_count += other.wave_count
+        self.barrier_count += other.barrier_count
+        self.max_wave_size = max(self.max_wave_size, other.max_wave_size)
+        self.speculated += other.speculated
+        self.committed += other.committed
+        self.reexecuted += other.reexecuted
+        self.unsupported += other.unsupported
+        self.measured_seconds += other.measured_seconds
+        self.sequential_seconds += other.sequential_seconds
+        self.wave_costs.extend(other.wave_costs)
+
+
+class ParallelBlockExecutor:
+    """Executes whole blocks through the schedule/speculate/commit
+    pipeline, deterministically equivalent to the serial loop."""
+
+    def __init__(
+        self,
+        executor: TransactionExecutor,
+        workers: int = 2,
+        telemetry: Optional[Telemetry] = None,
+        chain_id: int = 0,
+    ):
+        self.executor = executor
+        self.workers = max(1, workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+        telemetry = telemetry if telemetry is not None else executor.telemetry
+        metrics = telemetry.metrics
+        self._m_waves = metrics.counter("executor_parallel_waves_total", chain=chain_id)
+        self._m_barriers = metrics.counter(
+            "executor_parallel_barriers_total", chain=chain_id
+        )
+        self._m_speculated = metrics.counter(
+            "executor_parallel_txs_speculated_total", chain=chain_id
+        )
+        self._m_reexecuted = metrics.counter(
+            "executor_parallel_txs_reexecuted_total", chain=chain_id
+        )
+        self._m_unsupported = metrics.counter(
+            "executor_parallel_txs_unsupported_total", chain=chain_id
+        )
+        self._m_wave_size = metrics.histogram(
+            "executor_parallel_wave_size", chain=chain_id
+        )
+
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="spec"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the speculation pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+
+    def _speculate_one(
+        self, tx: Transaction, env: BlockEnv
+    ) -> Tuple[Optional[Receipt], Optional[SpeculationFrame], float]:
+        """Worker body: run one transaction into a private frame.
+
+        Returns ``(receipt, frame, seconds)``; receipt/frame are None
+        when the transaction hit an operation speculation cannot buffer.
+        """
+        frame = SpeculationFrame()
+        start = perf_counter()
+        try:
+            receipt = self.executor.execute_speculative(tx, env, frame)
+        except SpeculationUnsupported:
+            return None, None, perf_counter() - start
+        return receipt, frame, perf_counter() - start
+
+    def _run_at_commit_position(self, tx: Transaction, env: BlockEnv):
+        """Re-execute ``tx`` with every predecessor committed.
+
+        A fresh frame observes exactly the serial state, so the outcome
+        *is* the serial outcome and needs no validation; its observed
+        writes feed the remaining wave members' validation.  Falls back
+        to the plain serial path (returning ``writes=None``, meaning
+        "unknown — force the rest of the wave to re-execute too") when
+        the transaction is unspeculatable.
+        """
+        frame = SpeculationFrame()
+        try:
+            receipt = self.executor.execute_speculative(tx, env, frame)
+        except SpeculationUnsupported:
+            return self.executor.execute(tx, env), None
+        self.executor.runtime.state.apply_speculation(frame)
+        self.executor.record_receipt(receipt)
+        return receipt, frame.writes
+
+    # ------------------------------------------------------------------
+
+    def execute_block(
+        self,
+        txs: Sequence[Transaction],
+        env: BlockEnv,
+        schedule: Optional[BlockSchedule] = None,
+    ) -> Tuple[List[Receipt], ParallelBlockReport]:
+        """Execute a block; returns receipts in transaction order plus
+        the :class:`ParallelBlockReport` for this block."""
+        state = self.executor.runtime.state
+        block_start = perf_counter()
+        if schedule is None:
+            schedule = schedule_block(txs, self.executor.gas_price)
+        report = ParallelBlockReport(workers=self.workers, tx_count=len(txs))
+        receipts: List[Optional[Receipt]] = [None] * len(txs)
+        pool = self._ensure_pool()
+
+        for item in schedule.items:
+            if item.serial is not None:
+                index = item.serial
+                start = perf_counter()
+                receipts[index] = self.executor.execute(txs[index], env)
+                report.sequential_seconds += perf_counter() - start
+                report.barrier_count += 1
+                self._m_barriers.inc()
+                continue
+
+            wave = item.wave or []
+            report.wave_count += 1
+            report.max_wave_size = max(report.max_wave_size, len(wave))
+            self._m_waves.inc()
+            self._m_wave_size.observe(len(wave))
+            report.speculated += len(wave)
+            self._m_speculated.inc(len(wave))
+
+            # Stage 1: speculate every member concurrently.  Shared
+            # state is frozen until all futures resolve — commits only
+            # start below, after this barrier.
+            if self.workers == 1 or len(wave) == 1:
+                outcomes = [self._speculate_one(txs[i], env) for i in wave]
+            else:
+                outcomes = list(
+                    pool.map(lambda i: self._speculate_one(txs[i], env), wave)
+                )
+            report.wave_costs.append([seconds for _r, _f, seconds in outcomes])
+
+            # Stage 2: validate + commit in original transaction order.
+            commit_start = perf_counter()
+            committed_writes: set = set()
+            writes_unknown = False
+            for index, (receipt, frame, _seconds) in zip(wave, outcomes):
+                valid = (
+                    frame is not None
+                    and not writes_unknown
+                    and committed_writes.isdisjoint(frame.reads)
+                )
+                if valid:
+                    state.apply_speculation(frame)
+                    self.executor.record_receipt(receipt)
+                    committed_writes |= frame.writes
+                    receipts[index] = receipt
+                    report.committed += 1
+                    continue
+                if frame is not None:
+                    # Mis-speculation (or shadowed by an unspeculatable
+                    # predecessor): the buffered result may be stale.
+                    report.reexecuted += 1
+                    self._m_reexecuted.inc()
+                receipts[index], observed_writes = self._run_at_commit_position(
+                    txs[index], env
+                )
+                if observed_writes is None:
+                    # Fell all the way to the plain serial path: its
+                    # write set is unknown, so nothing later in this
+                    # wave can be validated against it.
+                    report.unsupported += 1
+                    self._m_unsupported.inc()
+                    writes_unknown = True
+                else:
+                    committed_writes |= observed_writes
+            report.sequential_seconds += perf_counter() - commit_start
+
+        report.measured_seconds = perf_counter() - block_start
+        return list(receipts), report  # type: ignore[arg-type]

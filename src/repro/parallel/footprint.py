@@ -1,0 +1,192 @@
+"""Transaction footprints: which state a transaction will touch.
+
+A footprint is two sets of state keys (reads and writes) in the same
+key space :class:`~repro.statedb.state.SpeculationFrame` records:
+
+* ``("b", address)`` — native balance of an account or contract;
+* ``("n", address)`` — an EOA's transaction nonce;
+* ``("s", address, slot)`` — one storage slot of one contract;
+* ``("s*", address)`` — *wildcard*: any storage slot of the contract
+  (used when the touched slots cannot be predicted);
+* ``("c", address)`` — contract-record metadata (existence, code hash,
+  ``L_c``, move nonce).
+
+Footprints drive the *scheduler only*: a wrong footprint never
+produces a wrong result (the executor validates observed read/write
+sets and falls back to serial re-execution), it just costs a
+re-execution.  Transactions may declare exact footprints via
+``tx.meta["footprint"] = {"reads": [...], "writes": [...]}`` (workload
+generators that know their access patterns, e.g. SCoin transfers,
+should); otherwise :func:`speculate_footprint` guesses from the
+payload.
+
+Balance *writes* are pure deltas (credits/debits commute), so two
+footprints overlapping only on balance-write keys do not conflict; the
+balance-sufficiency *read* in a debit is what orders it against other
+transactions touching the same account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.chain.tx import (
+    BytecodeCallPayload,
+    CallPayload,
+    DeployBytecodePayload,
+    DeployPayload,
+    Move1Payload,
+    Move2Payload,
+    Transaction,
+    TransferPayload,
+)
+from repro.crypto.keys import Address
+
+StateKey = Tuple
+
+#: mirrors TransactionExecutor.FEE_POOL without importing the executor
+_FEE_POOL = Address(b"\xfe" * 20)
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Speculated or declared state keys one transaction touches."""
+
+    reads: FrozenSet[StateKey]
+    writes: FrozenSet[StateKey]
+
+    def conflicts_with(self, other: "Footprint") -> bool:
+        """Would executing these two transactions concurrently risk a
+        read-after-write hazard in either direction?
+
+        Balance writes are commutative deltas, so write/write overlap
+        on ``("b", addr)`` keys alone is *not* a conflict — but any
+        read against the other's writes is.  Storage wildcards overlap
+        every concrete slot of the same contract.
+        """
+        return _overlaps(self.reads, other.writes) or _overlaps(other.reads, self.writes)
+
+    def union(self, other: "Footprint") -> "Footprint":
+        """Merged footprint (used to accumulate a wave's key sets)."""
+        return Footprint(self.reads | other.reads, self.writes | other.writes)
+
+
+def _expand_wildcards(keys: Iterable[StateKey]) -> FrozenSet[StateKey]:
+    """Normalize declared keys (lists from JSON-ish metadata) to tuples."""
+    return frozenset(tuple(k) for k in keys)
+
+
+def _overlaps(reads: FrozenSet[StateKey], writes: FrozenSet[StateKey]) -> bool:
+    if not reads or not writes:
+        return False
+    small, large = (reads, writes) if len(reads) <= len(writes) else (writes, reads)
+    if not small.isdisjoint(large):
+        return True
+    # Wildcard handling: ("s*", addr) in either set matches any
+    # ("s", addr, slot) or ("s*", addr) in the other.
+    for key in reads:
+        if key[0] == "s*":
+            addr = key[1]
+            for other in writes:
+                if (other[0] == "s" or other[0] == "s*") and other[1] == addr:
+                    return True
+        elif key[0] == "s":
+            addr = key[1]
+            if ("s*", addr) in writes:
+                return True
+    return False
+
+
+def is_barrier(tx: Transaction) -> bool:
+    """Must this transaction serialize the block around itself?
+
+    Move1/Move2 rewrite contract metadata and bulk-load storage;
+    deployments create records and touch the shared code store; traced
+    transactions (cross-chain relay/bridge legs carrying a trace
+    context) must execute in order so their telemetry spans are
+    byte-identical to serial execution.  ``tx.meta["barrier"]`` lets a
+    harness force serialization explicitly.
+    """
+    payload = tx.payload
+    if isinstance(payload, (Move1Payload, Move2Payload, DeployPayload, DeployBytecodePayload)):
+        return True
+    if not tx.meta:
+        return False
+    if tx.meta.get("barrier"):
+        return True
+    # A trace context rides in meta under the tracer's META_KEY; traced
+    # transactions are the Move/relay lifecycle legs whose spans must
+    # appear in serial order.
+    from repro.telemetry.tracer import META_KEY
+
+    return META_KEY in tx.meta
+
+
+def declared_footprint(tx: Transaction) -> Optional[Footprint]:
+    """The footprint declared in ``tx.meta["footprint"]``, if any."""
+    declared = tx.meta.get("footprint") if tx.meta else None
+    if declared is None:
+        return None
+    return Footprint(
+        reads=_expand_wildcards(declared.get("reads", ())),
+        writes=_expand_wildcards(declared.get("writes", ())),
+    )
+
+
+def speculate_footprint(tx: Transaction, gas_price: int = 0) -> Optional[Footprint]:
+    """Best-effort footprint guess from the payload alone.
+
+    Transfers are exact.  Calls are approximated per *contract*: the
+    target and every address-typed argument get a storage wildcard
+    (SCoin's ``transfer_tokens(to, ...)`` debits the target and credits
+    ``to``, so address arguments are exactly the counterparties a call
+    tends to touch).  Returns None when no useful guess exists — the
+    scheduler then treats the transaction as conflicting with
+    everything (its own wave).
+    """
+    payload = tx.payload
+    reads: set = set()
+    writes: set = set()
+    if gas_price:
+        # Fee charge: balance read of the sender, delta credits to the
+        # fee pool (commutative, write-only).
+        reads.add(("b", tx.sender))
+        writes.add(("b", tx.sender))
+        writes.add(("b", _FEE_POOL))
+
+    if isinstance(payload, TransferPayload):
+        reads.add(("b", tx.sender))
+        writes.add(("b", tx.sender))
+        writes.add(("b", payload.to))
+        return Footprint(frozenset(reads), frozenset(writes))
+
+    if isinstance(payload, (CallPayload, BytecodeCallPayload)):
+        touched = {payload.target}
+        if isinstance(payload, CallPayload):
+            touched.update(a for a in payload.args if isinstance(a, Address))
+        reads.add(("b", tx.sender))
+        writes.add(("b", tx.sender))
+        for address in touched:
+            reads.add(("c", address))
+            reads.add(("b", address))
+            reads.add(("s*", address))
+            writes.add(("b", address))
+            writes.add(("s*", address))
+        return Footprint(frozenset(reads), frozenset(writes))
+
+    return None
+
+
+def footprint_of(tx: Transaction, gas_price: int = 0) -> Optional[Footprint]:
+    """Declared footprint if present, else the payload speculation."""
+    declared = declared_footprint(tx)
+    if declared is not None:
+        if not gas_price:
+            return declared
+        fee = Footprint(
+            frozenset({("b", tx.sender)}),
+            frozenset({("b", tx.sender), ("b", _FEE_POOL)}),
+        )
+        return declared.union(fee)
+    return speculate_footprint(tx, gas_price)

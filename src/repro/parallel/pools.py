@@ -1,0 +1,99 @@
+"""Worker pools for the parallel block executor.
+
+Two pool flavours, matching the two kinds of parallelizable work:
+
+* a **thread pool** for speculative transaction execution — the
+  speculating code shares the (read-only during speculation) world
+  state, so it must live in the block-producing process;
+* an optional **process pool** for signature verification — signature
+  checks are pure functions of picklable ``(public_key, message,
+  signature)`` triples, so they are the one stage that can escape the
+  GIL entirely.  Real Ed25519 verification is pure-Python modular
+  arithmetic and dominates CPU when enabled; the simulated signer is a
+  single hash and gains nothing from processes, hence the default is
+  threads.
+
+:class:`SignatureVerifierPool` *pre-verifies* a batch and seeds each
+transaction's memoized verdict (``Transaction._verify_cache``), so the
+executor's in-line ``tx.verify()`` becomes a cache hit regardless of
+which path (speculative or serial) the transaction takes — results and
+their ordering are untouched, only the latency moves off the critical
+path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.chain.tx import DEFAULT_SIGNER, Transaction
+from repro.crypto.keys import derive_address
+from repro.crypto.signature import Signer
+
+
+def _verify_triple(task) -> bool:
+    """Top-level (picklable) worker: check one signature triple."""
+    signer, public_key, message, signature = task
+    return signer.verify(public_key, message, signature)
+
+
+class SignatureVerifierPool:
+    """Batch signature pre-verification on a worker pool.
+
+    ``use_processes=True`` ships triples to a process pool (worthwhile
+    for the pure-Python Ed25519 signer); the default thread pool keeps
+    everything in-process.  Either way the pool only *warms caches*:
+    verdicts are written back through the same memo ``tx.verify()``
+    consults, with the same signer-identity key, so behaviour is
+    byte-identical to never having used the pool.
+    """
+
+    def __init__(self, workers: int = 2, use_processes: bool = False):
+        self.workers = max(1, workers)
+        self.use_processes = use_processes
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            cls = ProcessPoolExecutor if self.use_processes else ThreadPoolExecutor
+            self._pool = cls(max_workers=self.workers)
+        return self._pool
+
+    def prewarm(
+        self, txs: Sequence[Transaction], signer: Signer = DEFAULT_SIGNER
+    ) -> List[bool]:
+        """Verify every transaction's signature; seed the per-tx memo.
+
+        Returns the verdicts in transaction order (address-binding
+        check included, exactly like :meth:`Transaction.verify`).
+        """
+        if not txs:
+            return []
+        if self.workers == 1 or len(txs) == 1:
+            return [tx.verify(signer) for tx in txs]
+        pool = self._ensure_pool()
+        messages = [tx.signing_bytes() for tx in txs]
+        triples = [
+            (signer, tx.public_key, message, tx.signature)
+            for tx, message in zip(txs, messages)
+        ]
+        sig_ok = list(pool.map(_verify_triple, triples))
+        verdicts: List[bool] = []
+        for tx, message, ok in zip(txs, messages, sig_ok):
+            verdict = ok and derive_address(tx.public_key) == tx.sender
+            tx._verify_cache = (tx.signature, message, signer, verdict)
+            verdicts.append(verdict)
+        return verdicts
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SignatureVerifierPool":
+        return self
+
+    def __exit__(self, *_exc) -> Optional[bool]:
+        self.close()
+        return None

@@ -1,0 +1,123 @@
+"""Conflict scheduling: partition a block into parallel waves.
+
+Greedy, order-preserving graph coloring over the footprint overlap
+graph.  Scanning transactions in block order, each transaction is
+placed in the earliest wave *after every speculated-conflicting
+predecessor* — so for any pair whose footprints overlap, wave order
+equals block order and serial semantics are preserved by construction.
+Two non-conflicting transactions may share a wave (and execute in any
+interleaving; their results are order-independent).
+
+Barriers (Move1/Move2, deployments, traced relay legs, footprint-less
+transactions) flush the schedule: everything before executes first,
+the barrier runs alone on the serial path, and scheduling restarts
+after it.  This is deliberately conservative — a barrier is also the
+correctness backstop for transactions whose state access cannot be
+speculated at all.
+
+The coloring is a *performance hint only*: the executor validates the
+observed read/write sets of every speculation and re-executes
+mis-speculated transactions serially at their original position, so a
+bad footprint costs time, never correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.tx import Transaction
+from repro.parallel.footprint import Footprint, footprint_of, is_barrier
+
+StateKey = Tuple
+
+
+@dataclass
+class ScheduleItem:
+    """One step of a block schedule, executed to completion in order.
+
+    ``wave`` holds the block-order indexes of a speculatively
+    conflict-free batch; ``serial`` a single transaction index that
+    must run on the serial path.
+    """
+
+    wave: Optional[List[int]] = None
+    serial: Optional[int] = None
+
+
+@dataclass
+class BlockSchedule:
+    """The execution plan for one block's transaction list."""
+
+    items: List[ScheduleItem] = field(default_factory=list)
+    #: speculated footprints by tx index (None = barrier / unknown)
+    footprints: Dict[int, Footprint] = field(default_factory=dict)
+
+    @property
+    def wave_count(self) -> int:
+        return sum(1 for item in self.items if item.wave is not None)
+
+    @property
+    def barrier_count(self) -> int:
+        return sum(1 for item in self.items if item.serial is not None)
+
+    @property
+    def max_wave_size(self) -> int:
+        return max((len(item.wave) for item in self.items if item.wave), default=0)
+
+
+def schedule_block(
+    txs: Sequence[Transaction], gas_price: int = 0
+) -> BlockSchedule:
+    """Plan the block: waves of conflict-free transactions + barriers.
+
+    Wave assignment is greedy chain coloring with a **monotonicity**
+    constraint: a transaction goes into the earliest wave strictly
+    after every conflicting open wave, but never into a wave below its
+    immediate block-order predecessor's.  Monotone placement means
+    every transaction in wave ``k`` precedes (in block order) every
+    transaction in wave ``k+1`` — which is what makes the executor's
+    *intra-wave* read/write validation a complete mis-speculation
+    check: effects of earlier waves are legitimately visible to later
+    ones (they are block-order predecessors), and block-order
+    successors can never commit before a transaction speculates.
+    Without monotonicity, a wrong footprint could let a late
+    transaction's committed writes leak into an early transaction's
+    speculation across waves, undetected.
+    """
+    schedule = BlockSchedule()
+    # Open segment state: wave index -> (member indexes, merged footprint)
+    open_waves: List[Tuple[List[int], Footprint]] = []
+    previous_wave = 0
+
+    def flush() -> None:
+        for members, _merged in open_waves:
+            schedule.items.append(ScheduleItem(wave=members))
+        open_waves.clear()
+
+    for index, tx in enumerate(txs):
+        footprint = None if is_barrier(tx) else footprint_of(tx, gas_price)
+        if footprint is None:
+            flush()
+            previous_wave = 0
+            schedule.items.append(ScheduleItem(serial=index))
+            continue
+        schedule.footprints[index] = footprint
+        # Earliest wave strictly after every conflicting open wave.  The
+        # top-down scan stops at the *highest* conflicting wave, so every
+        # wave above ``lowest`` is known conflict-free for this footprint.
+        lowest = 0
+        for wave_index in range(len(open_waves) - 1, -1, -1):
+            if open_waves[wave_index][1].conflicts_with(footprint):
+                lowest = wave_index + 1
+                break
+        target = max(lowest, previous_wave)
+        if target == len(open_waves):
+            open_waves.append(([index], footprint))
+        else:
+            members, merged = open_waves[target]
+            members.append(index)
+            open_waves[target] = (members, merged.union(footprint))
+        previous_wave = target
+    flush()
+    return schedule

@@ -40,6 +40,7 @@ class ShardedCluster:
         block_interval: float = 5.0,
         max_block_txs: int = 500,
         verify_signatures: bool = False,
+        executor_workers: int = 0,
     ):
         self.num_shards = num_shards
         self.sim = Simulator(seed=seed)
@@ -55,6 +56,7 @@ class ShardedCluster:
                 max_block_txs=max_block_txs,
                 validator_count=validators_per_shard,
                 block_interval=block_interval,
+                executor_workers=executor_workers,
             )
             chain = Chain(params, self.registry, verify_signatures=verify_signatures)
             self.shards.append(chain)

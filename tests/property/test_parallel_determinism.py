@@ -1,0 +1,178 @@
+"""Property: parallel block execution is byte-identical to serial.
+
+The optimistic executor's whole contract is that ``executor_workers``
+is *unobservable*: for any block — any conflict pattern, any declared
+or mis-declared footprint, any abort — receipts, gas accounting, state
+roots, chain statistics and telemetry must match the serial loop
+exactly, for every worker count.  Hypothesis drives randomized
+workloads over a single chain; the PR2 chaos seed matrix then replays
+whole multi-chain fault schedules (consensus, relays, Move1/Move2,
+invariant checks) at several worker counts and compares the full run
+reports field by field.
+"""
+
+from dataclasses import asdict
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.scoin import SCoin
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.chain.stats import collect_chain_stats
+from repro.chain.tx import CallPayload, DeployPayload, TransferPayload, sign_transaction
+from repro.crypto.keys import KeyPair
+from repro.faults.chaos import run_chaos
+
+USERS = [KeyPair.from_name(f"det-user-{i}") for i in range(10)]
+WORKER_COUNTS = (1, 2, 4)
+
+
+# ----------------------------------------------------------------------
+# Randomized single-chain blocks
+# ----------------------------------------------------------------------
+
+
+def build_and_run(workers: int, ops):
+    """One chain, one SCoin deployment, then the drawn blocks."""
+    chain = Chain(burrow_params(1, executor_workers=workers), verify_signatures=True)
+    chain.fund({kp.address: 10**9 for kp in USERS})
+    deploy = sign_transaction(USERS[0], DeployPayload(code_hash=SCoin.CODE_HASH), nonce=1)
+    chain.submit(deploy)
+    chain.produce_block(timestamp=1.0)
+    token = chain.receipts[deploy.tx_id].return_value
+    setup = []
+    for i, kp in enumerate(USERS):
+        setup.append(
+            sign_transaction(kp, CallPayload(token, "new_account_for", (kp.address,)), nonce=10 + i)
+        )
+    for tx in setup:
+        chain.submit(tx)
+    chain.produce_block(timestamp=2.0)
+    accounts = [chain.receipts[tx.tx_id].return_value[0] for tx in setup]
+    mints = [
+        sign_transaction(USERS[0], CallPayload(token, "mint_to", (a, 500)), nonce=100 + i)
+        for i, a in enumerate(accounts)
+    ]
+    for tx in mints:
+        chain.submit(tx)
+    chain.produce_block(timestamp=3.0)
+
+    timestamp = 4.0
+    all_txs = []
+    nonce = 1000
+    for block in ops:
+        for kind, src, dst, amount, lie in block:
+            if kind == "transfer":
+                tx = sign_transaction(
+                    USERS[src], TransferPayload(to=USERS[dst].address, amount=amount), nonce=nonce
+                )
+            else:
+                tx = sign_transaction(
+                    USERS[src],
+                    CallPayload(accounts[src], "transfer_tokens", (accounts[dst], 1)),
+                    nonce=nonce,
+                )
+            if lie:
+                # Deliberately wrong declaration: forces waves together
+                # and makes validation + re-execution do the work.
+                tx.meta["footprint"] = {"reads": [], "writes": []}
+            nonce += 1
+            all_txs.append(tx)
+            chain.submit(tx)
+        chain.produce_block(timestamp=timestamp)
+        timestamp += 5.0
+
+    receipts = [
+        (r.success, r.gas_used, r.error, r.fee_paid, tuple(sorted(r.gas_by_category.items())))
+        for r in (chain.receipts[tx.tx_id] for tx in all_txs)
+    ]
+    stats = collect_chain_stats(chain).to_dict()
+    report = chain.last_parallel_report
+    return chain.state.committed_root, receipts, stats, report
+
+
+op_strategy = st.tuples(
+    st.sampled_from(["transfer", "call"]),
+    st.integers(min_value=0, max_value=9),       # src user index
+    st.integers(min_value=0, max_value=9),       # dst user index
+    st.sampled_from([1, 7, 10**18]),             # amount (10**18 aborts)
+    st.booleans(),                               # lie about the footprint
+)
+blocks_strategy = st.lists(
+    st.lists(op_strategy, min_size=1, max_size=12), min_size=1, max_size=3
+)
+
+
+@given(ops=blocks_strategy)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_any_workload_is_worker_count_invariant(ops):
+    root0, receipts0, stats0, _ = build_and_run(0, ops)
+    for workers in WORKER_COUNTS:
+        root, receipts, stats, report = build_and_run(workers, ops)
+        assert root == root0
+        assert receipts == receipts0
+        assert stats == stats0
+        assert report is not None
+        # Everything speculated was accounted for exactly once.
+        assert (
+            report.committed + report.reexecuted + report.unsupported
+            == report.speculated
+        )
+
+
+def test_self_transfer_and_hot_account_conflicts_stay_serial_equivalent():
+    # Everyone hammers user 0's balance and account: maximal conflict.
+    ops = [[("transfer", i, 0, 7, False) for i in range(1, 10)]
+           + [("call", i, 0, 1, False) for i in range(1, 10)]]
+    root0, receipts0, stats0, _ = build_and_run(0, ops)
+    for workers in WORKER_COUNTS:
+        root, receipts, stats, _ = build_and_run(workers, ops)
+        assert (root, receipts, stats) == (root0, receipts0, stats0)
+
+
+def test_universally_lying_footprints_stay_serial_equivalent():
+    # Every declaration is wrong — the validation/re-execution backstop
+    # carries the whole block.
+    ops = [[("call", i, (i + 1) % 10, 1, True) for i in range(10)] * 2]
+    root0, receipts0, stats0, _ = build_and_run(0, ops)
+    for workers in WORKER_COUNTS:
+        root, receipts, stats, report = build_and_run(workers, ops)
+        assert (root, receipts, stats) == (root0, receipts0, stats0)
+        assert report.reexecuted > 0  # the lies actually collided
+
+
+# ----------------------------------------------------------------------
+# Whole-system replay: the PR2 chaos seed matrix at several worker
+# counts (consensus + relays + faults + Move lifecycle + invariants)
+# ----------------------------------------------------------------------
+
+SEED_MATRIX = [
+    pytest.param(1, "scoin", False, id="seed1_scoin"),
+    pytest.param(7, "scoin", True, id="seed7_scoin_pow"),
+    pytest.param(11, "kitties", False, id="seed11_kitties"),
+    pytest.param(23, "scoin", False, id="seed23_scoin"),
+    pytest.param(42, "kitties", True, id="seed42_kitties_pow"),
+]
+
+
+@pytest.mark.parametrize("seed,workload,pow_peer", SEED_MATRIX)
+def test_chaos_seed_matrix_is_worker_count_invariant(seed, workload, pow_peer):
+    reports = {
+        workers: run_chaos(
+            seed=seed,
+            duration=120.0,
+            workload=workload,
+            intensity=1.5,
+            pow_peer=pow_peer,
+            executor_workers=workers,
+        )
+        for workers in (0, 2, 4)
+    }
+    serial = asdict(reports[0])
+    assert serial["final_roots"], "chaos run produced no final roots"
+    for workers in (2, 4):
+        assert asdict(reports[workers]) == serial, (
+            f"chaos seed {seed} diverged at {workers} workers"
+        )

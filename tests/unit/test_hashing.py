@@ -38,3 +38,18 @@ def test_leaf_and_node_domains_are_separated():
 def test_node_hash_order_matters():
     a, b = keccak(b"a"), keccak(b"b")
     assert merkle_hash_node(a, b) != merkle_hash_node(b, a)
+
+
+def test_memo_matches_unmemoized_reference():
+    import hashlib
+
+    from repro.crypto.hashing import _MEMO_MAX_LEN, keccak_memo_info
+
+    small = b"\x07" * _MEMO_MAX_LEN          # memoized path
+    large = b"\x07" * (_MEMO_MAX_LEN + 1)    # direct path
+    assert keccak(small) == hashlib.sha3_256(small).digest()
+    assert keccak(large) == hashlib.sha3_256(large).digest()
+    before = keccak_memo_info().hits
+    keccak(small)
+    keccak(b"\x07" * 64, b"\x07" * 64)  # same bytes via chunks: same entry
+    assert keccak_memo_info().hits >= before + 2

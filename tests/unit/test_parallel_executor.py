@@ -1,0 +1,416 @@
+"""Unit tests for optimistic parallel block execution.
+
+Covers the three pipeline stages in isolation — footprint speculation,
+wave scheduling, speculative execution + ordered commit — plus the
+fallback paths that guarantee a wrong footprint can cost time but never
+correctness: mis-speculation re-execution, the
+:class:`SpeculationUnsupported` serial escape, and aborted
+transactions inside waves.  End-to-end worker-count equivalence over
+whole chains lives in ``tests/property/test_parallel_determinism.py``.
+"""
+
+import pytest
+
+from repro.apps.scoin import SCoin
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.chain.tx import (
+    CallPayload,
+    DeployPayload,
+    Move1Payload,
+    TransferPayload,
+    sign_transaction,
+)
+from repro.crypto.keys import Address, KeyPair
+from repro.errors import SpeculationUnsupported
+from repro.parallel import Footprint, footprint_of, is_barrier, schedule_block
+from repro.parallel.executor import ParallelBlockReport
+from repro.parallel.pools import SignatureVerifierPool
+from repro.statedb.state import SpeculationFrame, WorldState
+from repro.merkle.iavl import IAVLTree
+
+ALICE = KeyPair.from_name("par-alice")
+BOB = KeyPair.from_name("par-bob")
+CAROL = KeyPair.from_name("par-carol")
+USERS = [KeyPair.from_name(f"par-user-{i}") for i in range(8)]
+
+
+def transfer(sender: KeyPair, to: Address, amount: int = 1, nonce: int = 0, meta=None):
+    tx = sign_transaction(sender, TransferPayload(to=to, amount=amount), nonce=nonce)
+    if meta:
+        tx.meta.update(meta)
+    return tx
+
+
+# ----------------------------------------------------------------------
+# Footprints
+# ----------------------------------------------------------------------
+
+
+class TestFootprints:
+    def test_transfer_footprint_is_exact(self):
+        tx = transfer(ALICE, BOB.address, 5)
+        fp = footprint_of(tx)
+        assert ("b", ALICE.address) in fp.reads
+        assert ("b", ALICE.address) in fp.writes
+        assert ("b", BOB.address) in fp.writes
+        assert ("b", BOB.address) not in fp.reads
+
+    def test_call_footprint_covers_address_arguments(self):
+        target = Address(b"\x01" * 20)
+        counterparty = Address(b"\x02" * 20)
+        tx = sign_transaction(
+            ALICE, CallPayload(target, "transfer_tokens", (counterparty, 1)), nonce=0
+        )
+        fp = footprint_of(tx)
+        for contract in (target, counterparty):
+            assert ("s*", contract) in fp.writes
+            assert ("c", contract) in fp.reads
+
+    def test_declared_footprint_wins_over_speculation(self):
+        tx = transfer(ALICE, BOB.address)
+        tx.meta["footprint"] = {"reads": [("s", b"x", b"k")], "writes": []}
+        fp = footprint_of(tx)
+        assert fp.reads == {("s", b"x", b"k")}
+        assert fp.writes == frozenset()
+
+    def test_gas_price_adds_fee_keys(self):
+        tx = transfer(ALICE, BOB.address)
+        fp = footprint_of(tx, gas_price=1)
+        fee_pool = Address(b"\xfe" * 20)
+        assert ("b", fee_pool) in fp.writes
+
+    def test_balance_write_overlap_alone_is_not_a_conflict(self):
+        # Two credits to the same account commute (pure deltas).
+        a = Footprint(frozenset(), frozenset({("b", BOB.address)}))
+        b = Footprint(frozenset(), frozenset({("b", BOB.address)}))
+        assert not a.conflicts_with(b)
+
+    def test_read_vs_write_overlap_is_a_conflict(self):
+        a = Footprint(frozenset({("b", BOB.address)}), frozenset())
+        b = Footprint(frozenset(), frozenset({("b", BOB.address)}))
+        assert a.conflicts_with(b)
+        assert b.conflicts_with(a)
+
+    def test_storage_wildcard_matches_concrete_slot(self):
+        contract = Address(b"\x03" * 20)
+        wild = Footprint(frozenset({("s*", contract)}), frozenset())
+        concrete = Footprint(frozenset(), frozenset({("s", contract, b"slot")}))
+        assert wild.conflicts_with(concrete)
+        other = Footprint(frozenset(), frozenset({("s", Address(b"\x04" * 20), b"slot")}))
+        assert not wild.conflicts_with(other)
+
+    def test_barriers(self):
+        move1 = sign_transaction(
+            ALICE, Move1Payload(contract=Address(b"\x05" * 20), target_chain=2), nonce=0
+        )
+        deploy = sign_transaction(ALICE, DeployPayload(code_hash=b"\x00" * 32), nonce=1)
+        plain = transfer(ALICE, BOB.address)
+        forced = transfer(ALICE, BOB.address, meta={"barrier": True})
+        traced = transfer(ALICE, BOB.address, meta={"telemetry": ("t", "s")})
+        assert is_barrier(move1)
+        assert is_barrier(deploy)
+        assert is_barrier(forced)
+        assert is_barrier(traced)
+        assert not is_barrier(plain)
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+
+
+class TestScheduler:
+    def test_disjoint_transfers_share_one_wave(self):
+        txs = [transfer(USERS[2 * i], USERS[2 * i + 1].address) for i in range(4)]
+        schedule = schedule_block(txs)
+        assert schedule.wave_count == 1
+        assert schedule.items[0].wave == [0, 1, 2, 3]
+
+    def test_conflicting_chain_serializes_in_order(self):
+        # B's debit reads the balance A credits: strict wave chain.
+        txs = [
+            transfer(ALICE, BOB.address, nonce=1),
+            transfer(BOB, CAROL.address, nonce=2),
+            transfer(CAROL, ALICE.address, nonce=3),
+        ]
+        schedule = schedule_block(txs)
+        assert [item.wave for item in schedule.items] == [[0], [1], [2]]
+
+    def test_barrier_flushes_and_runs_alone(self):
+        barrier = sign_transaction(ALICE, DeployPayload(code_hash=b"\x00" * 32), nonce=9)
+        txs = [
+            transfer(USERS[0], USERS[1].address),
+            barrier,
+            transfer(USERS[2], USERS[3].address),
+        ]
+        schedule = schedule_block(txs)
+        kinds = [("serial" if item.serial is not None else "wave") for item in schedule.items]
+        assert kinds == ["wave", "serial", "wave"]
+        assert schedule.items[1].serial == 1
+
+    def test_placement_is_monotone_in_block_order(self):
+        # tx2 conflicts with nothing open at wave 1, but must not land
+        # below tx1's wave: cross-wave commits are only safe when wave
+        # order refines block order (see the scheduler docstring).
+        txs = [
+            transfer(ALICE, BOB.address, nonce=1),   # wave 0
+            transfer(BOB, CAROL.address, nonce=2),   # conflicts -> wave 1
+            transfer(USERS[0], USERS[1].address, nonce=3),  # independent
+        ]
+        schedule = schedule_block(txs)
+        wave_of = {}
+        for position, item in enumerate(schedule.items):
+            for index in item.wave or []:
+                wave_of[index] = position
+        assert wave_of[2] >= wave_of[1] > wave_of[0]
+
+    def test_unknown_payload_footprint_serializes(self):
+        tx = transfer(ALICE, BOB.address)
+        tx.payload = None  # unknown to speculation
+        schedule = schedule_block([tx])
+        assert schedule.items[0].serial == 0
+
+
+# ----------------------------------------------------------------------
+# Speculation frames
+# ----------------------------------------------------------------------
+
+
+class TestSpeculationFrame:
+    def make_state(self):
+        state = WorldState(1, IAVLTree)
+        state.add_balance(ALICE.address, 100)
+        state.commit()
+        return state
+
+    def test_buffered_ops_do_not_touch_shared_state(self):
+        state = self.make_state()
+        frame = SpeculationFrame()
+        state.begin_speculation(frame)
+        try:
+            state.sub_balance(ALICE.address, 30)
+            state.add_balance(BOB.address, 30)
+            assert state.balance_of(ALICE.address) == 70  # overlay view
+        finally:
+            state.end_speculation()
+        assert state.balance_of(ALICE.address) == 100  # shared untouched
+        assert ("b", ALICE.address) in frame.reads
+        assert ("b", BOB.address) in frame.writes
+
+    def test_apply_replays_through_the_journal(self):
+        state = self.make_state()
+        frame = SpeculationFrame()
+        state.begin_speculation(frame)
+        try:
+            state.sub_balance(ALICE.address, 30)
+            state.add_balance(BOB.address, 30)
+        finally:
+            state.end_speculation()
+        snap = state.snapshot()
+        state.apply_speculation(frame)
+        assert state.balance_of(BOB.address) == 30
+        state.revert(snap)  # the replay is journaled like serial ops
+        assert state.balance_of(BOB.address) == 0
+
+    def test_frame_snapshot_revert_restores_overlay(self):
+        state = self.make_state()
+        frame = SpeculationFrame()
+        state.begin_speculation(frame)
+        try:
+            state.sub_balance(ALICE.address, 10)
+            snap = state.snapshot()
+            state.sub_balance(ALICE.address, 50)
+            state.revert(snap)
+            assert state.balance_of(ALICE.address) == 90
+        finally:
+            state.end_speculation()
+        assert frame.balance_delta(ALICE.address) == -10
+
+    def test_unsupported_operations_raise(self):
+        state = self.make_state()
+        frame = SpeculationFrame()
+        state.begin_speculation(frame)
+        try:
+            with pytest.raises(SpeculationUnsupported):
+                state.create_contract(Address(b"\x06" * 20), b"\x00" * 32, b"")
+            with pytest.raises(SpeculationUnsupported):
+                state.account(ALICE.address)
+        finally:
+            state.end_speculation()
+
+
+# ----------------------------------------------------------------------
+# Parallel block executor (end-to-end on one chain)
+# ----------------------------------------------------------------------
+
+
+def make_chain(workers: int) -> Chain:
+    chain = Chain(burrow_params(1, executor_workers=workers), verify_signatures=True)
+    chain.fund({kp.address: 10**9 for kp in [ALICE, BOB, CAROL] + USERS})
+    return chain
+
+
+def receipts_signature(chain: Chain, txs):
+    return [
+        (
+            chain.receipts[tx.tx_id].success,
+            chain.receipts[tx.tx_id].gas_used,
+            chain.receipts[tx.tx_id].error,
+            chain.receipts[tx.tx_id].gas_by_category,
+        )
+        for tx in txs
+    ]
+
+
+class TestParallelBlockExecutor:
+    def run_block(self, workers: int, txs):
+        chain = make_chain(workers)
+        for tx in txs:
+            chain.submit(tx)
+        chain.produce_block(timestamp=1.0)
+        return chain
+
+    def block_txs(self):
+        txs = [transfer(USERS[2 * i], USERS[2 * i + 1].address, 7, nonce=i) for i in range(4)]
+        txs.append(transfer(ALICE, BOB.address, 10**18, nonce=99))  # fails: broke
+        txs.append(sign_transaction(ALICE, DeployPayload(code_hash=SCoin.CODE_HASH), nonce=100))
+        txs.append(transfer(BOB, CAROL.address, 3, nonce=101))
+        return txs
+
+    def test_parallel_matches_serial_receipts_and_root(self):
+        txs = self.block_txs()
+        serial = self.run_block(0, txs)
+        expected = receipts_signature(serial, txs)
+        for workers in (1, 2, 4):
+            chain = self.run_block(workers, [tx for tx in txs])
+            assert receipts_signature(chain, txs) == expected
+            assert chain.state.committed_root == serial.state.committed_root
+            report = chain.last_parallel_report
+            assert report.tx_count == len(txs)
+            assert report.barrier_count == 1  # the deploy
+            assert report.committed + report.reexecuted + report.unsupported + report.barrier_count >= len(txs)
+
+    def test_wrong_declared_footprint_triggers_reexecution(self):
+        # Both txs move ALICE -> BOB money but *declare* disjoint empty
+        # footprints, so the scheduler waves them together; validation
+        # must catch the overlap and re-run the second serially.
+        lie = {"footprint": {"reads": [], "writes": []}}
+        t1 = transfer(ALICE, BOB.address, 50, nonce=1, meta=dict(lie))
+        t2 = transfer(BOB, CAROL.address, 25, nonce=2, meta=dict(lie))
+        serial = self.run_block(0, [transfer(ALICE, BOB.address, 50, nonce=1),
+                                    transfer(BOB, CAROL.address, 25, nonce=2)])
+        chain = self.run_block(2, [t1, t2])
+        report = chain.last_parallel_report
+        assert report.wave_count == 1 and report.max_wave_size == 2
+        assert report.reexecuted >= 1
+        assert chain.state.committed_root == serial.state.committed_root
+        assert chain.balance_of(CAROL.address) == serial.balance_of(CAROL.address)
+
+    def test_unsupported_operations_fall_back_serially(self):
+        # new_account_for creates a contract mid-call: unspeculatable.
+        chain = make_chain(2)
+        deploy = sign_transaction(ALICE, DeployPayload(code_hash=SCoin.CODE_HASH), nonce=1)
+        chain.submit(deploy)
+        chain.produce_block(timestamp=1.0)
+        token = chain.receipts[deploy.tx_id].return_value
+        txs = [
+            sign_transaction(kp, CallPayload(token, "new_account_for", (kp.address,)), nonce=10 + i)
+            for i, kp in enumerate(USERS[:3])
+        ]
+        for tx in txs:
+            chain.submit(tx)
+        chain.produce_block(timestamp=2.0)
+        assert all(chain.receipts[tx.tx_id].success for tx in txs)
+        report = chain.last_parallel_report
+        assert report.unsupported >= 1
+        # Account contracts exist despite the serial fallback.
+        for tx in txs:
+            account, _salt = chain.receipts[tx.tx_id].return_value
+            assert chain.state.contract(account) is not None
+
+    def test_aborted_transactions_inside_waves_match_serial(self):
+        txs = [
+            transfer(USERS[0], USERS[1].address, 5, nonce=1),
+            transfer(USERS[2], USERS[3].address, 10**18, nonce=2),  # aborts
+            transfer(USERS[4], USERS[5].address, 5, nonce=3),
+        ]
+        serial = self.run_block(0, txs)
+        chain = self.run_block(4, [tx for tx in txs])
+        assert receipts_signature(chain, txs) == receipts_signature(serial, txs)
+        assert not chain.receipts[txs[1].tx_id].success
+        assert chain.state.committed_root == serial.state.committed_root
+
+    def test_parallel_metrics_are_worker_count_independent(self):
+        from repro.telemetry.exporters import registry_to_prometheus
+
+        def run(workers):
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry.enabled()
+            chain = Chain(
+                burrow_params(1, executor_workers=workers),
+                verify_signatures=True,
+                telemetry=telemetry,
+            )
+            chain.fund({kp.address: 10**9 for kp in USERS})
+            for i in range(4):
+                chain.submit(transfer(USERS[2 * i], USERS[2 * i + 1].address, nonce=i))
+            chain.produce_block(timestamp=1.0)
+            return registry_to_prometheus(telemetry.metrics)
+
+        assert run(1) == run(2) == run(4)
+
+
+# ----------------------------------------------------------------------
+# Report model
+# ----------------------------------------------------------------------
+
+
+class TestReportModel:
+    def test_lane_model_arithmetic(self):
+        report = ParallelBlockReport(
+            workers=4,
+            sequential_seconds=1.0,
+            wave_costs=[[1.0, 1.0, 1.0, 1.0]],
+        )
+        assert report.modeled_seconds(4) == pytest.approx(2.0)
+        assert report.modeled_serial_seconds() == pytest.approx(5.0)
+        assert report.modeled_speedup(4) == pytest.approx(2.5)
+        # More lanes than work: bounded by the largest single cost.
+        assert report.modeled_seconds(16) == pytest.approx(2.0)
+
+    def test_absorb_accumulates(self):
+        a = ParallelBlockReport(workers=2, tx_count=3, wave_count=1, committed=3,
+                                sequential_seconds=0.5, wave_costs=[[0.1, 0.2]])
+        b = ParallelBlockReport(workers=2, tx_count=2, wave_count=1, reexecuted=1,
+                                sequential_seconds=0.25, wave_costs=[[0.3]])
+        a.absorb(b)
+        assert a.tx_count == 5 and a.wave_count == 2 and a.reexecuted == 1
+        assert a.sequential_seconds == pytest.approx(0.75)
+        assert a.wave_costs == [[0.1, 0.2], [0.3]]
+
+
+# ----------------------------------------------------------------------
+# Signature verifier pool
+# ----------------------------------------------------------------------
+
+
+class TestSignatureVerifierPool:
+    def test_prewarm_seeds_the_verify_cache(self):
+        txs = [transfer(USERS[i], USERS[(i + 1) % 8].address, nonce=i) for i in range(8)]
+        with SignatureVerifierPool(workers=2) as pool:
+            verdicts = pool.prewarm(txs)
+        assert verdicts == [True] * len(txs)
+        for tx in txs:
+            assert tx._verify_cache is not None
+            assert tx.verify() is True  # cache hit, same verdict
+
+    def test_prewarm_flags_tampered_signatures(self):
+        good = transfer(ALICE, BOB.address, nonce=1)
+        bad = transfer(BOB, CAROL.address, nonce=2)
+        bad.signature = b"\x00" * len(bad.signature)
+        with SignatureVerifierPool(workers=2) as pool:
+            verdicts = pool.prewarm([good, bad])
+        assert verdicts == [True, False]
+        assert bad.verify() is False

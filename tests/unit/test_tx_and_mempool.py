@@ -98,3 +98,75 @@ def test_mempool_remove():
     assert pool.remove(tx.tx_id) is tx
     assert pool.remove(tx.tx_id) is None
     assert tx.tx_id not in pool
+
+
+def test_mempool_sender_index_queries():
+    pool = Mempool()
+    mine = [sign_transaction(ALICE, TransferPayload(to=TARGET, amount=i)) for i in range(3)]
+    other = sign_transaction(BOB, TransferPayload(to=TARGET, amount=9))
+    for tx in mine + [other]:
+        pool.add(tx)
+    assert pool.pending_count_of(ALICE.address) == 3
+    assert pool.pending_count_of(BOB.address) == 1
+    assert pool.has_pending_nonce(ALICE.address, mine[0].nonce)
+    assert not pool.has_pending_nonce(ALICE.address, other.nonce)
+    pool.remove(mine[0].tx_id)
+    assert pool.pending_count_of(ALICE.address) == 2
+    assert not pool.has_pending_nonce(ALICE.address, mine[0].nonce)
+    pool.take(10)
+    assert pool.pending_count_of(ALICE.address) == 0
+    assert pool.pending_count_of(BOB.address) == 0
+
+
+class _IterationCountingDict(dict):
+    """A dict that counts every whole-structure traversal.
+
+    Membership tests, gets and single-key inserts stay uncounted — the
+    point is to prove mempool admission never *scans* the pool.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.traversals = 0
+
+    def __iter__(self):
+        self.traversals += 1
+        return super().__iter__()
+
+    def keys(self):
+        self.traversals += 1
+        return super().keys()
+
+    def values(self):
+        self.traversals += 1
+        return super().values()
+
+    def items(self):
+        self.traversals += 1
+        return super().items()
+
+
+def test_mempool_admission_never_scans_at_depth_10k():
+    """The admission-path satellite: with 10 000 transactions already
+    pending, admitting, probing and rejecting must not traverse the
+    pool — O(1) dict work only, which is better than the O(log n)
+    requirement."""
+    pool = Mempool()
+    spy = _IterationCountingDict()
+    pool._pending = spy  # OrderedDict-compatible for add/`in`
+    senders = [KeyPair.from_name(f"mp-{i % 50}") for i in range(50)]
+    txs = [
+        sign_transaction(senders[i % 50], TransferPayload(to=TARGET, amount=i))
+        for i in range(10_000)
+    ]
+    for tx in txs:
+        assert pool.add(tx)
+    assert len(pool) == 10_000
+    spy.traversals = 0
+    probe = sign_transaction(ALICE, TransferPayload(to=TARGET, amount=1))
+    assert pool.add(probe)            # admission at depth 10k
+    assert not pool.add(probe)        # duplicate rejection at depth 10k
+    assert pool.pending_count_of(senders[0].address) == 200
+    assert pool.has_pending_nonce(ALICE.address, probe.nonce)
+    assert not pool.has_pending_nonce(BOB.address, probe.nonce)
+    assert spy.traversals == 0, "admission path iterated over the pool"
