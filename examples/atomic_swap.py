@@ -9,13 +9,20 @@ home by Bob to claim the escrowed amount.
 Run:  python examples/atomic_swap.py
 """
 
-from repro.chain.chain import Chain
-from repro.chain.params import burrow_params, ethereum_params
-from repro.chain.tx import CallPayload, DeployPayload, Move1Payload, Move2Payload, sign_transaction
-from repro.core.registry import ChainRegistry
+from repro.api import (
+    CallPayload,
+    Chain,
+    ChainRegistry,
+    DeployPayload,
+    KeyPair,
+    Move1Payload,
+    Move2Payload,
+    burrow_params,
+    connect_chains,
+    ethereum_params,
+    sign_transaction,
+)
 from repro.core.swap import SwapFactory
-from repro.crypto.keys import KeyPair
-from repro.ibc.headers import connect_chains
 
 
 def run_tx(chain, keypair, payload, clock):

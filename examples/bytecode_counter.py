@@ -10,17 +10,17 @@ running.
 Run:  python examples/bytecode_counter.py
 """
 
-from repro.chain.chain import Chain
-from repro.chain.params import burrow_params, ethereum_params
-from repro.chain.tx import (
-    BytecodeCallPayload,
-    DeployBytecodePayload,
+from repro.api import (
+    Chain,
+    ChainRegistry,
+    KeyPair,
     Move2Payload,
+    burrow_params,
+    connect_chains,
+    ethereum_params,
     sign_transaction,
 )
-from repro.core.registry import ChainRegistry
-from repro.crypto.keys import KeyPair
-from repro.ibc.headers import connect_chains
+from repro.chain.tx import BytecodeCallPayload, DeployBytecodePayload
 from repro.vm.assembler import assemble, disassemble
 
 # slot 0 = count, slot 1 = owner.

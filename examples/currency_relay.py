@@ -8,13 +8,20 @@ redeems the original native units.
 Run:  python examples/currency_relay.py
 """
 
-from repro.chain.chain import Chain
-from repro.chain.params import burrow_params, ethereum_params
-from repro.chain.tx import CallPayload, DeployPayload, Move1Payload, Move2Payload, sign_transaction
-from repro.core.registry import ChainRegistry
+from repro.api import (
+    CallPayload,
+    Chain,
+    ChainRegistry,
+    DeployPayload,
+    KeyPair,
+    Move1Payload,
+    Move2Payload,
+    burrow_params,
+    connect_chains,
+    ethereum_params,
+    sign_transaction,
+)
 from repro.core.relay import CurrencyRelay
-from repro.crypto.keys import KeyPair
-from repro.ibc.headers import connect_chains
 
 
 def run_tx(chain, keypair, payload, clock):

@@ -9,8 +9,8 @@ cats on different shards triggers real Move1/Move2 migrations.
 Run:  python examples/kitties_replay.py
 """
 
+from repro.api import ShardedCluster
 from repro.metrics.report import format_series
-from repro.sharding.cluster import ShardedCluster
 from repro.traces.cryptokitties import TraceConfig, generate_trace
 from repro.traces.dag import DependencyDAG
 from repro.traces.replay import KittiesReplayer

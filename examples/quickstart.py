@@ -1,92 +1,72 @@
 """Quickstart: move a smart contract between two blockchains.
 
-Builds a Burrow-flavoured chain (Tendermint-style, 5 s blocks) and an
-Ethereum-flavoured chain (PoW-style, 15 s blocks) in one simulator,
-deploys a movable key/value contract, exercises the full Move protocol
-(Move1 → proof wait → Move2), and shows that the contract's state
-migrated intact while the source copy is locked.
+Everything goes through the stable :mod:`repro.api` facade — the way
+an application would use the reproduction.  A :class:`~repro.api.Node`
+owns a Burrow-flavoured chain (Tendermint-style, 5 s blocks) and an
+Ethereum-flavoured chain (PoW-style, 15 s blocks) plus the header
+relays between them; a :class:`~repro.api.Gateway` fronts the node
+with bounded admission; a :class:`~repro.api.Client` signs, submits
+and awaits futures.  One `client.move(...)` call drives the full Move
+protocol (Move1 → proof wait → Move2) and resolves a
+:class:`~repro.api.MoveHandle` when the contract is live on the other
+chain.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.chain.chain import Chain
-from repro.chain.params import burrow_params, ethereum_params
-from repro.chain.tx import CallPayload, DeployPayload, Move1Payload, Move2Payload, sign_transaction
-from repro.core.registry import ChainRegistry
-from repro.crypto.keys import KeyPair
-from repro.ibc.headers import connect_chains
-from repro.lang.movable import MovableContract
-from repro.runtime import MapSlot, external, register_contract, view
+from repro import api
 
 
-@register_contract
-class GuestBook(MovableContract):
+@api.register_contract
+class GuestBook(api.MovableContract):
     """A movable contract: owner-gated moves come from MovableContract."""
 
-    entries = MapSlot(int, bytes)
+    entries = api.MapSlot(int, bytes)
 
-    @external
+    @api.external
     def write(self, index: int, message: bytes) -> None:
         self.entries[index] = message
 
-    @view
+    @api.view
     def read(self, index: int) -> bytes:
         return self.entries[index]
 
 
-def run_tx(chain, keypair, payload, clock):
-    """Submit a transaction and produce the next block manually."""
-    tx = sign_transaction(keypair, payload)
-    chain.submit(tx)
-    clock[0] += 5.0
-    chain.produce_block(clock[0])
-    receipt = chain.receipts[tx.tx_id]
-    assert receipt.success, receipt.error
-    return receipt
-
-
 def main() -> None:
-    alice = KeyPair.from_name("alice")
-    clock = [0.0]
-
-    # Two chains that have agreed on Move-protocol parameters and relay
-    # each other's headers (each runs a light client of the other).
-    registry = ChainRegistry()
-    burrow = Chain(burrow_params(1), registry)
-    ethereum = Chain(ethereum_params(2), registry)
-    connect_chains([burrow, ethereum])
+    # A node serving two chains that have agreed on Move-protocol
+    # parameters and relay each other's headers, fronted by a gateway.
+    node = api.Node([api.burrow_params(1), api.ethereum_params(2)])
+    gateway = api.Gateway(node)
+    alice = api.Client(api.InProcessTransport(gateway), name="alice")
+    gateway.start()
 
     # 1. Deploy and use the contract on the Burrow chain.
-    receipt = run_tx(burrow, alice, DeployPayload(code_hash=GuestBook.CODE_HASH), clock)
+    receipt = alice.wait(alice.deploy(GuestBook, chain=1))
     book = receipt.return_value
-    run_tx(burrow, alice, CallPayload(book, "write", (1, b"hello from burrow")), clock)
-    print(f"deployed GuestBook at {book} on chain {burrow.chain_id}")
+    alice.wait(alice.call(book, "write", 1, b"hello from burrow", chain=1))
+    print(f"deployed GuestBook at {book} on chain 1")
 
-    # 2. Move1: lock it toward the Ethereum chain.
-    receipt = run_tx(burrow, alice, Move1Payload(contract=book, target_chain=2), clock)
-    inclusion = receipt.block_height
-    print(f"Move1 included at Burrow height {inclusion}; contract now locked there")
+    # 2. One call runs the whole protocol; the handle reports the stage.
+    handle = alice.move(book, source_chain=1, target_chain=2)
+    node.run_until(lambda: handle.stage != "move1")
+    print(f"Move1 included at Burrow height {node.chain(1).height}; "
+          "contract now locked there")
 
-    # 3. Wait until the Move1 block is provable (root published and
-    #    p-confirmed), then extract the Merkle proof bundle.
-    while burrow.height < burrow.proof_ready_height(inclusion):
-        clock[0] += 5.0
-        burrow.produce_block(clock[0])
-    bundle = burrow.prove_contract_at(book, inclusion)
-    print(f"proof bundle: {len(bundle.storage)} storage slots, "
-          f"{bundle.size_bytes()} bytes, proves root at source height {bundle.proof_height}")
+    # 3. The gateway waits out the confirmation depth, builds the Merkle
+    #    proof bundle, and submits Move2 on the target chain.
+    phases = alice.wait(handle)
+    assert phases.success, phases.error
+    print(f"proof waited {phases.wait_proof_time:.0f} s "
+          "(root published and p-confirmed at the source)")
+    print(f"Move2 executed on chain 2 ({phases.gas.get('move2', 0):,} gas)")
 
-    # 4. Move2 on the Ethereum chain recreates the contract.
-    run_tx(ethereum, alice, Move2Payload(bundle=bundle), clock)
-    print(f"Move2 executed on chain {ethereum.chain_id}")
-
-    # 5. The state moved; the source copy is locked but readable.
-    assert ethereum.view(book, "read", 1) == b"hello from burrow"
-    run_tx(ethereum, alice, CallPayload(book, "write", (2, b"hello from ethereum")), clock)
+    # 4. The state moved; the source copy is locked but readable.
+    assert alice.view(book, "read", 1, chain=2) == b"hello from burrow"
+    alice.wait(alice.call(book, "write", 2, b"hello from ethereum", chain=2))
     print("state verified on the target chain; new writes accepted there")
-    assert burrow.state.is_locked(book)
-    print(f"source copy: locked (L_c = {burrow.location_of(book)}), reads still work: "
-          f"{burrow.view(book, 'read', 1)!r}")
+    assert node.chain(1).state.is_locked(book)
+    print(f"source copy: locked (L_c = {node.chain(1).location_of(book)}), "
+          f"reads still work: {alice.view(book, 'read', 1, chain=1)!r}")
 
 
 if __name__ == "__main__":

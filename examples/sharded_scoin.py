@@ -9,8 +9,8 @@ cross-shard mix — a desk-sized version of the paper's Fig. 6/7 runs.
 Run:  python examples/sharded_scoin.py
 """
 
+from repro.api import ShardedCluster
 from repro.metrics.cdf import percentile
-from repro.sharding.cluster import ShardedCluster
 from repro.workload.clients import ScoinWorkload
 
 

@@ -12,6 +12,9 @@ shard rebalancing.
 Package map — see DESIGN.md for the full inventory:
 
 ==================  ====================================================
+``repro.api``       the stable public facade — import from here
+``repro.node``      long-running node runtime: chains, relays, drivers
+``repro.gateway``   bounded admission, batching, backpressure, futures
 ``repro.core``      the protocol: Move1/Move2, proofs, relay, swap, GC
 ``repro.vm``        EVM-flavoured VM, gas schedule, OP_MOVE, assembler
 ``repro.runtime``   Solidity-like contract layer (slots, require, msg)

@@ -1,0 +1,167 @@
+"""The stable public facade of the reproduction.
+
+Applications, examples and the CLI import from here — never from the
+deep module paths, which stay free to refactor.  The surface is the
+explicit ``__all__`` below, guarded by a golden test
+(``tests/unit/test_api_surface.py``): adding a name is a reviewed
+decision, removing or renaming one is a breaking change.
+
+The facade covers four layers:
+
+* **serving** — :class:`Node` (a long-running runtime owning chains,
+  relays and block production), :class:`Gateway` (bounded admission,
+  micro-batching, backpressure, rate limiting), :class:`Client` (the
+  SDK: sign, submit, await), the transports, and the request/move
+  futures;
+* **chains** — :class:`Chain`, :class:`ChainParams` and the paper's two
+  presets, registries, relays, sharded clusters, the simulator;
+* **transactions and contracts** — payload kinds, signing, keypairs,
+  and the Solidity-like contract-authoring layer
+  (:class:`MovableContract`, slots, decorators, ``require``);
+* **observation and adversity** — :class:`Telemetry`, fault plans, and
+  the full typed error taxonomy rooted at :class:`ReproError`.
+
+Quick start::
+
+    from repro import api
+
+    node = api.Node([api.burrow_params(1), api.ethereum_params(2)])
+    gateway = api.Gateway(node, api.GatewayLimits(max_queue_depth=512))
+    client = api.Client(api.InProcessTransport(gateway), name="alice")
+    gateway.start()
+
+    handle = client.deploy(MyContract, chain=1)
+    receipt = client.wait(handle)
+    moved = client.wait(client.move(receipt.return_value,
+                                    source_chain=1, target_chain=2))
+"""
+
+from __future__ import annotations
+
+# -- serving ----------------------------------------------------------
+from repro.node import Node
+from repro.gateway import (
+    Client,
+    Gateway,
+    GatewayLimits,
+    InProcessTransport,
+    MoveHandle,
+    RequestHandle,
+    SimNetTransport,
+)
+
+# -- chains -----------------------------------------------------------
+from repro.chain.chain import Chain
+from repro.chain.params import ChainParams, burrow_params, ethereum_params
+from repro.core.registry import ChainRegistry
+from repro.ibc.bridge import IBCBridge, MovePhases
+from repro.ibc.headers import HeaderRelay, connect_chains
+from repro.net.sim import Simulator
+from repro.sharding.cluster import ShardedCluster
+
+# -- transactions and identity ----------------------------------------
+from repro.chain.tx import (
+    CallPayload,
+    DeployPayload,
+    Move1Payload,
+    Move2Payload,
+    Transaction,
+    TransferPayload,
+    sign_transaction,
+)
+from repro.crypto.keys import Address, KeyPair
+
+# -- contract authoring -----------------------------------------------
+from repro.lang import AccountI, MovableContract, STokenI, require
+from repro.runtime import MapSlot, Slot, external, payable, register_contract, view
+
+# -- observation and adversity ----------------------------------------
+from repro.faults.plan import FaultPlan
+from repro.telemetry import Telemetry
+
+# -- errors -----------------------------------------------------------
+from repro.errors import (
+    ConfigError,
+    ContractLocked,
+    GatewayError,
+    InvalidRequest,
+    InvariantViolation,
+    MoveError,
+    OutOfGas,
+    Overloaded,
+    ProofError,
+    QueueFull,
+    RateLimited,
+    ReplayError,
+    ReproError,
+    RequestTimeout,
+    Revert,
+    TransactionAborted,
+    UnknownChainError,
+)
+
+__all__ = [
+    # serving
+    "Node",
+    "Gateway",
+    "GatewayLimits",
+    "Client",
+    "InProcessTransport",
+    "SimNetTransport",
+    "RequestHandle",
+    "MoveHandle",
+    # chains
+    "Chain",
+    "ChainParams",
+    "burrow_params",
+    "ethereum_params",
+    "ChainRegistry",
+    "HeaderRelay",
+    "connect_chains",
+    "IBCBridge",
+    "MovePhases",
+    "Simulator",
+    "ShardedCluster",
+    # transactions and identity
+    "Transaction",
+    "sign_transaction",
+    "TransferPayload",
+    "DeployPayload",
+    "CallPayload",
+    "Move1Payload",
+    "Move2Payload",
+    "KeyPair",
+    "Address",
+    # contract authoring
+    "MovableContract",
+    "AccountI",
+    "STokenI",
+    "register_contract",
+    "external",
+    "payable",
+    "view",
+    "Slot",
+    "MapSlot",
+    "require",
+    # observation and adversity
+    "Telemetry",
+    "FaultPlan",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "TransactionAborted",
+    "Revert",
+    "OutOfGas",
+    "ContractLocked",
+    "MoveError",
+    "ReplayError",
+    "ProofError",
+    "InvariantViolation",
+    "GatewayError",
+    "Overloaded",
+    "QueueFull",
+    "RateLimited",
+    "RequestTimeout",
+    "UnknownChainError",
+    "InvalidRequest",
+]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
 from repro.merkle.iavl import IAVLTree
 from repro.merkle.protocol import TreeFactory
 from repro.merkle.trie import MerklePatriciaTrie
@@ -53,6 +54,64 @@ class ChainParams:
     #: proofs are never orphaned; beyond that, retaining roots forever
     #: just leaks memory on long-running chains.  0 disables pruning.
     snapshot_retention: int = 256
+
+    def __post_init__(self) -> None:
+        """Reject impossible configurations at construction time.
+
+        Every check here used to surface only deep inside
+        ``produce_block`` (a zero interval looping the timer driver, a
+        negative ``p`` making proofs "ready" before inclusion); failing
+        fast with the field name and a fix keeps the blast radius at the
+        call site.
+        """
+        if self.chain_id < 0:
+            raise ConfigError(
+                f"chain_id must be non-negative, got {self.chain_id}"
+            )
+        if not self.block_interval > 0:
+            raise ConfigError(
+                f"block_interval must be a positive number of seconds, got "
+                f"{self.block_interval!r} — a non-positive interval would make "
+                "the block timer fire at or before the current instant forever"
+            )
+        if self.confirmation_depth < 0:
+            raise ConfigError(
+                f"confirmation_depth (p) must be >= 0, got {self.confirmation_depth} "
+                "— a negative p would declare proofs ready before inclusion"
+            )
+        if self.state_root_lag < 0:
+            raise ConfigError(
+                f"state_root_lag must be >= 0, got {self.state_root_lag}"
+            )
+        if self.max_block_txs < 1:
+            raise ConfigError(
+                f"max_block_txs must be >= 1, got {self.max_block_txs} — "
+                "blocks that can hold no transactions never drain the mempool"
+            )
+        if self.validator_count < 1:
+            raise ConfigError(
+                f"validator_count must be >= 1, got {self.validator_count}"
+            )
+        if self.gas_price < 0:
+            raise ConfigError(f"gas_price must be >= 0, got {self.gas_price}")
+        if self.executor_workers < 0:
+            raise ConfigError(
+                f"executor_workers must be >= 0, got {self.executor_workers} — "
+                "use 0 for the serial loop, or >= 1 for the parallel pipeline"
+            )
+        if self.snapshot_retention < 0:
+            raise ConfigError(
+                f"snapshot_retention must be >= 0 (0 disables pruning), got "
+                f"{self.snapshot_retention}"
+            )
+        horizon = self.state_root_lag + self.confirmation_depth
+        if 0 < self.snapshot_retention <= horizon:
+            raise ConfigError(
+                f"snapshot_retention={self.snapshot_retention} is inside the "
+                f"light-client horizon (state_root_lag + confirmation_depth = "
+                f"{horizon}) — still-provable Move1 snapshots would be pruned; "
+                f"use at least {horizon + 1}, or 0 to disable pruning"
+            )
 
     def min_proof_height(self, inclusion_height: int) -> int:
         """First own-chain height at which a tx included at

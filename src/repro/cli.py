@@ -5,6 +5,7 @@
     python -m repro info
     python -m repro move-demo
     python -m repro relay-demo
+    python -m repro gateway --clients 64 --rate 2.0 --duration 120
     python -m repro trace  --shards 4 --ops 2000
     python -m repro scoin  --shards 4 --clients 40 --cross 0.10 --duration 300
     python -m repro ibc    --app store10 --direction e2b
@@ -12,12 +13,13 @@
     python -m repro telemetry slowest   --top 5
     python -m repro telemetry export    --format chrome --out trace.json
 
-``info``, ``ibc``, ``trace --inspect`` and the ``telemetry`` analyses
-accept ``--json`` for machine-readable output.
+``info``, ``gateway``, ``ibc``, ``trace --inspect`` and the
+``telemetry`` analyses accept ``--json`` for machine-readable output.
 
-Every command prints the same quantities the paper's corresponding
-section reports.  Heavier, assertion-checked versions of these runs
-live in ``benchmarks/``.
+The CLI builds everything through the stable :mod:`repro.api` facade —
+the same front door applications use.  Every command prints the same
+quantities the paper's corresponding section reports; heavier,
+assertion-checked versions of these runs live in ``benchmarks/``.
 """
 
 from __future__ import annotations
@@ -34,6 +36,9 @@ def _print_json(payload) -> None:
 
 def _cmd_info(args) -> int:
     inventory = [
+        ("repro.api", "the stable public facade (Node, Gateway, Client, errors)"),
+        ("repro.node", "long-running node runtime: chains + relays + block timer"),
+        ("repro.gateway", "batched admission, backpressure, rate limits, futures"),
         ("repro.core", "Move1/Move2, proof bundles, replay guard, relay, swap, GC"),
         ("repro.vm", "EVM-flavoured VM + gas schedule + OP_MOVE"),
         ("repro.merkle", "binary Merkle / IAVL / Patricia trie + {v} -> m proofs"),
@@ -62,20 +67,17 @@ def _cmd_info(args) -> int:
 
 
 def _demo_world():
-    from repro.chain.chain import Chain
-    from repro.chain.params import burrow_params, ethereum_params
-    from repro.core.registry import ChainRegistry
-    from repro.ibc.headers import connect_chains
+    from repro import api
 
-    registry = ChainRegistry()
-    burrow = Chain(burrow_params(1), registry)
-    ethereum = Chain(ethereum_params(2), registry)
-    connect_chains([burrow, ethereum])
+    registry = api.ChainRegistry()
+    burrow = api.Chain(api.burrow_params(1), registry)
+    ethereum = api.Chain(api.ethereum_params(2), registry)
+    api.connect_chains([burrow, ethereum])
     return burrow, ethereum
 
 
 def _demo_tx(chain, keypair, payload, clock):
-    from repro.chain.tx import sign_transaction
+    from repro.api import sign_transaction
 
     tx = sign_transaction(keypair, payload)
     chain.submit(tx)
@@ -88,40 +90,42 @@ def _demo_tx(chain, keypair, payload, clock):
 
 
 def _cmd_move_demo(_args) -> int:
+    from repro import api
     from repro.apps.store import StateStore
-    from repro.chain.tx import CallPayload, DeployPayload, Move1Payload, Move2Payload
-    from repro.crypto.keys import KeyPair
 
-    burrow, ethereum = _demo_world()
-    alice = KeyPair.from_name("alice")
-    clock = [0.0]
+    # The served path: a node owning both chains, the gateway in front,
+    # one client driving the whole Move protocol through futures.
+    node = api.Node([api.burrow_params(1), api.ethereum_params(2)])
+    gateway = api.Gateway(node)
+    alice = api.Client(api.InProcessTransport(gateway), name="alice")
+    gateway.start()
 
-    store = _demo_tx(burrow, alice, DeployPayload(code_hash=StateStore.CODE_HASH, args=(3,)), clock).return_value
-    print(f"deployed Store-3 at {store} on chain {burrow.chain_id} (Burrow-flavoured)")
+    receipt = alice.wait(alice.deploy(StateStore, args=(3,), chain=1))
+    store = receipt.return_value
+    print(f"deployed Store-3 at {store} on chain 1 (Burrow-flavoured), via gateway")
 
-    receipt = _demo_tx(burrow, alice, Move1Payload(contract=store, target_chain=2), clock)
-    inclusion = receipt.block_height
-    print(f"Move1 included at height {inclusion}: contract locked, L_c = 2")
+    handle = alice.move(store, source_chain=1, target_chain=2)
+    node.run_until(lambda: handle.stage != "move1")
+    print(f"Move1 included at height "
+          f"{handle.phases.move1_included_at and node.chain(1).height}: "
+          f"contract locked, L_c = {node.chain(1).location_of(store)}")
 
-    while burrow.height < burrow.proof_ready_height(inclusion):
-        clock[0] += 5.0
-        burrow.produce_block(clock[0])
-    bundle = burrow.prove_contract_at(store, inclusion)
-    print(f"proof ready after {burrow.height - inclusion} blocks "
-          f"({len(bundle.storage)} slots, {bundle.size_bytes()} bytes)")
-
-    move2 = _demo_tx(ethereum, alice, Move2Payload(bundle=bundle), clock)
-    print(f"Move2 executed on chain {ethereum.chain_id} "
-          f"({move2.gas_used:,} gas); contract active there:")
-    print(f"  value_at(0) = {ethereum.view(store, 'value_at', 0).hex()[:16]}…")
-    print(f"  source copy locked, reads still served (L_c = {burrow.location_of(store)})")
+    phases = alice.wait(handle)
+    if not phases.success:
+        raise SystemExit(f"move failed: {phases.error}")
+    print(f"proof waited {phases.wait_proof_time:.0f}s "
+          f"(p = {node.chain(1).params.confirmation_depth} + root lag)")
+    print(f"Move2 executed on chain 2 ({phases.gas.get('move2', 0):,} gas); "
+          "contract active there:")
+    print(f"  value_at(0) = {alice.view(store, 'value_at', 0, chain=2).hex()[:16]}…")
+    print(f"  source copy locked, reads still served "
+          f"(L_c = {node.chain(1).location_of(store)})")
     return 0
 
 
 def _cmd_relay_demo(_args) -> int:
-    from repro.chain.tx import CallPayload, DeployPayload, Move1Payload, Move2Payload
+    from repro.api import CallPayload, DeployPayload, KeyPair, Move1Payload, Move2Payload
     from repro.core.relay import CurrencyRelay
-    from repro.crypto.keys import KeyPair
 
     burrow, ethereum = _demo_world()
     client1, client2 = KeyPair.from_name("client1"), KeyPair.from_name("client2")
@@ -153,6 +157,44 @@ def _cmd_relay_demo(_args) -> int:
     redeemed = _demo_tx(burrow, client2, CallPayload(escrow, "redeem"), clock).return_value
     print(f"escrow returned home; client2 redeemed {redeemed} native units "
           f"(balance: {burrow.balance_of(client2.address)})")
+    return 0
+
+
+def _cmd_gateway(args) -> int:
+    from repro.api import GatewayLimits
+    from repro.metrics.cdf import percentile
+    from repro.workload.gateway import GatewayWorkload
+
+    limits = GatewayLimits(
+        max_queue_depth=args.queue,
+        rate_limit=args.rate_limit,
+        shed_policy=args.policy,
+    )
+    workload = GatewayWorkload(
+        clients=args.clients,
+        rate_per_client=args.rate,
+        seed=args.seed,
+        limits=limits,
+    )
+    report = workload.run(duration=args.duration)
+    if args.json:
+        _print_json(report.to_dict())
+        return 0
+    print(f"{report.clients} clients x {args.rate:.2f} tx/s offered "
+          f"({report.offered_rate:.0f}/s aggregate) for {report.duration:.0f}s, "
+          f"queue bound {args.queue}, policy {args.policy}")
+    print(f"  submitted  : {report.submitted}")
+    print(f"  confirmed  : {report.confirmed} ({report.throughput:.1f} tx/s)")
+    shed = ", ".join(f"{code}={n}" for code, n in sorted(report.shed.items())) or "none"
+    print(f"  shed       : {report.shed_total} ({report.shed_rate * 100:.1f}%) — {shed}")
+    print(f"  unresolved : {report.unresolved}")
+    print(f"  peak queue : {report.peak_queue_depth} (bound {args.queue})")
+    samples = report.latency.all_samples()
+    if samples:
+        print(f"  latency    : mean {sum(samples) / len(samples):5.1f}s "
+              f"p50 {percentile(samples, 0.5):5.1f}s "
+              f"p99 {percentile(samples, 0.99):6.1f}s")
+    print(f"  blocks     : {report.blocks}, final root {report.final_root[:16]}…")
     return 0
 
 
@@ -387,6 +429,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("relay-demo", help="Fig. 3 currency relay walkthrough").set_defaults(
         fn=_cmd_relay_demo
     )
+
+    gateway = sub.add_parser(
+        "gateway", help="open-loop client fleet against the request gateway"
+    )
+    gateway.add_argument("--clients", type=int, default=64)
+    gateway.add_argument("--rate", type=float, default=1.0, help="tx/s per client")
+    gateway.add_argument("--duration", type=float, default=120.0)
+    gateway.add_argument("--seed", type=int, default=0)
+    gateway.add_argument("--queue", type=int, default=1024, help="admission queue bound")
+    gateway.add_argument("--rate-limit", type=float, default=0.0,
+                         help="per-client sustained tx/s (0 disables)")
+    gateway.add_argument("--policy", choices=["shed", "block"], default="shed")
+    gateway.add_argument("--json", action="store_true", help="machine-readable output")
+    gateway.set_defaults(fn=_cmd_gateway)
 
     trace = sub.add_parser("trace", help="replay a synthetic CryptoKitties trace")
     trace.add_argument("--shards", type=int, default=2)

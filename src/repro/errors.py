@@ -114,3 +114,74 @@ class FaultPlanError(ReproError):
 
 class AssemblerError(ReproError):
     """The VM assembler met an unknown mnemonic or malformed operand."""
+
+
+class ConfigError(ReproError):
+    """Invalid static configuration (:class:`~repro.chain.params.ChainParams`
+    fields, gateway limits) — raised at construction time with an
+    actionable message instead of failing deep inside block production."""
+
+
+class GatewayError(ReproError):
+    """Base class for request-gateway failures.
+
+    Every gateway rejection carries a machine-readable ``code`` so
+    programmatic clients can branch on the reason without parsing the
+    message (the string message stays human-oriented).
+    """
+
+    #: machine-readable reason code; subclasses override it and the
+    #: constructor can specialize it per instance
+    code = "gateway_error"
+
+    def __init__(self, message: str = "", *, code: str = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+    def to_dict(self) -> dict:
+        """The wire shape of a rejection: ``{"code", "message"}``."""
+        return {"code": self.code, "message": str(self)}
+
+
+class Overloaded(GatewayError):
+    """The gateway shed the request under load (backpressure).
+
+    The base of the shed taxonomy: admission queues at their bound
+    (:class:`QueueFull`) and rate limiting (:class:`RateLimited`) both
+    derive from it, so ``except Overloaded`` catches every shed."""
+
+    code = "overloaded"
+
+
+class QueueFull(Overloaded):
+    """The target chain's bounded admission queue is at capacity."""
+
+    code = "queue_full"
+
+
+class RateLimited(Overloaded):
+    """The client exceeded its token-bucket submission rate."""
+
+    code = "rate_limited"
+
+
+class RequestTimeout(GatewayError):
+    """A gateway request missed its deadline (the transaction may still
+    execute later — retry with the same idempotency key to reattach)."""
+
+    code = "timeout"
+
+
+class UnknownChainError(GatewayError):
+    """A request targeted a chain id the node does not serve."""
+
+    code = "unknown_chain"
+
+
+class InvalidRequest(GatewayError):
+    """A malformed request rejected at the gateway boundary (raw
+    ``KeyError``/``ValueError``/``TypeError`` escapes are mapped here so
+    clients only ever see :class:`ReproError` subclasses)."""
+
+    code = "invalid_request"

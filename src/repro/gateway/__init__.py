@@ -1,0 +1,45 @@
+"""The request gateway: batched admission, backpressure, typed sheds.
+
+One audited, instrumented front door in front of a
+:class:`~repro.node.Node` — bounded per-chain admission queues,
+micro-batched mempool submission, per-client token-bucket rate
+limiting, shed-or-block backpressure with machine-readable
+:class:`~repro.errors.Overloaded` rejections, request deadlines with
+idempotent retry keys, and cross-chain moves tracked as
+:class:`MoveHandle` futures.  Two deterministic transports: in-process
+(synchronous) and simulated-network (seeded latency, so chaos seeds
+replay byte-identically).
+
+The stable import surface for applications is :mod:`repro.api`; this
+package is its implementation.
+"""
+
+from repro.gateway.client import Client
+from repro.gateway.gateway import Gateway
+from repro.gateway.handles import (
+    CONFIRMED,
+    FAILED,
+    PENDING,
+    QUEUED,
+    SUBMITTED,
+    MoveHandle,
+    RequestHandle,
+)
+from repro.gateway.limits import GatewayLimits, TokenBucket
+from repro.gateway.transport import InProcessTransport, SimNetTransport
+
+__all__ = [
+    "Client",
+    "Gateway",
+    "GatewayLimits",
+    "TokenBucket",
+    "RequestHandle",
+    "MoveHandle",
+    "InProcessTransport",
+    "SimNetTransport",
+    "PENDING",
+    "QUEUED",
+    "SUBMITTED",
+    "CONFIRMED",
+    "FAILED",
+]

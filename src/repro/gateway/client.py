@@ -1,0 +1,172 @@
+"""The client SDK over a gateway transport.
+
+A :class:`Client` owns a keypair and a transport, signs payloads, and
+exposes the operations applications actually perform — ``transfer`` /
+``deploy`` / ``call`` / ``move`` — as futures.  ``wait`` drives the
+node until a future resolves, so a script reads like blocking code:
+
+    handle = client.deploy(GuestBook)
+    receipt = client.wait(handle)
+    book = receipt.return_value
+    done = client.wait(client.move(book, target_chain=2))
+
+Every rejection surfaces as a typed
+:class:`~repro.errors.GatewayError` from ``wait``/``result`` — clients
+branch on ``error.code`` (``"queue_full"``, ``"rate_limited"``,
+``"timeout"``, …), never on message strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple, Union
+
+from repro.chain.tx import (
+    CallPayload,
+    DeployPayload,
+    Payload,
+    TransferPayload,
+    sign_transaction,
+)
+from repro.crypto.keys import Address, KeyPair
+from repro.errors import ConfigError, RequestTimeout
+from repro.gateway.handles import MoveHandle, RequestHandle
+from repro.ibc.bridge import CompletionFactory
+
+
+class Client:
+    """One application identity submitting through a gateway."""
+
+    def __init__(
+        self,
+        transport,
+        keypair: Optional[KeyPair] = None,
+        name: Optional[str] = None,
+        default_chain: Optional[int] = None,
+    ):
+        if keypair is None:
+            if name is None:
+                raise ConfigError("a Client needs a keypair or a name to derive one")
+            keypair = KeyPair.from_name(name)
+        self.transport = transport
+        self.keypair = keypair
+        self.client_id = name if name is not None else keypair.address.hex
+        node = transport.gateway.node
+        if default_chain is None and len(node.chains) == 1:
+            default_chain = next(iter(node.chains))
+        self.default_chain = default_chain
+
+    @property
+    def address(self) -> Address:
+        return self.keypair.address
+
+    @property
+    def node(self):
+        return self.transport.gateway.node
+
+    def _chain_id(self, chain: Optional[int]) -> int:
+        if chain is not None:
+            return chain
+        if self.default_chain is None:
+            raise ConfigError(
+                "no default chain on a multi-chain node — pass chain=<id>"
+            )
+        return self.default_chain
+
+    # ------------------------------------------------------------------
+    # Operations (each returns a future)
+    # ------------------------------------------------------------------
+
+    def submit_payload(
+        self,
+        payload: Payload,
+        chain: Optional[int] = None,
+        key: Optional[str] = None,
+    ) -> RequestHandle:
+        """Sign and submit any payload kind; returns its future."""
+        tx = sign_transaction(self.keypair, payload)
+        return self.transport.submit(
+            tx, self._chain_id(chain), client_id=self.client_id, idempotency_key=key
+        )
+
+    def transfer(
+        self,
+        to: Address,
+        amount: int,
+        chain: Optional[int] = None,
+        key: Optional[str] = None,
+    ) -> RequestHandle:
+        """Native-currency transfer."""
+        return self.submit_payload(TransferPayload(to=to, amount=amount), chain, key)
+
+    def deploy(
+        self,
+        contract: Union[type, bytes],
+        args: Tuple[Any, ...] = (),
+        value: int = 0,
+        chain: Optional[int] = None,
+        key: Optional[str] = None,
+    ) -> RequestHandle:
+        """Deploy a registered contract class (or a raw code hash)."""
+        code_hash = contract.CODE_HASH if isinstance(contract, type) else contract
+        return self.submit_payload(
+            DeployPayload(code_hash=code_hash, args=tuple(args), value=value), chain, key
+        )
+
+    def call(
+        self,
+        target: Address,
+        method: str,
+        *args: Any,
+        value: int = 0,
+        chain: Optional[int] = None,
+        key: Optional[str] = None,
+    ) -> RequestHandle:
+        """Invoke an external contract method."""
+        return self.submit_payload(
+            CallPayload(target=target, method=method, args=args, value=value), chain, key
+        )
+
+    def move(
+        self,
+        contract: Address,
+        target_chain: int,
+        source_chain: Optional[int] = None,
+        completions: Sequence[CompletionFactory] = (),
+        key: Optional[str] = None,
+    ) -> MoveHandle:
+        """Move a contract cross-chain; returns the move's future."""
+        return self.transport.move(
+            self.keypair,
+            contract,
+            self._chain_id(source_chain),
+            target_chain,
+            completions=completions,
+            client_id=self.client_id,
+            idempotency_key=key,
+        )
+
+    # ------------------------------------------------------------------
+    # Reads and awaiting
+    # ------------------------------------------------------------------
+
+    def view(self, target: Address, method: str, *args: Any, chain: Optional[int] = None):
+        """Read-only contract query at the chain's current head."""
+        return self.node.view(self._chain_id(chain), target, method, *args)
+
+    def balance(self, chain: Optional[int] = None) -> int:
+        """This client's native balance."""
+        return self.node.chain(self._chain_id(chain)).balance_of(self.address)
+
+    def wait(self, handle, max_time: Optional[float] = None):
+        """Drive the node until ``handle`` resolves, then return its
+        result (receipt or :class:`~repro.ibc.bridge.MovePhases`).
+        Raises the handle's typed error on rejection, or
+        :class:`~repro.errors.RequestTimeout` if ``max_time`` simulated
+        seconds pass first."""
+        deadline = None if max_time is None else self.node.now + max_time
+        resolved = self.node.run_until(lambda: handle.done, max_time=deadline)
+        if not resolved:
+            raise RequestTimeout(
+                f"handle unresolved after max_time={max_time}s of simulated driving"
+            )
+        return handle.result()

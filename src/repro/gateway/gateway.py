@@ -1,0 +1,548 @@
+"""The request gateway: one audited front door in front of a node.
+
+Everything a client sends — transfers, deploys, calls, whole
+cross-chain moves — enters through :meth:`Gateway.submit` /
+:meth:`Gateway.move` and is subject to the same admission discipline:
+
+* **bounded queues** — each served chain gets one FIFO admission queue
+  bounded by ``limits.max_queue_depth``; memory stays bounded no
+  matter how many clients pile on;
+* **micro-batching** — a flush loop pours queued transactions into the
+  chain mempools every ``limits.flush_interval`` simulated seconds, up
+  to ``limits.batch_size`` per chain per flush, preserving admission
+  order (which is what makes gateway-routed workloads byte-identical
+  to direct mempool submission);
+* **backpressure** — past the bound the configured shed policy applies:
+  ``"shed"`` rejects immediately with a typed
+  :class:`~repro.errors.QueueFull`; ``"block"`` parks the request in a
+  bounded overflow lot that drains into the queue as blocks commit;
+* **rate limiting** — a per-client token bucket
+  (:class:`~repro.gateway.limits.TokenBucket`) sheds with
+  :class:`~repro.errors.RateLimited` past the configured rate;
+* **deadlines + idempotency** — a request admitted with
+  ``request_timeout`` fails with :class:`~repro.errors.RequestTimeout`
+  if unresolved by then, and a retry carrying the same idempotency key
+  reattaches to the original submission instead of double-submitting;
+* **error boundary** — raw ``KeyError``/``ValueError``/``TypeError``
+  escapes from request handling are mapped to
+  :class:`~repro.errors.InvalidRequest`, so every outcome a client can
+  observe is a :class:`~repro.errors.ReproError` subclass carrying a
+  machine-readable reason code.
+
+The gateway also owns block production: ``start()`` starts the node's
+driver and the flush loop together, so "serving" is one call.
+Telemetry rides along — admissions, flushes and sheds feed the shared
+:class:`~repro.telemetry.metrics.MetricsRegistry`, and traced
+transactions get ``gateway.admit`` / ``gateway.flush`` events on their
+move traces (docs/OBSERVABILITY.md lists the names).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
+
+from repro.chain.chain import Chain
+from repro.chain.tx import (
+    Move1Payload,
+    Move2Payload,
+    Transaction,
+    sign_transaction,
+)
+from repro.crypto.keys import Address, KeyPair
+from repro.errors import (
+    GatewayError,
+    InvalidRequest,
+    ProofError,
+    QueueFull,
+    RateLimited,
+    ReproError,
+    RequestTimeout,
+)
+from repro.gateway.handles import (
+    CONFIRMED,
+    FAILED,
+    PENDING,
+    QUEUED,
+    SUBMITTED,
+    MoveHandle,
+    RequestHandle,
+)
+from repro.gateway.limits import GatewayLimits, TokenBucket
+from repro.ibc.bridge import CompletionFactory, MovePhases
+from repro.node.node import Node
+from repro.statedb.receipts import Receipt
+from repro.telemetry import Telemetry
+
+
+class Gateway:
+    """Batched, rate-limited, backpressured admission to a node."""
+
+    def __init__(
+        self,
+        node: Node,
+        limits: Optional[GatewayLimits] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.node = node
+        self.limits = limits if limits is not None else GatewayLimits()
+        self.telemetry = telemetry if telemetry is not None else node.telemetry
+        #: per-chain FIFO admission queues (the bounded stage)
+        self._queues: Dict[int, Deque[Tuple[Transaction, RequestHandle]]] = {
+            chain_id: deque() for chain_id in node.chains
+        }
+        #: per-chain overflow lot for the "block" policy and mid-move txs
+        self._blocked: Dict[int, Deque[Tuple[Transaction, RequestHandle]]] = {
+            chain_id: deque() for chain_id in node.chains
+        }
+        self._buckets: Dict[str, TokenBucket] = {}
+        #: (client_id, key) -> original handle, for idempotent retries
+        self._by_key: Dict[Tuple[str, str], RequestHandle] = {}
+        self._move_by_key: Dict[Tuple[str, str], MoveHandle] = {}
+        #: high-water mark per chain queue (bound audits read this)
+        self.peak_queue_depth: Dict[int, int] = {c: 0 for c in node.chains}
+        self._started = False
+
+        metrics = self.telemetry.metrics
+        self._m_requests = {
+            c: metrics.counter("gateway_requests_total", chain=c) for c in node.chains
+        }
+        self._m_admitted = {
+            c: metrics.counter("gateway_admitted_total", chain=c) for c in node.chains
+        }
+        self._m_parked = {
+            c: metrics.counter("gateway_parked_total", chain=c) for c in node.chains
+        }
+        self._m_depth = {
+            c: metrics.gauge("gateway_queue_depth", chain=c) for c in node.chains
+        }
+        self._m_blocked_depth = {
+            c: metrics.gauge("gateway_blocked_depth", chain=c) for c in node.chains
+        }
+        self._m_batches = {
+            c: metrics.counter("gateway_batches_total", chain=c) for c in node.chains
+        }
+        self._m_batch_size = {
+            c: metrics.histogram("gateway_batch_size", chain=c) for c in node.chains
+        }
+        self._metrics = metrics
+        self._m_idempotent = metrics.counter("gateway_idempotent_hits_total")
+        self._m_request_seconds = metrics.histogram("gateway_request_seconds")
+        self._m_moves_started = metrics.counter("gateway_moves_total", status="started")
+        self._m_moves_ok = metrics.counter("gateway_moves_total", status="ok")
+        self._m_moves_failed = metrics.counter("gateway_moves_total", status="failed")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def start(self) -> None:
+        """Start serving: block production plus the flush loop."""
+        if self._started:
+            return
+        self._started = True
+        self.node.start()
+        self.node.sim.schedule(self.limits.flush_interval, self._flush_tick)
+
+    def stop(self) -> None:
+        """Stop the flush loop and block production."""
+        self._started = False
+        self.node.stop()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        tx: Transaction,
+        chain_id: int,
+        client_id: str = "",
+        idempotency_key: Optional[str] = None,
+        handle: Optional[RequestHandle] = None,
+    ) -> RequestHandle:
+        """Admit one transaction; never raises — the handle carries the
+        typed outcome (``handle.result()`` re-raises rejections).
+
+        ``handle`` lets a transport pre-create the future on the client
+        side of a simulated network hop; omitted, one is created here.
+        """
+        if handle is None:
+            handle = RequestHandle(
+                chain_id, client_id=client_id, idempotency_key=idempotency_key
+            )
+        try:
+            self._admit(tx, chain_id, client_id, idempotency_key, handle)
+        except GatewayError as error:
+            self._reject(handle, error)
+        except (KeyError, ValueError, TypeError) as error:
+            # The taxonomy boundary: nothing rawer than a ReproError
+            # subclass may escape to a client.
+            self._reject(
+                handle,
+                InvalidRequest(f"malformed request: {type(error).__name__}: {error}"),
+            )
+        return handle
+
+    def _admit(
+        self,
+        tx: Transaction,
+        chain_id: int,
+        client_id: str,
+        idempotency_key: Optional[str],
+        handle: RequestHandle,
+    ) -> None:
+        now = self.node.now
+        chain = self.node.chain(chain_id)  # raises UnknownChainError
+        self._m_requests[chain_id].inc()
+
+        if idempotency_key is not None:
+            key = (client_id, idempotency_key)
+            original = self._by_key.get(key)
+            if original is not None:
+                self._m_idempotent.inc()
+                handle._mirror(original)
+                return
+            self._by_key[key] = handle
+
+        if not isinstance(tx, Transaction):
+            raise InvalidRequest(
+                f"expected a signed Transaction, got {type(tx).__name__}"
+            )
+        if not tx.tx_id or not tx.signature:
+            raise InvalidRequest("transaction is unsigned (no tx_id/signature)")
+
+        if self.limits.rate_limit > 0:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.limits.rate_limit, self.limits.rate_burst, now=now
+                )
+                self._buckets[client_id] = bucket
+            if not bucket.take(now):
+                raise RateLimited(
+                    f"client {client_id or '<anonymous>'} exceeded "
+                    f"{self.limits.rate_limit}/s (burst {self.limits.rate_burst})"
+                )
+
+        handle.tx_id = tx.tx_id
+        handle.admitted_at = now
+        self._enqueue(tx, chain_id, handle, park=self.limits.shed_policy == "block")
+        tracer = self.telemetry.tracer
+        if tracer.enabled and tx.meta:
+            tracer.meta_event(tx.meta, "gateway.admit", chain=chain_id)
+        if self.limits.request_timeout > 0:
+            self.node.sim.schedule(
+                self.limits.request_timeout,
+                lambda: self._expire(handle),
+            )
+
+    def _enqueue(
+        self, tx: Transaction, chain_id: int, handle: RequestHandle, park: bool
+    ) -> None:
+        """Queue admission under the bound; ``park=True`` uses the
+        overflow lot instead of shedding when the queue is full."""
+        queue = self._queues[chain_id]
+        if len(queue) >= self.limits.max_queue_depth:
+            blocked = self._blocked[chain_id]
+            if not park or len(blocked) >= self.limits.max_blocked:
+                raise QueueFull(
+                    f"chain {chain_id} admission queue at bound "
+                    f"({self.limits.max_queue_depth} queued"
+                    + (f", {len(blocked)} parked" if park else "")
+                    + "); retry after the next flush"
+                )
+            blocked.append((tx, handle))
+            handle.status = QUEUED
+            self._m_parked[chain_id].inc()
+            self._m_blocked_depth[chain_id].set(len(blocked))
+            return
+        queue.append((tx, handle))
+        handle.status = QUEUED
+        self._m_admitted[chain_id].inc()
+        depth = len(queue)
+        self._m_depth[chain_id].set(depth)
+        if depth > self.peak_queue_depth[chain_id]:
+            self.peak_queue_depth[chain_id] = depth
+
+    def _reject(self, handle: RequestHandle, error: GatewayError) -> None:
+        self._metrics.counter("gateway_rejected_total", reason=error.code).inc()
+        handle._fail(error, self.node.now)
+
+    def _expire(self, handle: RequestHandle) -> None:
+        if handle.done:
+            return
+        self._reject(
+            handle,
+            RequestTimeout(
+                f"request missed its {self.limits.request_timeout}s deadline "
+                f"(last status: {handle.status}); the transaction may still "
+                "execute — retry with the same idempotency key to reattach"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Micro-batch flushing
+    # ------------------------------------------------------------------
+
+    def _flush_tick(self) -> None:
+        if not self._started:
+            return
+        self.flush()
+        self.node.sim.schedule(self.limits.flush_interval, self._flush_tick)
+
+    def flush(self) -> int:
+        """Pour one micro-batch per chain into the mempools; returns the
+        number of transactions submitted.  (The running gateway calls
+        this on its own clock; tests may call it directly.)"""
+        submitted = 0
+        for chain_id in sorted(self._queues):
+            queue = self._queues[chain_id]
+            blocked = self._blocked[chain_id]
+            # Drain the overflow lot into freed queue slots first:
+            # parked requests precede fresh arrivals (FIFO overall).
+            while blocked and len(queue) < self.limits.max_queue_depth:
+                queue.append(blocked.popleft())
+                self._m_admitted[chain_id].inc()
+            chain = self.node.chains[chain_id]
+            # End-to-end backpressure: never hold more than the headroom
+            # worth of blocks pending in the mempool — the backlog must
+            # stay in the bounded queue (and shed), not leak downstream.
+            headroom = (
+                self.limits.mempool_headroom * chain.params.max_block_txs
+                - len(chain.mempool)
+            )
+            budget = min(self.limits.batch_size, max(0, headroom))
+            batch = 0
+            tracer = self.telemetry.tracer
+            while batch < budget:
+                if queue:
+                    tx, handle = queue.popleft()
+                elif blocked:
+                    tx, handle = blocked.popleft()
+                    self._m_admitted[chain_id].inc()
+                else:
+                    break
+                if handle.done:  # expired while queued
+                    continue
+                handle.status = SUBMITTED
+                chain.wait_for(tx.tx_id, lambda r, h=handle: self._resolve(h, r))
+                chain.submit(tx)
+                if tracer.enabled and tx.meta:
+                    tracer.meta_event(tx.meta, "gateway.flush", chain=chain_id)
+                batch += 1
+            if batch:
+                self._m_batches[chain_id].inc()
+                self._m_batch_size[chain_id].observe(batch)
+            self._m_depth[chain_id].set(len(queue))
+            self._m_blocked_depth[chain_id].set(len(blocked))
+            submitted += batch
+        return submitted
+
+    def _resolve(self, handle: RequestHandle, receipt: Receipt) -> None:
+        if handle.done:
+            return
+        now = self.node.now
+        if handle.admitted_at is not None:
+            self._m_request_seconds.observe(now - handle.admitted_at)
+        handle._resolve(receipt, now)
+
+    # ------------------------------------------------------------------
+    # Cross-chain moves as futures
+    # ------------------------------------------------------------------
+
+    def move(
+        self,
+        mover: KeyPair,
+        contract: Address,
+        source_chain: int,
+        target_chain: int,
+        completions: Sequence[CompletionFactory] = (),
+        client_id: str = "",
+        idempotency_key: Optional[str] = None,
+    ) -> MoveHandle:
+        """Run a full cross-chain move through the admission path.
+
+        Mirrors :meth:`repro.ibc.bridge.IBCBridge.move_contract` —
+        identical phase records and telemetry span names — but every
+        transaction goes through queues, batching and backpressure, and
+        the caller gets a :class:`MoveHandle` future.  Mid-move
+        transactions use the parking (``"block"``) path so a momentary
+        burst does not strand a contract in its locked state; if even
+        the overflow lot is full, the move fails with the typed shed
+        error in ``handle.error``.
+        """
+        if idempotency_key is not None:
+            original = self._move_by_key.get((client_id, idempotency_key))
+            if original is not None:
+                self._m_idempotent.inc()
+                return original
+        phases = MovePhases(
+            contract=contract,
+            source_chain=source_chain,
+            target_chain=target_chain,
+            started_at=self.node.now,
+        )
+        handle = MoveHandle(phases, idempotency_key=idempotency_key)
+        if idempotency_key is not None:
+            self._move_by_key[(client_id, idempotency_key)] = handle
+        try:
+            source = self.node.chain(source_chain)
+            target = self.node.chain(target_chain)
+        except GatewayError as error:
+            phases.success = False
+            phases.error = str(error)
+            self._m_moves_failed.inc()
+            handle._fail(error)
+            return handle
+        self._m_moves_started.inc()
+
+        tracer = self.telemetry.tracer
+        root = tracer.start_trace(
+            "move", source_chain=source_chain, target_chain=target_chain
+        )
+        live = {"span": tracer.start_span("move1", root, chain=source_chain)}
+
+        def finish(success: bool, error: Optional[str] = None) -> None:
+            (self._m_moves_ok if success else self._m_moves_failed).inc()
+            root.end(success=success, **({} if success else {"error": error}))
+            if success:
+                handle._finish()
+
+        def fail_protocol(error: str) -> None:
+            phases.success = False
+            phases.error = error
+            live["span"].end(success=False)
+            finish(False, error)
+            handle._fail()
+
+        def fail_gateway(error: GatewayError) -> None:
+            phases.success = False
+            phases.error = str(error)
+            live["span"].end(success=False)
+            finish(False, str(error))
+            handle._fail(error)
+
+        def admit_internal(chain_id: int, tx: Transaction, on_receipt) -> None:
+            """Admit a mid-move transaction (parked past the bound)."""
+            inner = RequestHandle(chain_id, client_id=client_id)
+            inner.tx_id = tx.tx_id
+            inner.admitted_at = self.node.now
+            try:
+                self._enqueue(tx, chain_id, inner, park=True)
+            except GatewayError as error:
+                self._metrics.counter(
+                    "gateway_rejected_total", reason=error.code
+                ).inc()
+                fail_gateway(error)
+                return
+            inner.on_done(
+                lambda h: on_receipt(h.receipt) if h.error is None else fail_gateway(h.error)
+            )
+            self.node.chain(chain_id).wait_for(
+                tx.tx_id, lambda r, h=inner: self._resolve(h, r)
+            )
+
+        def after_move1(receipt: Receipt) -> None:
+            if not receipt.success:
+                fail_protocol(receipt.error)
+                return
+            phases.move1_included_at = self.node.now
+            phases.add_gas(receipt.gas_by_category, "move1")
+            handle._advance("confirm")
+            inclusion = receipt.block_height
+            ready_at = source.proof_ready_height(inclusion)
+            live["span"].end(success=True)
+            live["span"] = tracer.start_span(
+                "confirm.wait", root, chain=source_chain, ready_height=ready_at
+            )
+            tracer.watch_header(root, source_chain, ready_at, observer=target_chain)
+            self._when_height(source, ready_at, lambda: send_move2(inclusion))
+
+        def send_move2(inclusion_height: int) -> None:
+            phases.proof_ready_at = self.node.now
+            handle._advance("proof")
+            live["span"].end(success=True)
+            live["span"] = tracer.start_span("proof.build", root, chain=source_chain)
+            try:
+                bundle = source.prove_contract_at(contract, inclusion_height)
+            except ProofError as error:
+                fail_protocol(str(error))
+                return
+            live["span"].end(success=True, proof_bytes=bundle.size_bytes())
+            live["span"] = tracer.start_span("move2", root, chain=target_chain)
+            handle._advance("move2")
+            move2 = sign_transaction(mover, Move2Payload(bundle=bundle))
+            tracer.inject(live["span"], move2.meta)
+            admit_internal(target_chain, move2, after_move2)
+
+        def after_move2(receipt: Receipt) -> None:
+            if not receipt.success:
+                fail_protocol(receipt.error)
+                return
+            phases.move2_included_at = self.node.now
+            phases.add_gas(receipt.gas_by_category, "move2")
+            live["span"].end(success=True)
+            live["span"] = tracer.start_span("complete", root, chain=target_chain)
+            handle._advance("complete")
+            run_completion(0)
+
+        def run_completion(index: int) -> None:
+            if index >= len(completions):
+                phases.completed_at = self.node.now
+                live["span"].end(success=True, txs=len(completions))
+                finish(True)
+                return
+            tx = completions[index](mover)
+            tx.meta.setdefault("gas_category", "complete")
+            tracer.inject(live["span"], tx.meta)
+
+            def after(receipt: Receipt) -> None:
+                if not receipt.success:
+                    fail_protocol(receipt.error)
+                    return
+                phases.add_gas(receipt.gas_by_category, "complete")
+                run_completion(index + 1)
+
+            admit_internal(target_chain, tx, after)
+
+        move1 = sign_transaction(
+            mover, Move1Payload(contract=contract, target_chain=target_chain)
+        )
+        tracer.inject(live["span"], move1.meta)
+        admit_internal(source_chain, move1, after_move1)
+        return handle
+
+    @staticmethod
+    def _when_height(chain: Chain, height: int, action: Callable[[], None]) -> None:
+        """Run ``action`` as soon as ``chain`` reaches ``height``."""
+        if chain.height >= height:
+            action()
+            return
+
+        def listener(block, _receipts) -> None:
+            if block.height >= height:
+                chain.unsubscribe(listener)
+                action()
+
+        chain.subscribe(listener)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def queue_depth(self, chain_id: int) -> int:
+        """Currently queued (unflushed) requests for one chain."""
+        return len(self._queues[chain_id]) + len(self._blocked[chain_id])
+
+    def stats(self) -> Dict[str, Dict[int, int]]:
+        """Queue depths and high-water marks per chain (for audits)."""
+        return {
+            "queued": {c: len(q) for c, q in self._queues.items()},
+            "parked": {c: len(q) for c, q in self._blocked.items()},
+            "peak_queue_depth": dict(self.peak_queue_depth),
+        }

@@ -1,0 +1,17 @@
+"""The node runtime: a long-running process that serves chains.
+
+Everything before this package drove chains in lockstep from benchmark
+scripts — call ``produce_block`` by hand, advance the simulator, read
+receipts.  :class:`Node` turns that into a *servable* runtime: it owns
+one or more chains (or an entire
+:class:`~repro.sharding.cluster.ShardedCluster`), wires their header
+relays, drives block production (a deterministic timer driver by
+default, full Tendermint consensus on request), and exposes the narrow
+submission/query surface the request gateway (:mod:`repro.gateway`)
+builds on.  Fault plans and telemetry thread straight through, so chaos
+and observability work identically on the served path.
+"""
+
+from repro.node.node import Node
+
+__all__ = ["Node"]

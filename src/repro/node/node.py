@@ -1,0 +1,240 @@
+"""A long-running node: chains + relays + block production on one clock.
+
+The node is the *runtime* half of the served system: it assembles
+chains from :class:`~repro.chain.params.ChainParams`, meshes their
+header relays so any chain can verify any peer's Move2 proofs, and
+drives block production off the shared discrete-event simulator.  The
+*front door* half — admission, batching, backpressure — lives in
+:mod:`repro.gateway` and talks to the node only through the narrow
+surface defined here (``submit`` / ``receipt`` / ``subscribe`` /
+``run_until``), which is also what keeps gateway-routed workloads
+byte-identical to direct mempool submission.
+
+Two block-production drivers:
+
+* ``"timer"`` (default) — each chain commits a block every
+  ``block_interval`` simulated seconds, deterministically.  This is the
+  servable-system equivalent of the lockstep ``produce_block`` loops
+  the benchmarks use, so results are directly comparable;
+* ``"tendermint"`` — full BFT vote rounds over the simulated WAN
+  (what :class:`~repro.sharding.cluster.ShardedCluster` runs); block
+  cadence then includes quorum latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.chain.chain import Chain
+from repro.chain.params import ChainParams
+from repro.chain.tx import Transaction
+from repro.core.registry import ChainRegistry
+from repro.errors import ConfigError, UnknownChainError
+from repro.ibc.headers import HeaderRelay, connect_chains
+from repro.net.sim import Simulator
+from repro.net.transport import Network
+from repro.statedb.receipts import Receipt
+from repro.telemetry import Telemetry
+
+#: block-production drivers a node can run
+DRIVERS = ("timer", "tendermint")
+
+
+class Node:
+    """One runtime serving a set of chains from a shared simulator."""
+
+    def __init__(
+        self,
+        params: Union[ChainParams, Sequence[ChainParams]],
+        seed: int = 0,
+        driver: str = "timer",
+        telemetry: Optional[Telemetry] = None,
+        verify_signatures: bool = True,
+        relay_delay: float = 0.0,
+        sim: Optional[Simulator] = None,
+    ):
+        if isinstance(params, ChainParams):
+            params = [params]
+        params = list(params)
+        if not params:
+            raise ConfigError("a node must serve at least one chain")
+        if driver not in DRIVERS:
+            raise ConfigError(f"driver must be one of {DRIVERS}, got {driver!r}")
+        seen = set()
+        for p in params:
+            if p.chain_id in seen:
+                raise ConfigError(f"duplicate chain_id {p.chain_id} in node params")
+            seen.add(p.chain_id)
+        self.driver = driver
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self.telemetry.bind_clock(lambda: self.sim.now)
+        self.registry = ChainRegistry()
+        self.chains: Dict[int, Chain] = {}
+        for p in params:
+            self.chains[p.chain_id] = Chain(
+                p,
+                self.registry,
+                verify_signatures=verify_signatures,
+                telemetry=self.telemetry,
+            )
+        self.relays: List[HeaderRelay] = connect_chains(
+            self.chains.values(), sim=self.sim, delay=relay_delay
+        )
+        self.network: Optional[Network] = None
+        self.engines: List = []
+        if driver == "tendermint":
+            from repro.consensus.tendermint import TendermintEngine
+
+            self.network = Network(self.sim)
+            for chain in self.chains.values():
+                regions = self.network.latency.assign_regions(
+                    chain.params.validator_count, self.sim.rng
+                )
+                self.engines.append(
+                    TendermintEngine(self.sim, self.network, chain, regions)
+                )
+        self._running = False
+        self._cluster = None
+
+    @classmethod
+    def from_cluster(cls, cluster) -> "Node":
+        """Wrap an existing :class:`~repro.sharding.cluster.ShardedCluster`
+        (its simulator, shards and engines become the node's)."""
+        node = cls.__new__(cls)
+        node.driver = "tendermint"
+        node.sim = cluster.sim
+        first = cluster.shards[0] if cluster.shards else None
+        node.telemetry = first.telemetry if first is not None else Telemetry.disabled()
+        node.telemetry.bind_clock(lambda: node.sim.now)
+        node.registry = cluster.registry
+        node.chains = {chain.chain_id: chain for chain in cluster.shards}
+        node.relays = []
+        node.network = cluster.network
+        node.engines = list(cluster.engines)
+        node._running = False
+        node._cluster = cluster
+        return node
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Begin block production (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        if self._cluster is not None:
+            self._cluster.start()
+        elif self.driver == "tendermint":
+            for engine in self.engines:
+                engine.start()
+        else:
+            for chain in self.chains.values():
+                self._schedule_tick(chain)
+
+    def stop(self) -> None:
+        """Halt block production (pending timers become no-ops)."""
+        self._running = False
+        if self._cluster is not None:
+            self._cluster.stop()
+        else:
+            for engine in self.engines:
+                engine.stop()
+
+    def _schedule_tick(self, chain: Chain) -> None:
+        self.sim.schedule(chain.params.block_interval, lambda: self._tick(chain))
+
+    def _tick(self, chain: Chain) -> None:
+        if not self._running:
+            return
+        chain.produce_block(self.sim.now, proposer=f"node-{chain.chain_id}")
+        self._schedule_tick(chain)
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Advance the simulator (see :meth:`Simulator.run`)."""
+        return self.sim.run(until=until)
+
+    def run_for(self, seconds: float) -> int:
+        """Advance the simulator by ``seconds`` from now."""
+        return self.sim.run(until=self.sim.now + seconds)
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_time: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> bool:
+        """Step events until ``predicate()`` is true, the queue drains,
+        ``max_time`` is reached, or ``max_events`` fire.  Returns the
+        final value of the predicate — the building block behind
+        "await this handle" on a discrete-event clock."""
+        fired = 0
+        while not predicate():
+            if max_time is not None and self.sim.now >= max_time:
+                break
+            if fired >= max_events:
+                break
+            if self.sim.run(max_events=1) == 0:
+                break
+            fired += 1
+        return predicate()
+
+    # ------------------------------------------------------------------
+    # Submission / query surface (what the gateway builds on)
+    # ------------------------------------------------------------------
+
+    def chain(self, chain_id: int) -> Chain:
+        """The served chain with this id (:class:`UnknownChainError` if
+        the node does not serve it)."""
+        try:
+            return self.chains[chain_id]
+        except KeyError:
+            raise UnknownChainError(
+                f"this node serves chains {sorted(self.chains)}, not {chain_id}"
+            ) from None
+
+    def submit(self, chain_id: int, tx: Transaction) -> bool:
+        """Queue a transaction into a chain's mempool (False = duplicate)."""
+        return self.chain(chain_id).submit(tx)
+
+    def receipt(self, chain_id: int, tx_id: str) -> Optional[Receipt]:
+        """The execution receipt, or None while still pending."""
+        return self.chain(chain_id).receipts.get(tx_id)
+
+    def view(self, chain_id: int, target, method: str, *args):
+        """Read-only contract query at a chain's current head."""
+        return self.chain(chain_id).view(target, method, *args)
+
+    def apply_faults(self, plan, network: Optional[Network] = None):
+        """Attach a :class:`~repro.faults.injector.FaultInjector` and
+        schedule ``plan`` against this node's seams (chains, relays and
+        — when running consensus — validators and the vote transport).
+        Returns the injector for inspection."""
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            self.sim,
+            network=network if network is not None else self.network,
+            chains=self.chains,
+            engines={
+                engine.chain.chain_id: engine
+                for engine in self.engines
+                if hasattr(engine, "chain")
+            },
+            relays={relay.source.chain_id: relay for relay in self.relays},
+            seed=plan.seed,
+            telemetry=self.telemetry,
+        )
+        injector.apply(plan)
+        return injector

@@ -67,6 +67,13 @@ def test_kitties_replay():
     assert "cross-shard operations" in out
 
 
+def test_gateway_service():
+    out = run_example("gateway_service.py")
+    assert "shed with ['queue_full', 'rate_limited']" in out
+    assert "Overloaded" in out
+    assert "deduplicated" in out
+
+
 def test_ibc_store_transfer():
     out = run_example("ibc_store_transfer.py")
     assert "wait + proof" in out

@@ -1,0 +1,106 @@
+"""Golden test on the stable facade: ``repro.api.__all__``.
+
+The facade is the compatibility contract — applications, examples and
+the CLI import only from :mod:`repro.api`, so its surface may only
+change deliberately.  The golden list below is that contract written
+down: a failing diff here means a reviewed decision to grow the API
+(add the name to the golden list too) or a breaking change (don't).
+"""
+
+from repro import api
+
+# The contract.  Keep sorted; update only on purpose.
+GOLDEN_SURFACE = sorted([
+    # serving
+    "Node",
+    "Gateway",
+    "GatewayLimits",
+    "Client",
+    "InProcessTransport",
+    "SimNetTransport",
+    "RequestHandle",
+    "MoveHandle",
+    # chains
+    "Chain",
+    "ChainParams",
+    "burrow_params",
+    "ethereum_params",
+    "ChainRegistry",
+    "HeaderRelay",
+    "connect_chains",
+    "IBCBridge",
+    "MovePhases",
+    "Simulator",
+    "ShardedCluster",
+    # transactions and identity
+    "Transaction",
+    "sign_transaction",
+    "TransferPayload",
+    "DeployPayload",
+    "CallPayload",
+    "Move1Payload",
+    "Move2Payload",
+    "KeyPair",
+    "Address",
+    # contract authoring
+    "MovableContract",
+    "AccountI",
+    "STokenI",
+    "register_contract",
+    "external",
+    "payable",
+    "view",
+    "Slot",
+    "MapSlot",
+    "require",
+    # observation and adversity
+    "Telemetry",
+    "FaultPlan",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "TransactionAborted",
+    "Revert",
+    "OutOfGas",
+    "ContractLocked",
+    "MoveError",
+    "ReplayError",
+    "ProofError",
+    "InvariantViolation",
+    "GatewayError",
+    "Overloaded",
+    "QueueFull",
+    "RateLimited",
+    "RequestTimeout",
+    "UnknownChainError",
+    "InvalidRequest",
+])
+
+
+def test_api_surface_is_golden():
+    assert sorted(api.__all__) == GOLDEN_SURFACE
+
+
+def test_every_name_resolves():
+    for name in api.__all__:
+        assert getattr(api, name) is not None, name
+
+
+def test_no_duplicates():
+    assert len(api.__all__) == len(set(api.__all__))
+
+
+def test_error_taxonomy_roots_at_reproerror():
+    for name in api.__all__:
+        obj = getattr(api, name)
+        if isinstance(obj, type) and name.endswith(
+            ("Error", "Aborted", "Violation", "Locked", "Overloaded")
+        ):
+            assert issubclass(obj, api.ReproError), name
+
+
+def test_gateway_rejections_are_overloaded():
+    # Clients catch one type to back off under pressure.
+    assert issubclass(api.QueueFull, api.Overloaded)
+    assert issubclass(api.RateLimited, api.Overloaded)
+    assert issubclass(api.Overloaded, api.GatewayError)

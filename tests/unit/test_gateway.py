@@ -1,0 +1,303 @@
+"""Unit tests for the request gateway: bounds, sheds, retries, limits.
+
+Everything here drives the gateway synchronously — manual ``flush()``
+calls and manual block production — so each admission decision is
+observable in isolation.  The end-to-end behaviours (64-client
+saturation, byte-identical determinism) live in
+``tests/property/test_gateway_determinism.py``.
+"""
+
+import pytest
+
+from repro.api import (
+    Client,
+    ConfigError,
+    Gateway,
+    GatewayLimits,
+    InProcessTransport,
+    InvalidRequest,
+    Node,
+    Overloaded,
+    QueueFull,
+    RateLimited,
+    RequestTimeout,
+    TransferPayload,
+    UnknownChainError,
+    burrow_params,
+    sign_transaction,
+)
+from repro.crypto.keys import KeyPair
+from repro.gateway.limits import TokenBucket
+
+ALICE = KeyPair.from_name("gw-test-alice")
+BOB = KeyPair.from_name("gw-test-bob")
+
+
+def make_node(**params):
+    params.setdefault("max_block_txs", 100)
+    node = Node(burrow_params(1, **params), verify_signatures=False)
+    node.chain(1).fund({ALICE.address: 10**9, BOB.address: 10**9})
+    return node
+
+
+def transfer(n=1, sender=ALICE, nonce=None):
+    return sign_transaction(
+        sender, TransferPayload(to=BOB.address, amount=n), nonce=nonce
+    )
+
+
+# ----------------------------------------------------------------------
+# Queue bounds and shed policies
+# ----------------------------------------------------------------------
+
+
+def test_queue_bound_sheds_typed_queue_full():
+    node = make_node()
+    gateway = Gateway(node, GatewayLimits(max_queue_depth=4))
+    handles = [
+        gateway.submit(transfer(nonce=i), 1, client_id="a") for i in range(10)
+    ]
+    admitted = [h for h in handles if not h.done]
+    shed = [h for h in handles if h.done]
+    assert len(admitted) == 4 and len(shed) == 6
+    for handle in shed:
+        with pytest.raises(QueueFull) as excinfo:
+            handle.result()
+        assert excinfo.value.code == "queue_full"
+        assert isinstance(excinfo.value, Overloaded)
+    assert gateway.peak_queue_depth[1] == 4
+
+
+def test_block_policy_parks_then_sheds():
+    node = make_node()
+    gateway = Gateway(
+        node, GatewayLimits(max_queue_depth=2, max_blocked=3, shed_policy="block")
+    )
+    handles = [
+        gateway.submit(transfer(nonce=i), 1, client_id="a") for i in range(8)
+    ]
+    shed = [h for h in handles if h.done]
+    assert len(shed) == 3  # 2 queued + 3 parked, the rest shed
+    assert gateway.queue_depth(1) == 5
+    # A flush drains queue and promotes the parked requests FIFO.
+    assert gateway.flush() == 5
+    assert gateway.queue_depth(1) == 0
+
+
+def test_flush_preserves_admission_order():
+    node = make_node()
+    gateway = Gateway(node, GatewayLimits(max_queue_depth=64))
+    txs = [transfer(nonce=i) for i in range(10)]
+    for tx in txs:
+        gateway.submit(tx, 1)
+    gateway.flush()
+    chain = node.chain(1)
+    assert [tx.tx_id for tx in chain.mempool.take(100)] == [tx.tx_id for tx in txs]
+
+
+def test_mempool_headroom_caps_flush():
+    node = make_node(max_block_txs=5)
+    gateway = Gateway(
+        node, GatewayLimits(max_queue_depth=64, batch_size=64, mempool_headroom=2)
+    )
+    for i in range(30):
+        gateway.submit(transfer(nonce=i), 1)
+    # Only headroom×max_block_txs = 10 may sit in the mempool at once.
+    assert gateway.flush() == 10
+    assert len(node.chain(1).mempool) == 10
+    assert gateway.flush() == 0  # still no headroom
+    node.chain(1).produce_block(5.0)  # commits 5
+    assert gateway.flush() == 5
+
+
+def test_resolution_to_receipt():
+    node = make_node()
+    gateway = Gateway(node)
+    handle = gateway.submit(transfer(), 1)
+    assert not handle.done and handle.status == "queued"
+    gateway.flush()
+    assert handle.status == "submitted"
+    node.chain(1).produce_block(5.0)
+    assert handle.ok
+    assert handle.result().success
+    assert handle.result().tx_id == handle.tx_id
+
+
+# ----------------------------------------------------------------------
+# Rate limiting
+# ----------------------------------------------------------------------
+
+
+def test_token_bucket_refills_on_simulated_time():
+    bucket = TokenBucket(rate=2.0, burst=2, now=0.0)
+    assert bucket.take(0.0) and bucket.take(0.0)
+    assert not bucket.take(0.0)
+    assert bucket.take(1.0)  # 2 tokens/s × 1 s refill
+    assert bucket.take(1.0)
+    assert not bucket.take(1.0)
+
+
+def test_rate_limit_is_per_client():
+    node = make_node()
+    gateway = Gateway(
+        node, GatewayLimits(rate_limit=1.0, rate_burst=2, max_queue_depth=64)
+    )
+    a = [gateway.submit(transfer(nonce=i), 1, client_id="a") for i in range(4)]
+    b = [gateway.submit(transfer(nonce=10 + i), 1, client_id="b") for i in range(2)]
+    assert [h.done for h in a] == [False, False, True, True]
+    assert all(not h.done for h in b)  # b has its own bucket
+    with pytest.raises(RateLimited) as excinfo:
+        a[2].result()
+    assert excinfo.value.code == "rate_limited"
+    assert isinstance(excinfo.value, Overloaded)
+
+
+# ----------------------------------------------------------------------
+# Deadlines and idempotent retries
+# ----------------------------------------------------------------------
+
+
+def test_request_timeout_fires_with_typed_error():
+    node = make_node()
+    gateway = Gateway(node, GatewayLimits(request_timeout=3.0))
+    handle = gateway.submit(transfer(), 1)
+    node.sim.run(until=10.0)  # gateway never started: nothing flushes
+    assert handle.done
+    with pytest.raises(RequestTimeout) as excinfo:
+        handle.result()
+    assert excinfo.value.code == "timeout"
+
+
+def test_idempotent_retry_attaches_to_pending_original():
+    node = make_node()
+    gateway = Gateway(node)
+    first = gateway.submit(transfer(), 1, client_id="a", idempotency_key="k")
+    retry = gateway.submit(transfer(nonce=99), 1, client_id="a", idempotency_key="k")
+    assert retry.tx_id == first.tx_id  # the retry's own tx was dropped
+    gateway.flush()
+    node.chain(1).produce_block(5.0)
+    assert first.ok and retry.ok
+    assert retry.result().tx_id == first.result().tx_id
+
+
+def test_idempotent_retry_after_resolution_gets_original_receipt():
+    node = make_node()
+    gateway = Gateway(node)
+    first = gateway.submit(transfer(), 1, client_id="a", idempotency_key="k")
+    gateway.flush()
+    node.chain(1).produce_block(5.0)
+    assert first.ok
+    retry = gateway.submit(transfer(nonce=99), 1, client_id="a", idempotency_key="k")
+    assert retry.ok
+    assert retry.result() is first.result()
+
+
+def test_idempotency_keys_are_scoped_per_client():
+    node = make_node()
+    gateway = Gateway(node)
+    a = gateway.submit(transfer(), 1, client_id="a", idempotency_key="k")
+    b = gateway.submit(transfer(nonce=2), 1, client_id="b", idempotency_key="k")
+    assert a.tx_id != b.tx_id
+    assert gateway.queue_depth(1) == 2
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy at the boundary
+# ----------------------------------------------------------------------
+
+
+def test_unknown_chain_is_typed():
+    gateway = Gateway(make_node())
+    handle = gateway.submit(transfer(), 7)
+    with pytest.raises(UnknownChainError) as excinfo:
+        handle.result()
+    assert excinfo.value.code == "unknown_chain"
+
+
+def test_malformed_request_maps_to_invalid_request():
+    gateway = Gateway(make_node())
+    handle = gateway.submit(TransferPayload(to=BOB.address, amount=1), 1)
+    with pytest.raises(InvalidRequest) as excinfo:
+        handle.result()
+    assert excinfo.value.code == "invalid_request"
+
+
+def test_rejections_carry_machine_readable_dict():
+    gateway = Gateway(make_node(), GatewayLimits(max_queue_depth=1))
+    gateway.submit(transfer(), 1)
+    shed = gateway.submit(transfer(nonce=2), 1)
+    payload = shed.error.to_dict()
+    assert payload["code"] == "queue_full"
+    assert payload["message"]
+
+
+# ----------------------------------------------------------------------
+# Configuration validation
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_queue_depth": 0},
+        {"max_blocked": -1},
+        {"batch_size": 0},
+        {"flush_interval": 0.0},
+        {"rate_limit": -1.0},
+        {"rate_burst": 0},
+        {"request_timeout": -5.0},
+        {"mempool_headroom": 0},
+        {"shed_policy": "panic"},
+    ],
+)
+def test_gateway_limits_validation(kwargs):
+    with pytest.raises(ConfigError):
+        GatewayLimits(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"block_interval": 0.0},
+        {"block_interval": -5.0},
+        {"confirmation_depth": -1},
+        {"state_root_lag": -1},
+        {"max_block_txs": 0},
+        {"validator_count": 0},
+        {"gas_price": -1},
+        {"executor_workers": -1},
+        {"snapshot_retention": -2},
+    ],
+)
+def test_chain_params_validation(kwargs):
+    with pytest.raises(ConfigError):
+        burrow_params(1, **kwargs)
+
+
+def test_chain_params_error_names_the_field():
+    with pytest.raises(ConfigError, match="block_interval"):
+        burrow_params(1, block_interval=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Client SDK plumbing
+# ----------------------------------------------------------------------
+
+
+def test_client_wait_resolves_through_running_node():
+    node = make_node()
+    gateway = Gateway(node)
+    client = Client(InProcessTransport(gateway), keypair=ALICE)
+    gateway.start()
+    receipt = client.wait(client.transfer(BOB.address, 123))
+    assert receipt.success
+    assert node.chain(1).balance_of(BOB.address) == 10**9 + 123
+
+
+def test_client_wait_times_out_typed():
+    node = make_node()
+    gateway = Gateway(node)  # never started: handle can't resolve
+    client = Client(InProcessTransport(gateway), keypair=ALICE)
+    handle = client.transfer(BOB.address, 1)
+    with pytest.raises(RequestTimeout):
+        client.wait(handle, max_time=5.0)
