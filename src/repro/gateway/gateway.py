@@ -22,7 +22,13 @@ cross-chain moves — enters through :meth:`Gateway.submit` /
 * **deadlines + idempotency** — a request admitted with
   ``request_timeout`` fails with :class:`~repro.errors.RequestTimeout`
   if unresolved by then, and a retry carrying the same idempotency key
-  reattaches to the original submission instead of double-submitting;
+  reattaches to the original submission instead of double-submitting.
+  Keys bind only on successful admission (a shed or rejected request
+  never wedges its key), a retry after a timeout resolves to the
+  original transaction's eventual receipt, and records are evicted
+  ``limits.idempotency_retention`` seconds after resolution so the
+  table stays bounded (token buckets are LRU-capped at
+  ``limits.max_clients`` for the same reason);
 * **error boundary** — raw ``KeyError``/``ValueError``/``TypeError``
   escapes from request handling are mapped to
   :class:`~repro.errors.InvalidRequest`, so every outcome a client can
@@ -102,6 +108,8 @@ class Gateway:
         #: high-water mark per chain queue (bound audits read this)
         self.peak_queue_depth: Dict[int, int] = {c: 0 for c in node.chains}
         self._started = False
+        #: bumped on every start(); stale flush timers check it and die
+        self._epoch = 0
 
         metrics = self.telemetry.metrics
         self._m_requests = {
@@ -145,8 +153,12 @@ class Gateway:
         if self._started:
             return
         self._started = True
+        self._epoch += 1
+        epoch = self._epoch
         self.node.start()
-        self.node.sim.schedule(self.limits.flush_interval, self._flush_tick)
+        self.node.sim.schedule(
+            self.limits.flush_interval, lambda: self._flush_tick(epoch)
+        )
 
     def stop(self) -> None:
         """Stop the flush loop and block production."""
@@ -200,14 +212,29 @@ class Gateway:
         chain = self.node.chain(chain_id)  # raises UnknownChainError
         self._m_requests[chain_id].inc()
 
+        key: Optional[Tuple[str, str]] = None
         if idempotency_key is not None:
             key = (client_id, idempotency_key)
             original = self._by_key.get(key)
             if original is not None:
                 self._m_idempotent.inc()
+                if isinstance(original.error, RequestTimeout):
+                    # The original missed its deadline but its
+                    # transaction was still flushed: reattach this retry
+                    # to the eventual receipt instead of mirroring the
+                    # stale timeout, with its own fresh deadline.
+                    handle.tx_id = original.tx_id
+                    original.on_late_receipt(
+                        lambda src: handle._resolve(src.receipt, self.node.now)
+                    )
+                    if self.limits.request_timeout > 0 and not handle.done:
+                        self.node.sim.schedule(
+                            self.limits.request_timeout,
+                            lambda: self._expire(handle),
+                        )
+                    return
                 handle._mirror(original)
                 return
-            self._by_key[key] = handle
 
         if not isinstance(tx, Transaction):
             raise InvalidRequest(
@@ -217,12 +244,17 @@ class Gateway:
             raise InvalidRequest("transaction is unsigned (no tx_id/signature)")
 
         if self.limits.rate_limit > 0:
-            bucket = self._buckets.get(client_id)
+            # Re-insertion keeps the dict in recency order, so the cap
+            # evicts the least-recently-active client's bucket (an idle
+            # evictee simply starts over with a full burst allowance).
+            bucket = self._buckets.pop(client_id, None)
             if bucket is None:
+                while len(self._buckets) >= self.limits.max_clients:
+                    self._buckets.pop(next(iter(self._buckets)))
                 bucket = TokenBucket(
                     self.limits.rate_limit, self.limits.rate_burst, now=now
                 )
-                self._buckets[client_id] = bucket
+            self._buckets[client_id] = bucket
             if not bucket.take(now):
                 raise RateLimited(
                     f"client {client_id or '<anonymous>'} exceeded "
@@ -232,6 +264,12 @@ class Gateway:
         handle.tx_id = tx.tx_id
         handle.admitted_at = now
         self._enqueue(tx, chain_id, handle, park=self.limits.shed_policy == "block")
+        if key is not None:
+            # Bind only after admission succeeded: a shed or rejected
+            # request must not wedge its key, so a retry after a
+            # transient overload gets a fresh admission.
+            self._by_key[key] = handle
+            handle.on_done(lambda h: self._retire_key(self._by_key, key, h))
         tracer = self.telemetry.tracer
         if tracer.enabled and tx.meta:
             tracer.meta_event(tx.meta, "gateway.admit", chain=chain_id)
@@ -264,10 +302,30 @@ class Gateway:
         queue.append((tx, handle))
         handle.status = QUEUED
         self._m_admitted[chain_id].inc()
-        depth = len(queue)
+        self._note_depth(chain_id)
+
+    def _note_depth(self, chain_id: int) -> None:
+        """Record the current queue depth on the gauge and the
+        high-water mark (one helper so every path that grows a queue —
+        admission or parked-drain — keeps the audits honest)."""
+        depth = len(self._queues[chain_id])
         self._m_depth[chain_id].set(depth)
         if depth > self.peak_queue_depth[chain_id]:
             self.peak_queue_depth[chain_id] = depth
+
+    def _retire_key(self, table: Dict, key: Tuple[str, str], handle) -> None:
+        """Evict an idempotency record ``idempotency_retention`` seconds
+        after its handle resolved (0 retains forever).  The identity
+        check keeps a re-admission under the same key alive."""
+        retention = self.limits.idempotency_retention
+        if retention <= 0:
+            return
+
+        def evict() -> None:
+            if table.get(key) is handle:
+                del table[key]
+
+        self.node.sim.schedule(retention, evict)
 
     def _reject(self, handle: RequestHandle, error: GatewayError) -> None:
         self._metrics.counter("gateway_rejected_total", reason=error.code).inc()
@@ -289,11 +347,13 @@ class Gateway:
     # Micro-batch flushing
     # ------------------------------------------------------------------
 
-    def _flush_tick(self) -> None:
-        if not self._started:
-            return
+    def _flush_tick(self, epoch: int) -> None:
+        if not self._started or epoch != self._epoch:
+            return  # stopped, or a stale timer from before a restart
         self.flush()
-        self.node.sim.schedule(self.limits.flush_interval, self._flush_tick)
+        self.node.sim.schedule(
+            self.limits.flush_interval, lambda: self._flush_tick(epoch)
+        )
 
     def flush(self) -> int:
         """Pour one micro-batch per chain into the mempools; returns the
@@ -305,9 +365,11 @@ class Gateway:
             blocked = self._blocked[chain_id]
             # Drain the overflow lot into freed queue slots first:
             # parked requests precede fresh arrivals (FIFO overall).
-            while blocked and len(queue) < self.limits.max_queue_depth:
-                queue.append(blocked.popleft())
-                self._m_admitted[chain_id].inc()
+            if blocked:
+                while blocked and len(queue) < self.limits.max_queue_depth:
+                    queue.append(blocked.popleft())
+                    self._m_admitted[chain_id].inc()
+                self._note_depth(chain_id)
             chain = self.node.chains[chain_id]
             # End-to-end backpressure: never hold more than the headroom
             # worth of blocks pending in the mempool — the backlog must
@@ -327,9 +389,12 @@ class Gateway:
                     self._m_admitted[chain_id].inc()
                 else:
                     break
-                if handle.done:  # expired while queued
-                    continue
-                handle.status = SUBMITTED
+                if not handle.done:
+                    handle.status = SUBMITTED
+                # A handle that expired while queued is submitted
+                # anyway: its timeout promised "the transaction may
+                # still execute", and the late receipt is what a retry
+                # under the same idempotency key reattaches to.
                 chain.wait_for(tx.tx_id, lambda r, h=handle: self._resolve(h, r))
                 chain.submit(tx)
                 if tracer.enabled and tx.meta:
@@ -344,9 +409,13 @@ class Gateway:
         return submitted
 
     def _resolve(self, handle: RequestHandle, receipt: Receipt) -> None:
-        if handle.done:
-            return
         now = self.node.now
+        if handle.done:
+            if isinstance(handle.error, RequestTimeout):
+                # The deadline fired first but the transaction executed
+                # after all — record the receipt so retries reattach.
+                handle._record_late(receipt, now)
+            return
         if handle.admitted_at is not None:
             self._m_request_seconds.observe(now - handle.admitted_at)
         handle._resolve(receipt, now)
@@ -388,8 +457,6 @@ class Gateway:
             started_at=self.node.now,
         )
         handle = MoveHandle(phases, idempotency_key=idempotency_key)
-        if idempotency_key is not None:
-            self._move_by_key[(client_id, idempotency_key)] = handle
         try:
             source = self.node.chain(source_chain)
             target = self.node.chain(target_chain)
@@ -399,6 +466,20 @@ class Gateway:
             self._m_moves_failed.inc()
             handle._fail(error)
             return handle
+        if idempotency_key is not None:
+            move_key = (client_id, idempotency_key)
+            self._move_by_key[move_key] = handle
+
+            def retire_move(h: MoveHandle) -> None:
+                if h.error is not None:
+                    # Gateway-level failure (e.g. a mid-move shed):
+                    # release the key so a retry re-attempts the move.
+                    if self._move_by_key.get(move_key) is h:
+                        del self._move_by_key[move_key]
+                else:
+                    self._retire_key(self._move_by_key, move_key, h)
+
+            handle.on_done(retire_move)
         self._m_moves_started.inc()
 
         tracer = self.telemetry.tracer

@@ -49,6 +49,7 @@ class RequestHandle:
         self.admitted_at: Optional[float] = None
         self.resolved_at: Optional[float] = None
         self._callbacks: List[Callable[["RequestHandle"], None]] = []
+        self._late_callbacks: List[Callable[["RequestHandle"], None]] = []
 
     # -- observation ---------------------------------------------------
 
@@ -107,6 +108,27 @@ class RequestHandle:
         self.error = error
         self.resolved_at = now
         self._settle()
+
+    def _record_late(self, receipt: Receipt, now: Optional[float] = None) -> None:
+        """Attach the receipt that arrived *after* this handle already
+        failed with a timeout.  The handle stays FAILED (its caller saw
+        the typed error), but the receipt becomes observable and
+        idempotent retries reattach to it via :meth:`on_late_receipt`."""
+        if self.receipt is not None:
+            return
+        self.receipt = receipt
+        self.resolved_at = now
+        callbacks, self._late_callbacks = self._late_callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def on_late_receipt(self, callback: Callable[["RequestHandle"], None]) -> None:
+        """Invoke ``callback(handle)`` once a receipt is available for a
+        timed-out request (immediately if it already arrived)."""
+        if self.receipt is not None:
+            callback(self)
+            return
+        self._late_callbacks.append(callback)
 
     def _mirror(self, original: "RequestHandle") -> None:
         """Make this handle track ``original`` (idempotent retry: the

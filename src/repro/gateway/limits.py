@@ -50,6 +50,16 @@ class GatewayLimits:
     #: instant a queue is at bound; ``"block"`` parks the request in the
     #: bounded overflow lot and admits it as the queue drains
     shed_policy: str = "shed"
+    #: simulated seconds an idempotency record outlives its request's
+    #: resolution before eviction (0 retains forever).  This is the
+    #: replay window: a retry inside it deduplicates; outside it the
+    #: retry is a fresh admission.  Keeps the key table bounded on a
+    #: long-running gateway where every request carries a unique key.
+    idempotency_retention: float = 300.0
+    #: most per-client token buckets tracked at once; past it the
+    #: least-recently-active client's bucket is evicted (that client
+    #: simply starts over with a full burst allowance if it returns)
+    max_clients: int = 4096
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -83,6 +93,13 @@ class GatewayLimits:
             raise ConfigError(
                 f"shed_policy must be one of {SHED_POLICIES}, got {self.shed_policy!r}"
             )
+        if self.idempotency_retention < 0:
+            raise ConfigError(
+                "idempotency_retention must be >= 0 (0 retains forever), "
+                f"got {self.idempotency_retention}"
+            )
+        if self.max_clients < 1:
+            raise ConfigError(f"max_clients must be >= 1, got {self.max_clients}")
 
 
 class TokenBucket:

@@ -96,6 +96,8 @@ class Node:
                 )
         self._running = False
         self._cluster = None
+        #: bumped on every start(); stale tick timers check it and die
+        self._epoch = 0
 
     @classmethod
     def from_cluster(cls, cluster) -> "Node":
@@ -114,6 +116,7 @@ class Node:
         node.engines = list(cluster.engines)
         node._running = False
         node._cluster = cluster
+        node._epoch = 0
         return node
 
     # ------------------------------------------------------------------
@@ -130,10 +133,11 @@ class Node:
         return self._running
 
     def start(self) -> None:
-        """Begin block production (idempotent)."""
+        """Begin block production (idempotent, restart-safe)."""
         if self._running:
             return
         self._running = True
+        self._epoch += 1
         if self._cluster is not None:
             self._cluster.start()
         elif self.driver == "tendermint":
@@ -141,7 +145,7 @@ class Node:
                 engine.start()
         else:
             for chain in self.chains.values():
-                self._schedule_tick(chain)
+                self._schedule_tick(chain, self._epoch)
 
     def stop(self) -> None:
         """Halt block production (pending timers become no-ops)."""
@@ -152,14 +156,17 @@ class Node:
             for engine in self.engines:
                 engine.stop()
 
-    def _schedule_tick(self, chain: Chain) -> None:
-        self.sim.schedule(chain.params.block_interval, lambda: self._tick(chain))
+    def _schedule_tick(self, chain: Chain, epoch: int) -> None:
+        self.sim.schedule(chain.params.block_interval, lambda: self._tick(chain, epoch))
 
-    def _tick(self, chain: Chain) -> None:
-        if not self._running:
+    def _tick(self, chain: Chain, epoch: int) -> None:
+        if not self._running or epoch != self._epoch:
+            # Stopped, or a timer left pending across a stop()/start()
+            # cycle — without the epoch check a restart would leave two
+            # independent tick chains doubling block production.
             return
         chain.produce_block(self.sim.now, proposer=f"node-{chain.chain_id}")
-        self._schedule_tick(chain)
+        self._schedule_tick(chain, epoch)
 
     def run(self, until: Optional[float] = None) -> int:
         """Advance the simulator (see :meth:`Simulator.run`)."""

@@ -192,6 +192,82 @@ def test_idempotent_retry_after_resolution_gets_original_receipt():
     assert retry.result() is first.result()
 
 
+def test_shed_retry_with_same_key_is_readmitted():
+    node = make_node()
+    gateway = Gateway(node, GatewayLimits(max_queue_depth=1))
+    gateway.submit(transfer(), 1, client_id="a", idempotency_key="k1")
+    shed = gateway.submit(transfer(nonce=2), 1, client_id="a", idempotency_key="k2")
+    assert isinstance(shed.error, QueueFull)
+    gateway.flush()  # frees the queue slot, as the shed message promises
+    retry = gateway.submit(transfer(nonce=2), 1, client_id="a", idempotency_key="k2")
+    assert not retry.done  # fresh admission, not a mirror of the shed
+    gateway.flush()
+    node.chain(1).produce_block(5.0)
+    assert retry.ok
+
+
+def test_rate_limited_retry_with_same_key_is_readmitted():
+    node = make_node()
+    gateway = Gateway(node, GatewayLimits(rate_limit=1.0, rate_burst=1))
+    gateway.submit(transfer(), 1, client_id="a", idempotency_key="k1")
+    limited = gateway.submit(transfer(nonce=2), 1, client_id="a", idempotency_key="k2")
+    assert isinstance(limited.error, RateLimited)
+    node.sim.run(until=2.0)  # the bucket refills
+    retry = gateway.submit(transfer(nonce=2), 1, client_id="a", idempotency_key="k2")
+    assert not retry.done
+
+
+def test_timeout_retry_reattaches_to_eventual_receipt():
+    node = make_node()
+    gateway = Gateway(node, GatewayLimits(request_timeout=2.0))
+    first = gateway.submit(transfer(), 1, client_id="a", idempotency_key="k")
+    node.sim.run(until=5.0)  # never flushed: the deadline fires
+    assert isinstance(first.error, RequestTimeout)
+    retry = gateway.submit(transfer(nonce=9), 1, client_id="a", idempotency_key="k")
+    assert not retry.done
+    gateway.flush()  # the original transaction is still submitted...
+    node.chain(1).produce_block(node.now)
+    assert retry.ok  # ...and the retry resolves to its receipt
+    assert retry.result().tx_id == first.tx_id
+    assert first.receipt is retry.result()  # late receipt recorded on the original
+
+
+def test_timeout_retry_after_late_receipt_resolves_immediately():
+    node = make_node()
+    gateway = Gateway(node, GatewayLimits(request_timeout=2.0))
+    first = gateway.submit(transfer(), 1, client_id="a", idempotency_key="k")
+    node.sim.run(until=5.0)
+    gateway.flush()
+    node.chain(1).produce_block(node.now)
+    assert isinstance(first.error, RequestTimeout) and first.receipt is not None
+    retry = gateway.submit(transfer(nonce=9), 1, client_id="a", idempotency_key="k")
+    assert retry.ok
+    assert retry.result() is first.receipt
+
+
+def test_idempotency_records_evicted_after_retention():
+    node = make_node()
+    gateway = Gateway(node, GatewayLimits(idempotency_retention=10.0))
+    first = gateway.submit(transfer(), 1, client_id="a", idempotency_key="k")
+    gateway.flush()
+    node.chain(1).produce_block(1.0)
+    assert first.ok and ("a", "k") in gateway._by_key
+    node.sim.run(until=5.0)
+    assert ("a", "k") in gateway._by_key  # inside the replay window
+    node.sim.run(until=20.0)
+    assert ("a", "k") not in gateway._by_key  # evicted: table stays bounded
+    retry = gateway.submit(transfer(nonce=2), 1, client_id="a", idempotency_key="k")
+    assert retry.tx_id != first.tx_id  # outside the window: fresh admission
+
+
+def test_token_buckets_are_lru_capped():
+    node = make_node()
+    gateway = Gateway(node, GatewayLimits(rate_limit=100.0, max_clients=4))
+    for i in range(10):
+        gateway.submit(transfer(nonce=i), 1, client_id=f"c{i}")
+    assert set(gateway._buckets) == {"c6", "c7", "c8", "c9"}
+
+
 def test_idempotency_keys_are_scoped_per_client():
     node = make_node()
     gateway = Gateway(node)
@@ -248,6 +324,8 @@ def test_rejections_carry_machine_readable_dict():
         {"request_timeout": -5.0},
         {"mempool_headroom": 0},
         {"shed_policy": "panic"},
+        {"idempotency_retention": -1.0},
+        {"max_clients": 0},
     ],
 )
 def test_gateway_limits_validation(kwargs):
@@ -277,6 +355,38 @@ def test_chain_params_validation(kwargs):
 def test_chain_params_error_names_the_field():
     with pytest.raises(ConfigError, match="block_interval"):
         burrow_params(1, block_interval=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Restart safety
+# ----------------------------------------------------------------------
+
+
+def test_node_restart_does_not_double_block_production():
+    node = make_node(block_interval=1.0)
+    node.start()
+    node.run_for(5.0)
+    first_window = node.chain(1).height
+    assert first_window > 0
+    node.stop()  # a stale tick timer stays pending...
+    node.start()  # ...and must not spawn a second production loop
+    node.run_for(5.0)
+    assert node.chain(1).height - first_window == first_window
+
+
+def test_gateway_restart_keeps_single_flush_loop():
+    node = make_node()
+    gateway = Gateway(node)
+    times = []
+    inner = gateway.flush
+    gateway.flush = lambda: (times.append(node.now), inner())[1]
+    gateway.start()
+    node.run_for(1.0)
+    gateway.stop()
+    gateway.start()  # a stale flush timer is still pending
+    node.run_for(1.0)
+    # Two live loops would flush twice at the same simulated instant.
+    assert times and len(times) == len(set(times))
 
 
 # ----------------------------------------------------------------------
