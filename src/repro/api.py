@@ -75,6 +75,14 @@ from repro.crypto.keys import Address, KeyPair
 from repro.lang import AccountI, MovableContract, STokenI, require
 from repro.runtime import MapSlot, Slot, external, payable, register_contract, view
 
+# -- rebalancing control plane ----------------------------------------
+from repro.rebalance import (
+    RebalancePolicy,
+    Rebalancer,
+    ShardLoadView,
+    SignalPlane,
+)
+
 # -- observation and adversity ----------------------------------------
 from repro.faults.plan import FaultPlan
 from repro.telemetry import Telemetry
@@ -143,6 +151,11 @@ __all__ = [
     "Slot",
     "MapSlot",
     "require",
+    # rebalancing control plane
+    "SignalPlane",
+    "ShardLoadView",
+    "RebalancePolicy",
+    "Rebalancer",
     # observation and adversity
     "Telemetry",
     "FaultPlan",

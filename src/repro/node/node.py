@@ -96,6 +96,7 @@ class Node:
                 )
         self._running = False
         self._cluster = None
+        self._rebalancer = None
         #: bumped on every start(); stale tick timers check it and die
         self._epoch = 0
 
@@ -116,6 +117,7 @@ class Node:
         node.engines = list(cluster.engines)
         node._running = False
         node._cluster = cluster
+        node._rebalancer = None
         node._epoch = 0
         return node
 
@@ -146,15 +148,35 @@ class Node:
         else:
             for chain in self.chains.values():
                 self._schedule_tick(chain, self._epoch)
+        if self._rebalancer is not None:
+            self._rebalancer.start()
 
     def stop(self) -> None:
         """Halt block production (pending timers become no-ops)."""
         self._running = False
+        if self._rebalancer is not None:
+            self._rebalancer.stop()
         if self._cluster is not None:
             self._cluster.stop()
         else:
             for engine in self.engines:
                 engine.stop()
+
+    @property
+    def rebalancer(self):
+        """The attached :class:`~repro.rebalance.rebalancer.Rebalancer`,
+        if any."""
+        return self._rebalancer
+
+    def attach_rebalancer(self, rebalancer) -> None:
+        """Host a rebalancing control loop: it starts and stops with
+        block production.  Attaching while running starts it at once;
+        attaching None detaches (stopping the old one)."""
+        if self._rebalancer is not None and self._rebalancer is not rebalancer:
+            self._rebalancer.stop()
+        self._rebalancer = rebalancer
+        if rebalancer is not None and self._running:
+            rebalancer.start()
 
     def _schedule_tick(self, chain: Chain, epoch: int) -> None:
         self.sim.schedule(chain.params.block_interval, lambda: self._tick(chain, epoch))

@@ -1,0 +1,62 @@
+"""Autonomous Move-based rebalancing: the paper's future work, closed.
+
+The conclusion of *Smart Contracts on the Move* names "decentralized
+load balancing smart contracts for sharded blockchains" as the
+application the Move primitive enables.  This package is that control
+plane, split into the three layers docs/REBALANCING.md describes:
+
+* **signals** (:mod:`repro.rebalance.signals`) — one typed
+  :class:`LoadSignal` interface over every load statistic the system
+  already produces (block-fill utilization, per-contract tx/gas rates,
+  speculative-execution conflict rates, gateway queue depths), composed
+  into :class:`ShardLoadView` snapshots by a :class:`SignalPlane`;
+* **policy** (:mod:`repro.rebalance.policy`) — the
+  :class:`RebalancePolicy` engine: hysteresis (enter/exit thresholds),
+  per-contract and per-shard cooldown windows, hotness ranking and
+  in-flight-move accounting, with the deterministic owner-keyed
+  tiebreak that keeps the scheme decentralized;
+* **actuation** (:mod:`repro.rebalance.rebalancer`) — the
+  :class:`Rebalancer` driver: watches signals on the simulated clock,
+  issues Move transactions through the existing bridge/gateway
+  choreography, and records ``rebalance.*`` traces and ``rebalance_*``
+  metrics.
+
+``benchmarks/bench_ablation_rebalance.py`` closes the loop end to end:
+on a skewed SCoin workload, auto-rebalancing beats static hash
+partitioning on both throughput and p99 latency without thrashing.
+"""
+
+from repro.rebalance.policy import MoveDecision, RebalancePolicy
+from repro.rebalance.rebalancer import (
+    Rebalancer,
+    bridge_actuator,
+    gateway_actuator,
+)
+from repro.rebalance.signals import (
+    DEFAULT_WEIGHTS,
+    ConflictRateSignal,
+    ContractHotnessSignal,
+    GatewayQueueSignal,
+    LoadSignal,
+    ShardLoad,
+    ShardLoadView,
+    SignalPlane,
+    TxRateSignal,
+)
+
+__all__ = [
+    "LoadSignal",
+    "ShardLoad",
+    "ShardLoadView",
+    "SignalPlane",
+    "DEFAULT_WEIGHTS",
+    "ContractHotnessSignal",
+    "TxRateSignal",
+    "ConflictRateSignal",
+    "GatewayQueueSignal",
+    "MoveDecision",
+    "RebalancePolicy",
+    "Rebalancer",
+    "bridge_actuator",
+    "gateway_actuator",
+]

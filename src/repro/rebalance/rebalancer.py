@@ -1,0 +1,264 @@
+"""The actuation layer: a driver that closes the rebalancing loop.
+
+The :class:`Rebalancer` periodically samples a
+:class:`~repro.rebalance.signals.SignalPlane` on the simulated clock,
+asks a :class:`~repro.rebalance.policy.RebalancePolicy` what to do, and
+issues the resulting Moves through an *actuator* — a plain callable, so
+the same driver works over the raw :class:`~repro.ibc.bridge.IBCBridge`
+(:func:`bridge_actuator`), through the gateway's admission path
+(:func:`gateway_actuator`), or against workload-level relocation hooks
+(:meth:`~repro.workload.clients.ScoinWorkload.relocate_actuator`).
+
+Observability and failure handling:
+
+* every evaluation increments ``rebalance_ticks_total``; every issued
+  decision appends a plain-dict entry to :attr:`Rebalancer.decision_log`
+  (JSON-serializable — the byte-identical replay gate in CI compares
+  these), increments ``rebalance_decisions_total`` and opens a
+  ``rebalance.move`` trace carrying a ``rebalance.decide`` event;
+* outcomes land in ``rebalance_moves_total{status=ok|failed|timeout|
+  error|skipped}`` and close the trace; ``rebalance_inflight`` tracks
+  concurrent migrations;
+* a move that neither completes nor fails within ``move_timeout`` is
+  written off as ``timeout`` so the policy's in-flight table cannot
+  leak slots (a late completion after the write-off is ignored);
+* an actuator that *raises* is caught and recorded as ``error`` — a
+  broken actuation path degrades the control loop to observation, it
+  never crashes block production.
+
+Start/stop uses the same epoch-guarded timer pattern as
+:class:`~repro.node.node.Node` block production, so a stop()/start()
+cycle can never leave two concurrent tick chains running.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.crypto.keys import Address, KeyPair
+from repro.errors import ConfigError
+from repro.rebalance.policy import MoveDecision, RebalancePolicy
+from repro.rebalance.signals import SignalPlane
+from repro.telemetry import Telemetry
+
+#: issues one decision; must eventually call ``done(success)`` exactly once
+Actuator = Callable[[MoveDecision, Callable[[bool], None]], None]
+
+
+class Rebalancer:
+    """Watches the signal plane and autonomously issues Moves."""
+
+    def __init__(
+        self,
+        sim,
+        plane: SignalPlane,
+        policy: Optional[RebalancePolicy] = None,
+        actuator: Optional[Actuator] = None,
+        interval: float = 20.0,
+        move_timeout: float = 120.0,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        if interval <= 0:
+            raise ConfigError("interval must be positive")
+        if move_timeout <= 0:
+            raise ConfigError("move_timeout must be positive")
+        self.sim = sim
+        self.plane = plane
+        self.policy = policy if policy is not None else RebalancePolicy()
+        #: None = dry-run: decisions are logged (and cooldowns charged)
+        #: but no Move is issued — useful for observing a policy live.
+        self.actuator = actuator
+        self.interval = interval
+        self.move_timeout = move_timeout
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        metrics = self.telemetry.metrics
+        self._m_ticks = metrics.counter("rebalance_ticks_total")
+        self._m_decisions = metrics.counter("rebalance_decisions_total")
+        self._m_inflight = metrics.gauge("rebalance_inflight")
+        self._m_moves: Dict[str, Any] = {}
+        #: JSON-serializable record of every decision and its outcome —
+        #: the replay-determinism artifact.  Entries gain ``status`` and
+        #: ``finished_at`` when their move settles.
+        self.decision_log: List[Dict[str, Any]] = []
+        self._running = False
+        self._epoch = 0
+        self._ticks = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def ticks(self) -> int:
+        """Completed policy evaluations since construction."""
+        return self._ticks
+
+    def start(self) -> None:
+        """Begin periodic evaluation (idempotent, restart-safe)."""
+        if self._running:
+            return
+        self._running = True
+        self._epoch += 1
+        self._schedule(self._epoch)
+
+    def stop(self) -> None:
+        """Halt evaluation; in-flight moves still settle and report."""
+        self._running = False
+
+    def _schedule(self, epoch: int) -> None:
+        self.sim.schedule(self.interval, lambda: self._tick(epoch))
+
+    def _tick(self, epoch: int) -> None:
+        if not self._running or epoch != self._epoch:
+            return
+        self.evaluate()
+        self._schedule(epoch)
+
+    # ------------------------------------------------------------------
+    # One control-loop iteration (public so tests/benches can step it)
+    # ------------------------------------------------------------------
+
+    def evaluate(self) -> List[MoveDecision]:
+        """Sample → decide → actuate, once; returns the decisions."""
+        self._ticks += 1
+        self._m_ticks.inc()
+        now = self.sim.now
+        view = self.plane.sample(now)
+        decisions = self.policy.decide(view, now)
+        for decision in decisions:
+            self._issue(decision)
+        return decisions
+
+    def _issue(self, decision: MoveDecision) -> None:
+        entry: Dict[str, Any] = {
+            "tick": self._ticks,
+            "at": decision.decided_at,
+            "contract": decision.contract.hex,
+            "source": decision.source_shard,
+            "target": decision.target_shard,
+            "score": decision.score,
+            "pressure": decision.pressure,
+        }
+        self.decision_log.append(entry)
+        self._m_decisions.inc()
+        self.policy.note_issued(decision, decision.decided_at)
+        self._m_inflight.set(len(self.policy.inflight))
+        span = self.telemetry.tracer.start_trace(
+            "rebalance.move",
+            contract=decision.contract.hex,
+            source=decision.source_shard,
+            target=decision.target_shard,
+        )
+        span.event(
+            "rebalance.decide",
+            score=decision.score,
+            pressure=decision.pressure,
+        )
+        settled = [False]
+
+        def finish(success: bool, status: Optional[str] = None) -> None:
+            if settled[0]:
+                return  # late completion after a timeout write-off
+            settled[0] = True
+            outcome = status if status is not None else ("ok" if success else "failed")
+            entry["status"] = outcome
+            entry["finished_at"] = self.sim.now
+            self.policy.note_finished(decision.contract, success, self.sim.now)
+            self._m_inflight.set(len(self.policy.inflight))
+            counter = self._m_moves.get(outcome)
+            if counter is None:
+                counter = self.telemetry.metrics.counter(
+                    "rebalance_moves_total", status=outcome
+                )
+                self._m_moves[outcome] = counter
+            counter.inc()
+            span.end(status=outcome)
+
+        if self.actuator is None:
+            finish(False, status="skipped")
+            return
+        self.sim.schedule(
+            self.move_timeout, lambda: finish(False, status="timeout")
+        )
+        try:
+            self.actuator(decision, finish)
+        except Exception as exc:  # degrade, never crash the clock
+            span.event("rebalance.actuate_error", error=repr(exc))
+            finish(False, status="error")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def moves(self, status: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Settled decision-log entries, optionally by outcome status."""
+        settled = [e for e in self.decision_log if "status" in e]
+        if status is None:
+            return settled
+        return [e for e in settled if e["status"] == status]
+
+
+MoverFor = Callable[[Address], Optional[KeyPair]]
+
+
+def bridge_actuator(
+    bridge,
+    mover_for: MoverFor,
+    shard_to_chain: Callable[[int], int] = lambda index: index + 1,
+) -> Actuator:
+    """Actuate decisions over a raw :class:`~repro.ibc.bridge.IBCBridge`.
+
+    ``mover_for`` resolves the keypair authorized to move a contract
+    (its owner); returning None fails the decision gracefully — the
+    policy's cooldown then prevents an immediate retry.
+    """
+
+    def actuate(decision: MoveDecision, done: Callable[[bool], None]) -> None:
+        mover = mover_for(decision.contract)
+        if mover is None:
+            done(False)
+            return
+        bridge.move_contract(
+            mover,
+            decision.contract,
+            source_id=shard_to_chain(decision.source_shard),
+            target_id=shard_to_chain(decision.target_shard),
+            on_done=lambda phases: done(bool(phases.success)),
+        )
+
+    return actuate
+
+
+def gateway_actuator(
+    gateway,
+    mover_for: MoverFor,
+    shard_to_chain: Callable[[int], int] = lambda index: index + 1,
+    client_id: str = "rebalancer",
+) -> Actuator:
+    """Actuate decisions through the gateway's admission path.
+
+    Moves issued this way compete with client traffic for queue slots,
+    so under overload the control loop sheds before user requests do —
+    a gateway-level ``QueueFull`` lands in the handle and reports as a
+    failed move, not an exception.
+    """
+
+    def actuate(decision: MoveDecision, done: Callable[[bool], None]) -> None:
+        mover = mover_for(decision.contract)
+        if mover is None:
+            done(False)
+            return
+        handle = gateway.move(
+            mover,
+            decision.contract,
+            shard_to_chain(decision.source_shard),
+            shard_to_chain(decision.target_shard),
+            client_id=client_id,
+        )
+        handle.on_done(lambda h: done(h.ok))
+
+    return actuate

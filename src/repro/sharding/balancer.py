@@ -32,18 +32,40 @@ from repro.crypto.keys import Address
 
 
 class ShardLoadMonitor:
-    """Sliding-window utilization per shard, derived from headers/bodies."""
+    """Sliding-window utilization per shard, derived from headers/bodies.
 
-    def __init__(self, shards: Sequence[Chain], window_blocks: int = 10):
-        self.shards = list(shards)
+    Shards may be handed over at construction or registered late with
+    :meth:`register_shard` (a gateway fleet discovers its chains one by
+    one).  The monitor is also a
+    :class:`~repro.rebalance.signals.LoadSignal` — ``name`` is
+    ``"utilization"`` and :meth:`shard_values` reports the windowed
+    block-fill fraction per shard index — so it plugs straight into a
+    :class:`~repro.rebalance.signals.SignalPlane` without adapters.
+    """
+
+    name = "utilization"
+
+    def __init__(self, shards: Sequence[Chain] = (), window_blocks: int = 10):
         self.window_blocks = window_blocks
-        self._fills: List[Deque[int]] = [deque(maxlen=window_blocks) for _ in self.shards]
-        for index, shard in enumerate(self.shards):
-            shard.subscribe(
-                lambda block, _receipts, i=index: self._fills[i].append(
-                    len(block.transactions)
-                )
-            )
+        self.shards: List[Chain] = []
+        self._fills: List[Deque[int]] = []
+        for shard in shards:
+            self.register_shard(shard)
+
+    def register_shard(self, shard: Chain) -> int:
+        """Start monitoring one more chain; returns its shard index.
+
+        The window starts empty, so a late-registered shard reports 0.0
+        utilization until its first block lands — never stale data.
+        """
+        index = len(self.shards)
+        self.shards.append(shard)
+        fills: Deque[int] = deque(maxlen=self.window_blocks)
+        self._fills.append(fills)
+        shard.subscribe(
+            lambda block, _receipts: fills.append(len(block.transactions))
+        )
+        return index
 
     def utilization(self, shard_index: int) -> float:
         """Average block fill over the window, as a fraction of capacity."""
@@ -63,6 +85,16 @@ class ShardLoadMonitor:
         if not candidates:
             raise ValueError("no candidate shards")
         return min(candidates, key=self.utilization)
+
+    # -- LoadSignal protocol -------------------------------------------
+
+    def shard_values(self) -> Dict[int, float]:
+        """Windowed utilization per shard index (the signal view)."""
+        return {i: self.utilization(i) for i in range(len(self.shards))}
+
+    def contract_values(self) -> Dict[Address, float]:
+        """Block fill carries no per-contract attribution."""
+        return {}
 
 
 class LoadBalancingPolicy:

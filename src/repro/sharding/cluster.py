@@ -14,7 +14,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.chain.chain import Chain
 from repro.chain.params import burrow_params
-from repro.chain.tx import Transaction
+from repro.chain.tx import (
+    DeployPayload,
+    Move1Payload,
+    Move2Payload,
+    Transaction,
+)
 from repro.consensus.tendermint import TendermintEngine
 from repro.core.registry import ChainRegistry
 from repro.crypto.keys import Address
@@ -49,6 +54,10 @@ class ShardedCluster:
         self.registry = ChainRegistry()
         self.shards: List[Chain] = []
         self.engines: List[TendermintEngine] = []
+        #: contract address -> shard *index* of the active copy, kept
+        #: current from the block stream (deploys, Move1 departures,
+        #: Move2 arrivals) so lookups never scan every shard.
+        self._contract_index: Dict[Address, int] = {}
         for index in range(num_shards):
             params = burrow_params(
                 chain_id=index + 1,
@@ -62,6 +71,9 @@ class ShardedCluster:
             self.shards.append(chain)
             regions = self.latency_model.assign_regions(validators_per_shard, self.sim.rng)
             self.engines.append(TendermintEngine(self.sim, self.network, chain, regions))
+            chain.subscribe(
+                lambda block, receipts, i=index: self._index_block(i, block, receipts)
+            )
         connect_chains(self.shards)
 
     # ------------------------------------------------------------------
@@ -104,13 +116,101 @@ class ShardedCluster:
         shard = self.shards[shard_index]
         self.sim.schedule(CLIENT_SUBMIT_LATENCY, lambda: shard.submit(tx))
 
+    def _index_block(self, shard_index: int, block, receipts) -> None:
+        """Keep the contract→shard index current from one block.
+
+        Deploys land the new address here; a successful Move1 removes
+        the entry (the contract is in transit, no shard is active); a
+        successful Move2 lands it at the receiving shard.
+        """
+        for tx, receipt in zip(block.transactions, receipts):
+            if not receipt.success:
+                continue
+            payload = tx.payload
+            if isinstance(payload, Move1Payload):
+                self._contract_index.pop(payload.contract, None)
+            elif isinstance(payload, Move2Payload):
+                self._contract_index[payload.bundle.contract] = shard_index
+            elif isinstance(payload, DeployPayload):
+                value = receipt.return_value
+                if isinstance(value, Address):
+                    self._contract_index[value] = shard_index
+
     def locate_contract(self, address: Address) -> Optional[int]:
-        """Which shard holds the *active* copy of a contract, if any."""
-        for shard in self.shards:
-            location = shard.location_of(address)
-            if location == shard.chain_id:
-                return shard.chain_id - 1
+        """Shard *index* holding the active copy of a contract, if any.
+
+        O(1) via the block-stream index.  Contracts born outside the
+        indexed events (created by another contract mid-call, or funded
+        before the first subscription) fall back to a one-time scan and
+        are cached; from then on Move1/Move2 keep the entry current.  A
+        contract mid-move (between Move1 and Move2) has no active copy
+        and returns None.
+        """
+        cached = self._contract_index.get(address)
+        if cached is not None:
+            return cached
+        for index, shard in enumerate(self.shards):
+            if shard.location_of(address) == shard.chain_id:
+                self._contract_index[address] = index
+                return index
         return None
+
+    # ------------------------------------------------------------------
+    # Rebalancing control plane
+    # ------------------------------------------------------------------
+
+    def load_plane(self, weights=None, gateway=None):
+        """A :class:`~repro.rebalance.signals.SignalPlane` wired to this
+        cluster: block-fill utilization, per-contract hotness and
+        executor conflict rates for every shard (plus gateway queue
+        pressure when a gateway is given), locating contracts through
+        :meth:`locate_contract`."""
+        from repro.rebalance.signals import (
+            ConflictRateSignal,
+            ContractHotnessSignal,
+            GatewayQueueSignal,
+            SignalPlane,
+        )
+        from repro.sharding.balancer import ShardLoadMonitor
+
+        plane = SignalPlane(weights=weights, locate=self.locate_contract)
+        plane.attach(ShardLoadMonitor(self.shards))
+        hotness = ContractHotnessSignal()
+        conflict = ConflictRateSignal()
+        for index, shard in enumerate(self.shards):
+            hotness.watch(index, shard)
+            conflict.watch(index, shard)
+        plane.attach(hotness)
+        plane.attach(conflict)
+        if gateway is not None:
+            plane.attach(GatewayQueueSignal(gateway))
+        return plane
+
+    def auto_rebalancer(
+        self,
+        actuator=None,
+        policy=None,
+        interval: float = 20.0,
+        move_timeout: float = 120.0,
+        weights=None,
+        gateway=None,
+        telemetry=None,
+    ):
+        """A ready-to-start :class:`~repro.rebalance.rebalancer
+        .Rebalancer` over this cluster's signal plane."""
+        from repro.rebalance.rebalancer import Rebalancer
+
+        if telemetry is None and self.shards:
+            telemetry = self.shards[0].telemetry
+        return Rebalancer(
+            self.sim,
+            self.load_plane(weights=weights, gateway=gateway),
+            policy=policy,
+            actuator=actuator,
+            interval=interval,
+            move_timeout=move_timeout,
+            telemetry=telemetry,
+        )
 
     @property
     def total_blocks(self) -> int:

@@ -52,6 +52,10 @@ class _Client:
     busy: bool = False      # mid-move (oracle mode: not a valid target)
     pins: int = 0           # incoming transfers in flight (oracle mode)
     in_op: bool = False     # closed loop currently running for this client
+    think_time: float = 0.0  # pause between ops (skewed-load runs)
+    #: (target_shard, done) set by the rebalancing actuator; the client
+    #: executes it between ops, once incoming transfers drain
+    move_request: Optional[tuple] = None
 
 
 @dataclass
@@ -99,12 +103,24 @@ class ScoinWorkload:
         tokens_per_client: int = 1_000_000,
         seed: int = 7,
         placement: str = "hash",
+        hot_shard: Optional[int] = None,
+        background_think: float = 0.0,
     ):
         if placement not in ("hash", "home0"):
             raise ValueError("placement must be 'hash' or 'home0'")
+        if hot_shard is not None and not 0 <= hot_shard < cluster.num_shards:
+            raise ValueError("hot_shard out of range")
+        if background_think < 0.0:
+            raise ValueError("background_think must be non-negative")
         self.cluster = cluster
         self.cross_rate = cross_rate
         self.retry_mode = retry_mode
+        #: skewed-activity mode: clients hash-homed on ``hot_shard``
+        #: run flat out while every other client pauses
+        #: ``background_think`` seconds between ops — the "one popular
+        #: contract community" workload the rebalancing ablation uses.
+        self.hot_shard = hot_shard
+        self.background_think = background_think
         #: "hash" = the paper's hash partitioning; "home0" = leave every
         #: account on shard 0 (a deliberately skewed deployment for the
         #: load-balancing ablation)
@@ -119,6 +135,7 @@ class ScoinWorkload:
         ]
         self.token_owner = KeyPair.from_name("scoin-owner")
         self.token: Optional[Address] = None
+        self._by_account: Dict[Address, _Client] = {}
         self.report: Optional[WorkloadReport] = None
         self._measuring = False
         self._setup_done = False
@@ -147,6 +164,7 @@ class ScoinWorkload:
         def after_create(client: _Client, receipt) -> None:
             assert receipt.success, receipt.error
             client.account, _salt = receipt.return_value
+            self._by_account[client.account] = client
             mint = sign_transaction(
                 self.token_owner,
                 CallPayload(self.token, "mint_to", (client.account, self.tokens_per_client)),
@@ -169,6 +187,16 @@ class ScoinWorkload:
 
     def _place_accounts(self, on_ready) -> None:
         """Move every account to its hash-partitioned home shard."""
+        if self.hot_shard is not None:
+            for client in self.clients:
+                home = (
+                    self.cluster.shard_index_of(client.account)
+                    if self.placement == "hash"
+                    else 0
+                )
+                client.think_time = (
+                    0.0 if home == self.hot_shard else self.background_think
+                )
         movers = [
             c for c in self.clients
             if self.placement == "hash"
@@ -236,6 +264,42 @@ class ScoinWorkload:
             c.account: c.shard for c in self.clients if c.account is not None
         }
 
+    def client_for(self, account: Address) -> Optional[_Client]:
+        """The client owning ``account``, if it is one of ours."""
+        return self._by_account.get(account)
+
+    def mover_for(self, account: Address) -> Optional[KeyPair]:
+        """The keypair authorized to move ``account`` (for actuators)."""
+        client = self._by_account.get(account)
+        return client.keypair if client is not None else None
+
+    def relocate_actuator(self):
+        """An actuator for :class:`~repro.rebalance.rebalancer
+        .Rebalancer` that moves accounts via :meth:`relocate`, keeping
+        the client state machine consistent.  A busy (already-moving)
+        account fails the decision instead of racing it; an account in
+        its closed loop is moved *cooperatively* — a move request is
+        parked on the client, new transfers stop targeting it, and the
+        client executes the move between ops once its incoming pins
+        drain, resuming from the new shard afterwards.  The driver's
+        ``move_timeout`` covers a request the loop never reaches."""
+
+        def actuate(decision, done) -> None:
+            client = self._by_account.get(decision.contract)
+            if client is None or client.busy or client.move_request is not None:
+                done(False)
+                return
+
+            def on_moved(phases) -> None:
+                done(True if phases is None else bool(phases.success))
+
+            if client.in_op:
+                client.move_request = (decision.target_shard, on_moved)
+            else:
+                self.relocate(client.index, decision.target_shard, on_done=on_moved)
+
+        return actuate
+
     # ------------------------------------------------------------------
     # Measurement phase
     # ------------------------------------------------------------------
@@ -300,7 +364,11 @@ class ScoinWorkload:
             other = self.clients[self.rng.randrange(len(self.clients))]
             if other is client or other.account is None:
                 continue
-            if not self.retry_mode and other.busy:
+            if not self.retry_mode and (
+                other.busy or other.move_request is not None
+            ):
+                # Oracle mode: never target an account that is moving or
+                # about to — its pins must drain so the move can start.
                 continue
             if want_cross != (other.shard != client.shard):
                 continue
@@ -316,6 +384,33 @@ class ScoinWorkload:
     ) -> None:
         if self.cluster.sim.now >= getattr(self, "_measure_end", float("inf")):
             client.in_op = False
+            return
+        if client.busy:
+            # The account is mid-relocation (e.g. the rebalancer is
+            # moving it); starting a transfer from it now would only
+            # abort on the locked contract.  Wait the move out.
+            self.cluster.sim.schedule(
+                1.0, lambda: self._start_next_op(client, retries, started, want_cross)
+            )
+            return
+        if client.move_request is not None:
+            # The rebalancer asked for this account.  Yield the op slot:
+            # once the incoming transfers drain (nobody new targets a
+            # move-pending account), run the move, then resume the loop
+            # from the account's new home.
+            if client.pins > 0:
+                self.cluster.sim.schedule(
+                    1.0, lambda: self._start_next_op(client)
+                )
+                return
+            target_shard, on_moved = client.move_request
+            client.move_request = None
+
+            def after_move(phases) -> None:
+                on_moved(phases)
+                self._start_next_op(client)
+
+            self.relocate(client.index, target_shard, on_done=after_move)
             return
         client.in_op = True
         if want_cross is None:
@@ -412,7 +507,12 @@ class ScoinWorkload:
             else:
                 report.cross_shard_ops += 1
             report.retries_per_op.append(retries)
-        self._start_next_op(client)
+        if client.think_time > 0.0:
+            self.cluster.sim.schedule(
+                client.think_time, lambda: self._start_next_op(client)
+            )
+        else:
+            self._start_next_op(client)
 
     def _handle_failure(self, client, retries, started, want_cross) -> None:
         report = self.report

@@ -53,6 +53,11 @@ GOLDEN_SURFACE = sorted([
     "Slot",
     "MapSlot",
     "require",
+    # rebalancing control plane
+    "SignalPlane",
+    "ShardLoadView",
+    "RebalancePolicy",
+    "Rebalancer",
     # observation and adversity
     "Telemetry",
     "FaultPlan",

@@ -1,0 +1,214 @@
+"""Signal-layer tests: monitor registration, hotness, plane composition."""
+
+import pytest
+
+from repro.chain.tx import CallPayload, TransferPayload, sign_transaction
+from repro.crypto.keys import Address, KeyPair
+from repro.errors import ConfigError
+from repro.gateway import Gateway, GatewayLimits
+from repro.node import Node
+from repro.chain.params import burrow_params
+from repro.rebalance.signals import (
+    ConflictRateSignal,
+    ContractHotnessSignal,
+    GatewayQueueSignal,
+    LoadSignal,
+    SignalPlane,
+)
+from repro.sharding.balancer import ShardLoadMonitor
+from repro.sharding.cluster import ShardedCluster
+from tests.helpers import ALICE, ManualClock, StoreContract, deploy_store, produce
+
+
+def addr(n: int) -> Address:
+    return Address(bytes([n]) * 20)
+
+
+def load_shard(cluster, index, count, clock):
+    """Fill one block on a shard with ``count`` plain transfers."""
+    sender = KeyPair.from_name("signal-sender")
+    cluster.fund_all({sender.address: 1_000_000})
+    for _ in range(count):
+        cluster.shard(index).submit(
+            sign_transaction(sender, TransferPayload(to=addr(9), amount=1))
+        )
+    cluster.shard(index).produce_block(clock.tick())
+
+
+# ----------------------------------------------------------------------
+# ShardLoadMonitor: late registration + protocol conformance
+# ----------------------------------------------------------------------
+
+
+def test_monitor_accepts_late_shard_registration():
+    cluster = ShardedCluster(num_shards=2, seed=3, max_block_txs=10)
+    clock = ManualClock()
+    monitor = ShardLoadMonitor()  # no shards at construction
+    assert monitor.shard_values() == {}
+    assert monitor.register_shard(cluster.shard(0)) == 0
+    load_shard(cluster, 0, 8, clock)
+    assert monitor.utilization(0) == pytest.approx(0.8)
+    # A shard registered after blocks already flowed starts clean.
+    assert monitor.register_shard(cluster.shard(1)) == 1
+    assert monitor.utilization(1) == 0.0
+    load_shard(cluster, 1, 2, clock)
+    assert monitor.shard_values() == {
+        0: pytest.approx(0.8),
+        1: pytest.approx(0.2),
+    }
+
+
+def test_monitor_is_a_load_signal():
+    monitor = ShardLoadMonitor()
+    assert isinstance(monitor, LoadSignal)
+    assert monitor.name == "utilization"
+    assert monitor.contract_values() == {}
+
+
+# ----------------------------------------------------------------------
+# Per-contract hotness
+# ----------------------------------------------------------------------
+
+
+def test_hotness_ranks_contracts_and_feeds_metrics():
+    cluster = ShardedCluster(num_shards=1, seed=5, max_block_txs=50)
+    chain = cluster.shard(0)
+    clock = ManualClock()
+    hot_store = deploy_store(chain, clock, ALICE)
+    cold_store = deploy_store(chain, clock, ALICE)
+    signal = ContractHotnessSignal(window_blocks=4)
+    signal.watch(0, chain)
+    callers = [KeyPair.from_name(f"caller-{i}") for i in range(4)]
+    cluster.fund_all({kp.address: 1_000_000 for kp in callers})
+    for _round in range(4):
+        for i, kp in enumerate(callers):
+            chain.submit(
+                sign_transaction(kp, CallPayload(hot_store, "put", (i, 1)))
+            )
+        chain.submit(
+            sign_transaction(callers[0], CallPayload(cold_store, "put", (0, 1)))
+        )
+        produce(chain, clock)
+    values = signal.contract_values()
+    assert values[hot_store] > values[cold_store] > 0.0
+    assert signal.tx_rate(hot_store) == pytest.approx(4.0)
+    # The signal doubles as the per-contract metrics producer.
+    metrics = chain.telemetry.metrics
+    assert metrics.value(
+        "contract_txs_total", chain=chain.chain_id, contract=hot_store.hex
+    ) == 16
+    assert metrics.value(
+        "contract_gas_total", chain=chain.chain_id, contract=hot_store.hex
+    ) > 0
+
+
+def test_hotness_window_slides():
+    cluster = ShardedCluster(num_shards=1, seed=5, max_block_txs=50)
+    chain = cluster.shard(0)
+    clock = ManualClock()
+    store = deploy_store(chain, clock, ALICE)
+    signal = ContractHotnessSignal(window_blocks=2)
+    signal.watch(0, chain)
+    caller = KeyPair.from_name("slider")
+    cluster.fund_all({caller.address: 1_000_000})
+    chain.submit(sign_transaction(caller, CallPayload(store, "put", (1, 1))))
+    produce(chain, clock)
+    assert signal.tx_rate(store) > 0.0
+    # Two empty blocks push the activity out of the window entirely.
+    produce(chain, clock, count=2)
+    assert signal.tx_rate(store) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Plane composition
+# ----------------------------------------------------------------------
+
+
+class _StubSignal:
+    def __init__(self, name, shard_values, contract_values=None):
+        self.name = name
+        self._shard = shard_values
+        self._contract = contract_values or {}
+
+    def shard_values(self):
+        return self._shard
+
+    def contract_values(self):
+        return self._contract
+
+
+def test_plane_composes_weighted_pressure():
+    placement = {addr(1): 0}
+    plane = SignalPlane(
+        weights={"utilization": 1.0, "conflict": 0.5},
+        locate=placement.get,
+    )
+    plane.attach(_StubSignal("utilization", {0: 0.8, 1: 0.2}))
+    plane.attach(_StubSignal("conflict", {0: 0.4}, {addr(1): 3.0}))
+    view = plane.sample(now=12.0)
+    assert view.at == 12.0
+    assert view.pressure(0) == pytest.approx(0.8 + 0.5 * 0.4)
+    assert view.pressure(1) == pytest.approx(0.2)
+    assert view.pressure(99) == 0.0
+    assert view.shard_ids() == [0, 1]
+    assert view.coolest() == 1
+    assert view.contract_hotness == {addr(1): 3.0}
+    assert view.hottest_contracts(0) == [(addr(1), 3.0)]
+    assert view.hottest_contracts(1) == []
+
+
+def test_plane_rejects_duplicate_signal_names():
+    plane = SignalPlane()
+    plane.attach(_StubSignal("utilization", {}))
+    with pytest.raises(ConfigError):
+        plane.attach(_StubSignal("utilization", {}))
+    assert plane.signal_names() == ["utilization"]
+    assert plane.signal("utilization") is not None
+    assert plane.signal("missing") is None
+
+
+def test_cluster_load_plane_is_fully_wired():
+    cluster = ShardedCluster(num_shards=2, seed=3, max_block_txs=10)
+    clock = ManualClock()
+    plane = cluster.load_plane()
+    assert plane.signal_names() == ["utilization", "hotness", "conflict"]
+    store = deploy_store(cluster.shard(0), clock, ALICE)
+    caller = KeyPair.from_name("plane-caller")
+    cluster.fund_all({caller.address: 1_000_000})
+    for _round in range(4):
+        for key in range(8):
+            cluster.shard(0).submit(
+                sign_transaction(caller, CallPayload(store, "put", (key, 1)))
+            )
+        cluster.shard(0).produce_block(clock.tick())
+        cluster.shard(1).produce_block(clock.now)
+    view = plane.sample(cluster.sim.now)
+    assert view.pressure(0) > view.pressure(1)
+    assert view.contract_shard[store] == 0
+    assert view.hottest_contracts(0)[0][0] == store
+
+
+# ----------------------------------------------------------------------
+# Conflict and gateway signals
+# ----------------------------------------------------------------------
+
+
+def test_conflict_signal_is_zero_without_speculation():
+    cluster = ShardedCluster(num_shards=2, seed=3, executor_workers=0)
+    signal = ConflictRateSignal()
+    for index in range(2):
+        signal.watch(index, cluster.shard(index))
+    assert signal.shard_values() == {0: 0.0, 1: 0.0}
+
+
+def test_gateway_queue_signal_normalizes_depth():
+    node = Node([burrow_params(1), burrow_params(2, name="two")], seed=1)
+    gateway = Gateway(
+        node, GatewayLimits(max_queue_depth=10, max_blocked=10)
+    )
+    signal = GatewayQueueSignal(gateway)
+    # Default mapping: chain id - 1 (the cluster convention).
+    assert signal.shard_values() == {0: 0.0, 1: 0.0}
+    # Explicit mapping drops unmapped chains instead of guessing.
+    scoped = GatewayQueueSignal(gateway, chain_to_shard={2: 7})
+    assert scoped.shard_values() == {7: 0.0}
