@@ -83,6 +83,13 @@ from repro.rebalance import (
     SignalPlane,
 )
 
+# -- replication (read-only cross-chain mirrors) ----------------------
+from repro.replicate import (
+    Mirror,
+    ReplicationManager,
+    ReplicationRelay,
+)
+
 # -- observation and adversity ----------------------------------------
 from repro.faults.plan import FaultPlan
 from repro.telemetry import Telemetry
@@ -100,7 +107,9 @@ from repro.errors import (
     ProofError,
     QueueFull,
     RateLimited,
+    ReadOnlyReplicaError,
     ReplayError,
+    ReplicaUnavailable,
     ReproError,
     RequestTimeout,
     Revert,
@@ -156,6 +165,10 @@ __all__ = [
     "ShardLoadView",
     "RebalancePolicy",
     "Rebalancer",
+    # replication (read-only cross-chain mirrors)
+    "ReplicationManager",
+    "ReplicationRelay",
+    "Mirror",
     # observation and adversity
     "Telemetry",
     "FaultPlan",
@@ -177,4 +190,6 @@ __all__ = [
     "RequestTimeout",
     "UnknownChainError",
     "InvalidRequest",
+    "ReadOnlyReplicaError",
+    "ReplicaUnavailable",
 ]

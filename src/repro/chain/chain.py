@@ -95,6 +95,13 @@ class Chain:
         #: advances as produce_block prunes past the retention horizon
         self._snapshot_floor = 1
         self._listeners: List[BlockListener] = []
+        #: called after each *peer* header is ingested by the light
+        #: client — the replication relays' sync trigger (store first,
+        #: listener second, so a listener always sees the new head)
+        self._header_listeners: List[Callable[[BlockHeader], None]] = []
+        #: per-contract capture of storage deltas at block boundaries,
+        #: serving staleness-bounded replica updates (repro.replicate)
+        self._replication_logs: Dict[Address, Any] = {}
         self._waiters: Dict[str, List[Callable[[Receipt], None]]] = {}
         self._make_genesis()
 
@@ -221,6 +228,9 @@ class Chain:
 
         self._m_blocks.inc()
         self._m_block_txs.observe(len(txs))
+
+        if self._replication_logs:
+            self._capture_replication(height)
 
         post_root = self.state.commit()
         self._post_roots[height] = post_root
@@ -383,6 +393,121 @@ class Chain:
             self.state, current_height=self.height, min_age_blocks=min_age_blocks
         )
 
+    # ------------------------------------------------------------------
+    # Replication support (repro.replicate)
+    # ------------------------------------------------------------------
+
+    def enable_replication(self, address: Address):
+        """Start capturing per-block storage deltas for ``address`` so
+        replica updates can be served without the historical-root
+        restriction of :meth:`prove_contract_at` (which fails for hot
+        contracts).  Idempotent; returns the contract's
+        :class:`~repro.replicate.log.ReplicationLog`."""
+        from repro.replicate.log import ReplicationLog
+
+        log = self._replication_logs.get(address)
+        if log is None:
+            record = self.state.require_contract(address)
+            log = ReplicationLog(self.height, dict(record.storage))
+            self._replication_logs[address] = log
+        return log
+
+    def replication_log(self, address: Address):
+        """The contract's replication log, or None when not replicated."""
+        return self._replication_logs.get(address)
+
+    def disable_replication(self, address: Address) -> None:
+        """Stop capturing deltas for ``address`` (no-op if absent)."""
+        self._replication_logs.pop(address, None)
+
+    def _capture_replication(self, height: int) -> None:
+        """Record this block's storage changes for every replicated
+        contract — called just before ``state.commit()`` folds the
+        dirty sets away."""
+        horizon = (
+            height - self.params.snapshot_retention
+            if self.params.snapshot_retention > 0
+            else None
+        )
+        for address, log in self._replication_logs.items():
+            record = self.state.contract(address)
+            if record is None:
+                continue
+            changes = self.state.pending_storage_changes(address)
+            if changes is None:
+                # Wholesale replacement (Move2 load / GC wipe): rebase
+                # the log on the full post-block image.
+                log.rebase(height, dict(record.storage))
+            else:
+                log.append(height, changes)
+            if horizon is not None:
+                log.trim(horizon)
+
+    def build_replica_update(
+        self, address: Address, since: Optional[int] = None, upto: Optional[int] = None
+    ):
+        """Build a verifiable :class:`~repro.replicate.protocol.ReplicaUpdate`
+        bringing a mirror from the post-state of block ``since`` to the
+        post-state of block ``upto`` (default: the newest height whose
+        root a header already publishes).
+
+        ``since=None`` — or a ``since`` older than the log's retained
+        window — yields a full-image update; otherwise the update
+        carries only the slots written in ``(since, upto]``.  The
+        account proof is served from the retained tree snapshot at
+        ``upto``, exactly like a Move2 proof.
+        """
+        from repro.replicate.protocol import ReplicaUpdate
+
+        log = self._replication_logs.get(address)
+        if log is None:
+            raise ProofError(f"replication not enabled for {address}")
+        record = self.state.contract(address)
+        if record is None:
+            raise ProofError(f"no contract at {address}")
+        if upto is None:
+            upto = self.height - self.params.state_root_lag
+        tree = self._tree_snapshots.get(upto)
+        if tree is None:
+            raise ProofError(f"no state snapshot at height {upto}")
+        try:
+            account_proof = tree.prove(address.raw)
+        except KeyError:
+            raise ProofError(
+                f"contract not committed at height {upto} (created later?)"
+            ) from None
+        code = self.state.code_store.get(record.code_hash)
+        if code is None:
+            raise ProofError("contract code missing from the code store")
+        delta = None
+        if since is not None:
+            delta = log.delta_between(since, upto)
+        image = None if delta is not None else log.image_at(upto)
+        return ReplicaUpdate(
+            source_chain=self.chain_id,
+            contract=address,
+            state_height=upto,
+            proof_height=self.proof_header_height(upto),
+            since_height=since if delta is not None else None,
+            delta=delta,
+            image=image,
+            code=code,
+            account_proof=account_proof,
+        )
+
+    def subscribe_headers(self, listener: Callable[[BlockHeader], None]) -> None:
+        """Invoke ``listener(header)`` after each peer header lands in
+        this chain's light client (the store is updated first, so the
+        listener can immediately query confirmation state)."""
+        self._header_listeners.append(listener)
+
+    def unsubscribe_headers(self, listener: Callable[[BlockHeader], None]) -> None:
+        """Detach a header listener (no-op if absent)."""
+        try:
+            self._header_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _prune_expired_snapshots(self, head: int) -> None:
         """Bound snapshot/root retention to the configured horizon.
 
@@ -457,3 +582,5 @@ class Chain:
         tracer = self.telemetry.tracer
         if tracer.enabled and tracer.has_watches():
             tracer.header_accepted(self.chain_id, header.chain_id, header.height)
+        for listener in list(self._header_listeners):
+            listener(header)

@@ -31,7 +31,13 @@ from repro.core.move import apply_move1, apply_move2
 from repro.core.registry import ChainRegistry
 from repro.crypto.hashing import keccak
 from repro.crypto.keys import Address, contract_address, create2_address
-from repro.errors import ContractLocked, Revert, SpeculationUnsupported, TransactionAborted
+from repro.errors import (
+    ContractLocked,
+    ReadOnlyReplicaError,
+    Revert,
+    SpeculationUnsupported,
+    TransactionAborted,
+)
 from repro.runtime.context import BlockEnv
 from repro.runtime.registry import lookup_code
 from repro.runtime.runtime import Runtime
@@ -284,6 +290,11 @@ class TransactionExecutor:
             # Bytecode calls may always mutate, so the Move lock blocks
             # every call to a moved-away contract.
             if state.is_locked(payload.target):
+                if state.is_mirror(payload.target):
+                    raise ReadOnlyReplicaError(
+                        f"contract {payload.target} is a read-only replica "
+                        f"of chain {record.location}"
+                    )
                 raise ContractLocked(
                     f"contract {payload.target} moved to chain {record.location}"
                 )

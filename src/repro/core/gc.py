@@ -60,6 +60,8 @@ def collect_stale_contracts(
     for address, record in state.contracts.items():
         if record.location == state.chain_id:
             continue  # active here — never collect
+        if state.is_mirror(address):
+            continue  # live replicated state, not a stale relic
         if not record.storage:
             continue  # already collected (or stateless)
         if (

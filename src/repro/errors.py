@@ -185,3 +185,30 @@ class InvalidRequest(GatewayError):
     clients only ever see :class:`ReproError` subclasses)."""
 
     code = "invalid_request"
+
+
+class ReadOnlyReplicaError(ContractLocked, GatewayError):
+    """A write targeted a read-only replica (mirror) of a contract.
+
+    Mirrors extend the paper's single-mutability invariant I1: a mirror
+    is *never* the active copy, so any mutating call against one is a
+    protocol violation rather than a transient condition.  Derives from
+    :class:`ContractLocked` (inside a block it aborts the transaction
+    like any write against a non-active copy) and from
+    :class:`GatewayError` (at the serving boundary it is a typed
+    rejection carrying a machine-readable code)."""
+
+    code = "read_only_replica"
+
+
+class ReplicaUnavailable(GatewayError):
+    """A read targeted a replica that cannot currently serve.
+
+    Raised when a mirror is halted (its last verified update sits on a
+    branch the local light client no longer considers canonical),
+    tombstoned (the source contract is mid-move or moved away), or has
+    not completed its initial sync.  Replicas fail *unavailable*, never
+    stale: a reader that cannot be given state within the staleness
+    bound gets this typed error instead of orphaned or torn data."""
+
+    code = "replica_unavailable"

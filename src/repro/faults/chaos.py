@@ -92,6 +92,12 @@ class ChaosReport:
     deep_reorgs_detected: int = 0
     messages_dropped: int = 0
     messages_duplicated: int = 0
+    # replication (``replicate=True`` runs only)
+    replica_updates: int = 0
+    replica_halts: int = 0
+    replica_tombstones: int = 0
+    replica_rehomes: int = 0
+    replica_checks: int = 0
 
 
 @dataclass
@@ -163,6 +169,9 @@ class ChaosWorld:
             _Actor(keypair=KeyPair.from_name(f"chaos-{seed}-actor-{i}"))
             for i in range(actors)
         ]
+        #: contracts the workload deploys but never moves (token,
+        #: registry, partner cats) — replication targets under chaos
+        self.stationary: List[Address] = []
         self.owner = KeyPair.from_name(f"chaos-{seed}-owner")
         funds = {kp.address: 10**12 for kp in [self.owner] + [a.keypair for a in self.actors]}
         for chain in all_chains:
@@ -305,6 +314,7 @@ def _scoin_setup(world: ChaosWorld, on_ready: Callable[[int], None]) -> None:
     def after_deploy(receipt) -> None:
         assert receipt.success, receipt.error
         token = receipt.return_value
+        world.stationary.append(token)
         for actor in world.actors:
             world.run_tx(
                 home,
@@ -381,6 +391,7 @@ def _kitties_setup(world: ChaosWorld, on_ready: Callable[[int], None]) -> None:
     def after_deploy(receipt) -> None:
         assert receipt.success, receipt.error
         registry = receipt.return_value
+        world.stationary.append(registry)
         for actor in world.actors:
             for which in ("roamer", "partner"):
                 world.run_tx(
@@ -460,6 +471,76 @@ _WORKLOADS = {
 
 
 # ----------------------------------------------------------------------
+# Replication under chaos (``run_chaos(..., replicate=True)``)
+# ----------------------------------------------------------------------
+
+
+class _ReplicationHost:
+    """The narrow node surface a ReplicationManager needs, over a
+    ChaosWorld (chains + sim + telemetry, no block-production driver)."""
+
+    def __init__(self, world: ChaosWorld):
+        self.chains = world.chains
+        self.sim = world.sim
+        self.telemetry = world.telemetry
+
+    def chain(self, chain_id: int) -> Chain:
+        return self.chains[chain_id]
+
+
+def _attach_replication(world: ChaosWorld):
+    """Build (but do not yet populate) a replication manager over the
+    chaos world's chains."""
+    from repro.replicate.manager import ReplicationManager
+
+    manager = ReplicationManager(_ReplicationHost(world), telemetry=world.telemetry)
+    manager.start()
+    return manager
+
+
+def _check_replicas(world: ChaosWorld, manager) -> None:
+    """The replication safety invariant, asserted at every block:
+
+    a ``LIVE`` mirror (a) was verified against a header that is still on
+    the canonical branch of the source as the target sees it, and (b)
+    serves exactly the storage image the source committed at the
+    mirror's synced height — never a fork-only or torn intermediate
+    state.  Halted/tombstoned mirrors are unavailable by construction
+    (their replicated storage is wiped), so passing here means no
+    orphaned state is reachable through any read path.
+    """
+    from repro.chain.lightclient import ForkAwareHeaderStore
+    from repro.errors import InvariantViolation
+
+    for (source_id, target_id), relay in manager._relays.items():
+        source = world.chains[source_id]
+        target = world.chains[target_id]
+        store = target.light_client.store_for(source_id)
+        for contract, mirror in relay.mirrors.items():
+            if not mirror.available:
+                continue
+            world.report.replica_checks += 1
+            if (
+                mirror.applied_header is not None
+                and isinstance(store, ForkAwareHeaderStore)
+                and not store.is_canonical(mirror.applied_header)
+            ):
+                raise InvariantViolation(
+                    f"LIVE mirror of {contract} on chain {target_id} rests "
+                    f"on an orphaned chain-{source_id} header at height "
+                    f"{mirror.applied_header.height}"
+                )
+            log = source.replication_log(contract)
+            if log is not None and log.base_height <= mirror.synced_height <= log.head_height:
+                expected = log.image_at(mirror.synced_height)
+                if mirror.image != expected:
+                    raise InvariantViolation(
+                        f"mirror of {contract} on chain {target_id} serves "
+                        f"a torn image at height {mirror.synced_height}"
+                    )
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
@@ -474,6 +555,7 @@ def run_chaos(
     check_roots: bool = True,
     telemetry: Optional[Telemetry] = None,
     executor_workers: int = 0,
+    replicate: bool = False,
 ) -> ChaosReport:
     """One fully seeded chaos run; raises
     :class:`~repro.errors.InvariantViolation` on the first unsafe block.
@@ -485,6 +567,14 @@ def run_chaos(
     not change any observable outcome (the parallel-determinism
     property tests re-run the seed matrix at several worker counts and
     compare these reports field by field).
+
+    ``replicate=True`` mirrors every actor contract onto the opposite
+    workload chain through a
+    :class:`~repro.replicate.manager.ReplicationManager` and re-asserts
+    the replication safety invariant (:func:`_check_replicas`) at every
+    block: a serving mirror never rests on an orphaned header and never
+    serves a torn image — it rolls back with the source or halts.
+    Moves then also exercise the tombstone/re-home path under faults.
     """
     if workload not in _WORKLOADS:
         raise ValueError(f"unknown workload {workload!r}")
@@ -524,9 +614,28 @@ def run_chaos(
     )
     injector.apply(plan)
 
+    manager = _attach_replication(world) if replicate else None
+    if manager is not None:
+
+        def on_block(_block, _receipts) -> None:
+            _check_replicas(world, manager)
+
+        for chain_id in WORKLOAD_CHAINS:
+            world.chains[chain_id].subscribe(on_block)
+
     def on_ready(total_supply: int) -> None:
         if total_supply:
             checker.expected_token_supply = total_supply
+        if manager is not None:
+            home, away = WORKLOAD_CHAINS
+            # Stationary contracts (token/registry) are the realistic
+            # replicas: hot, read-dominated, never moving.  The roaming
+            # actor contracts ride along to chaos-test the
+            # tombstone-on-move and re-home paths.
+            for contract in world.stationary:
+                manager.replicate(contract, home, [away])
+            for actor in world.actors:
+                manager.replicate(actor.contract, home, [away])
         for actor in world.actors:
             step(world, actor)
 
@@ -534,6 +643,13 @@ def run_chaos(
     setup(world, on_ready)
     world.sim.run(until=duration)
     checker.final_check()
+    if manager is not None:
+        _check_replicas(world, manager)
+        report.replica_rehomes = manager.rehomes
+        for relay in manager._relays.values():
+            report.replica_updates += relay.updates
+            report.replica_halts += relay.halts
+            report.replica_tombstones += relay.tombstones
 
     report.injected = dict(injector.injected)
     report.blocks = {cid: chain.height for cid, chain in world.chains.items()}

@@ -50,6 +50,8 @@ from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
 
 from repro.chain.chain import Chain
 from repro.chain.tx import (
+    BytecodeCallPayload,
+    CallPayload,
     Move1Payload,
     Move2Payload,
     Transaction,
@@ -57,11 +59,13 @@ from repro.chain.tx import (
 )
 from repro.crypto.keys import Address, KeyPair
 from repro.errors import (
+    CodeNotFound,
     GatewayError,
     InvalidRequest,
     ProofError,
     QueueFull,
     RateLimited,
+    ReadOnlyReplicaError,
     ReproError,
     RequestTimeout,
 )
@@ -242,6 +246,7 @@ class Gateway:
             )
         if not tx.tx_id or not tx.signature:
             raise InvalidRequest("transaction is unsigned (no tx_id/signature)")
+        self._check_mirror_write(tx, chain)
 
         if self.limits.rate_limit > 0:
             # Re-insertion keeps the dict in recency order, so the cap
@@ -278,6 +283,46 @@ class Gateway:
                 self.limits.request_timeout,
                 lambda: self._expire(handle),
             )
+
+    def _check_mirror_write(self, tx: Transaction, chain: Chain) -> None:
+        """Reject writes against read-only replicas at admission.
+
+        Execution would abort them anyway (the runtime raises the same
+        :class:`ReadOnlyReplicaError` in-block), but failing fast at the
+        front door keeps a doomed transaction out of the queues and
+        gives the client the typed rejection immediately.  View-method
+        calls pass — mirrors exist to serve reads.
+        """
+        payload = tx.payload
+        if isinstance(payload, CallPayload):
+            target = payload.target
+            if not chain.state.is_mirror(target):
+                return
+            from repro.runtime.registry import lookup_code
+
+            record = chain.state.contract(target)
+            try:
+                fn = getattr(lookup_code(record.code_hash), payload.method, None)
+            except CodeNotFound:
+                fn = None
+            if fn is not None and getattr(fn, "_is_view", False):
+                return  # reads are what replicas are for
+        elif isinstance(payload, BytecodeCallPayload):
+            if not chain.state.is_mirror(payload.target):
+                return
+            target = payload.target
+        elif isinstance(payload, Move1Payload):
+            if not chain.state.is_mirror(payload.contract):
+                return
+            target = payload.contract
+        else:
+            return
+        record = chain.state.contract(target)
+        source = record.location if record is not None else "?"
+        raise ReadOnlyReplicaError(
+            f"contract {target} on chain {chain.chain_id} is a read-only "
+            f"replica of chain {source}; submit writes to the active copy"
+        )
 
     def _enqueue(
         self, tx: Transaction, chain_id: int, handle: RequestHandle, park: bool
@@ -597,6 +642,36 @@ class Gateway:
         tracer.inject(live["span"], move1.meta)
         admit_internal(source_chain, move1, after_move1)
         return handle
+
+    # ------------------------------------------------------------------
+    # Reads (replica-routed when a replication manager is attached)
+    # ------------------------------------------------------------------
+
+    def view(
+        self,
+        chain_id: int,
+        target: Address,
+        method: str,
+        *args,
+        fallback: bool = True,
+    ):
+        """Serve a read-only query, preferring the copy on ``chain_id``.
+
+        With a replication manager attached
+        (:meth:`~repro.node.node.Node.attach_replication`), the read
+        routes to the nearest usable copy — the active contract on
+        ``chain_id``, else a ``LIVE`` replica there, else (with
+        ``fallback``) the active copy wherever it lives; a replica that
+        cannot serve raises a typed
+        :class:`~repro.errors.ReplicaUnavailable`, never stale state.
+        Without a manager this is exactly ``node.view``.
+        """
+        manager = self.node.replication
+        if manager is None:
+            return self.node.view(chain_id, target, method, *args)
+        return manager.read(
+            target, method, *args, prefer_chain=chain_id, fallback=fallback
+        )
 
     @staticmethod
     def _when_height(chain: Chain, height: int, action: Callable[[], None]) -> None:

@@ -39,6 +39,9 @@ from repro.telemetry import Telemetry
 #: block-production drivers a node can run
 DRIVERS = ("timer", "tendermint")
 
+#: sentinel distinguishing "build a default manager" from "detach"
+_BUILD = object()
+
 
 class Node:
     """One runtime serving a set of chains from a shared simulator."""
@@ -97,6 +100,7 @@ class Node:
         self._running = False
         self._cluster = None
         self._rebalancer = None
+        self._replication = None
         #: bumped on every start(); stale tick timers check it and die
         self._epoch = 0
 
@@ -118,6 +122,7 @@ class Node:
         node._running = False
         node._cluster = cluster
         node._rebalancer = None
+        node._replication = None
         node._epoch = 0
         return node
 
@@ -150,12 +155,16 @@ class Node:
                 self._schedule_tick(chain, self._epoch)
         if self._rebalancer is not None:
             self._rebalancer.start()
+        if self._replication is not None:
+            self._replication.start()
 
     def stop(self) -> None:
         """Halt block production (pending timers become no-ops)."""
         self._running = False
         if self._rebalancer is not None:
             self._rebalancer.stop()
+        if self._replication is not None:
+            self._replication.stop()
         if self._cluster is not None:
             self._cluster.stop()
         else:
@@ -177,6 +186,32 @@ class Node:
         self._rebalancer = rebalancer
         if rebalancer is not None and self._running:
             rebalancer.start()
+
+    @property
+    def replication(self):
+        """The attached
+        :class:`~repro.replicate.manager.ReplicationManager`, if any."""
+        return self._replication
+
+    def attach_replication(self, manager=_BUILD):
+        """Host a replication manager: its relays start and stop with
+        block production.  With no argument, the existing manager is
+        returned (a fresh
+        :class:`~repro.replicate.manager.ReplicationManager` is built
+        over this node on first use); attaching None detaches, stopping
+        the old one.  Returns the attached manager."""
+        if manager is _BUILD:
+            if self._replication is not None:
+                return self._replication
+            from repro.replicate.manager import ReplicationManager
+
+            manager = ReplicationManager(self)
+        if self._replication is not None and self._replication is not manager:
+            self._replication.stop()
+        self._replication = manager
+        if manager is not None and self._running:
+            manager.start()
+        return manager
 
     def _schedule_tick(self, chain: Chain, epoch: int) -> None:
         self.sim.schedule(chain.params.block_interval, lambda: self._tick(chain, epoch))

@@ -31,6 +31,7 @@ from repro.rebalance.rebalancer import (
     Rebalancer,
     bridge_actuator,
     gateway_actuator,
+    replication_actuator,
 )
 from repro.rebalance.signals import (
     DEFAULT_WEIGHTS,
@@ -59,4 +60,5 @@ __all__ = [
     "Rebalancer",
     "bridge_actuator",
     "gateway_actuator",
+    "replication_actuator",
 ]

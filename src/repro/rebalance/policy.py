@@ -46,7 +46,14 @@ from repro.rebalance.signals import ShardLoadView
 
 @dataclass(frozen=True)
 class MoveDecision:
-    """One autonomous 'move this contract' verdict."""
+    """One autonomous rebalancing verdict for a contract.
+
+    ``action`` selects the mechanism: ``"move"`` migrates the contract
+    to the target shard (the Move protocol), ``"replicate"`` leaves it
+    in place and puts a read-only replica on the target shard instead —
+    the right call for a contract whose heat is read traffic that a
+    mirror can serve (``docs/REPLICATION.md``).
+    """
 
     contract: Address
     source_shard: int
@@ -56,6 +63,8 @@ class MoveDecision:
     #: the source shard's composite pressure at decision time
     pressure: float
     decided_at: float
+    #: ``"move"`` (relocate the active copy) or ``"replicate"``
+    action: str = "move"
 
 
 def spread_target(contract: Address, candidates: Sequence[int]) -> int:
@@ -85,6 +94,7 @@ class RebalancePolicy:
         max_moves_per_tick: int = 4,
         max_inflight: int = 8,
         min_score: float = 0.0,
+        replicate_read_ratio: float = 0.0,
     ):
         if not 0.0 < hot_enter:
             raise ConfigError("hot_enter must be positive")
@@ -98,6 +108,8 @@ class RebalancePolicy:
             raise ConfigError("max_moves_per_tick must be at least 1")
         if max_inflight < 1:
             raise ConfigError("max_inflight must be at least 1")
+        if replicate_read_ratio < 0.0:
+            raise ConfigError("replicate_read_ratio must be non-negative")
         self.hot_enter = hot_enter
         self.hot_exit = hot_exit
         self.min_gap = min_gap
@@ -106,6 +118,13 @@ class RebalancePolicy:
         self.max_moves_per_tick = max_moves_per_tick
         self.max_inflight = max_inflight
         self.min_score = min_score
+        #: the replicate-vs-move arm: a hot contract whose replica-read
+        #: rate is at least this multiple of its (write) hotness score
+        #: is *replicated* to the target shard instead of moved — reads
+        #: fan out to the mirror while writes stay put.  0.0 disables
+        #: the arm (every decision is a move, the pre-replication
+        #: behavior).
+        self.replicate_read_ratio = replicate_read_ratio
         #: hysteresis latch per shard
         self._hot: Dict[int, bool] = {}
         #: contract -> simulated time before which it may not move again
@@ -189,6 +208,7 @@ class RebalancePolicy:
                         score=score,
                         pressure=pressure,
                         decided_at=now,
+                        action=self._pick_action(view, contract, score),
                     )
                 )
                 budget -= 1
@@ -196,6 +216,29 @@ class RebalancePolicy:
             if issued_here and self.shard_cooldown > 0.0:
                 self._shard_cooldown_until[shard] = now + self.shard_cooldown
         return decisions
+
+    def _pick_action(
+        self, view: ShardLoadView, contract: Address, score: float
+    ) -> str:
+        """Replicate-vs-move: a read-dominated hot contract is cheaper
+        to mirror than to migrate.
+
+        The hotness score measures transaction (write) demand from the
+        block stream; ``view.contract_read_rate`` carries replica-served
+        reads/second.  When reads outweigh writes by at least
+        ``replicate_read_ratio``, moving the contract would just chase
+        its readers — a replica on the cool shard absorbs them instead,
+        within the staleness bound.  Deterministic: a pure function of
+        the view, like every other decision input.
+        """
+        if self.replicate_read_ratio <= 0.0:
+            return "move"
+        read_rate = view.contract_read_rate.get(contract, 0.0)
+        if read_rate <= 0.0:
+            return "move"
+        if read_rate >= self.replicate_read_ratio * max(score, 1e-9):
+            return "replicate"
+        return "move"
 
     def _update_latches(self, view: ShardLoadView) -> None:
         for shard in view.shard_ids():

@@ -142,6 +142,7 @@ class Rebalancer:
             "target": decision.target_shard,
             "score": decision.score,
             "pressure": decision.pressure,
+            "action": decision.action,
         }
         self.decision_log.append(entry)
         self._m_decisions.inc()
@@ -152,6 +153,7 @@ class Rebalancer:
             contract=decision.contract.hex,
             source=decision.source_shard,
             target=decision.target_shard,
+            action=decision.action,
         )
         span.event(
             "rebalance.decide",
@@ -260,5 +262,41 @@ def gateway_actuator(
             client_id=client_id,
         )
         handle.on_done(lambda h: done(h.ok))
+
+    return actuate
+
+
+def replication_actuator(
+    manager,
+    move_actuator: Optional[Actuator] = None,
+    shard_to_chain: Callable[[int], int] = lambda index: index + 1,
+) -> Actuator:
+    """Actuate the policy's replicate-vs-move arm.
+
+    ``"replicate"`` decisions place a read-only mirror of the contract
+    on the target shard through a
+    :class:`~repro.replicate.manager.ReplicationManager` (the contract's
+    active copy stays put; the relay syncs the mirror asynchronously).
+    ``"move"`` decisions delegate to ``move_actuator`` — typically
+    :func:`bridge_actuator` or :func:`gateway_actuator` — or fail
+    gracefully when none is wired (the cooldown then throttles retries,
+    same as a mover-less bridge actuation).
+    """
+
+    def actuate(decision: MoveDecision, done: Callable[[bool], None]) -> None:
+        if decision.action != "replicate":
+            if move_actuator is None:
+                done(False)
+                return
+            move_actuator(decision, done)
+            return
+        source_id = shard_to_chain(decision.source_shard)
+        target_id = shard_to_chain(decision.target_shard)
+        try:
+            manager.replicate(decision.contract, source_id, [target_id])
+        except Exception:
+            done(False)
+            return
+        done(True)
 
     return actuate

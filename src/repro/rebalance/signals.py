@@ -105,11 +105,16 @@ class ShardLoadView:
         shards: Dict[int, ShardLoad],
         contract_hotness: Optional[Dict[Address, float]] = None,
         contract_shard: Optional[Dict[Address, int]] = None,
+        contract_read_rate: Optional[Dict[Address, float]] = None,
     ):
         self.at = at
         self.shards = shards
         self.contract_hotness = contract_hotness or {}
         self.contract_shard = contract_shard or {}
+        #: replica-served reads/second per contract (from the replication
+        #: manager's windowed counters) — feeds the policy's
+        #: replicate-vs-move arm; empty when no read provider is wired.
+        self.contract_read_rate = contract_read_rate or {}
 
     def pressure(self, shard: int) -> float:
         """Composite pressure of a shard (0.0 when unknown)."""
@@ -155,11 +160,16 @@ class SignalPlane:
         self,
         weights: Optional[Mapping[str, float]] = None,
         locate: Optional[Callable[[Address], Optional[int]]] = None,
+        read_rates: Optional[Callable[[], Mapping[Address, float]]] = None,
     ):
         self.weights: Dict[str, float] = dict(DEFAULT_WEIGHTS)
         if weights:
             self.weights.update(weights)
         self._locate = locate
+        #: optional provider of per-contract replica-read rates (e.g.
+        #: ``ReplicationManager.read_rates``) — sampled into each view
+        #: for the policy's replicate-vs-move arm.
+        self._read_rates = read_rates
         self._signals: List[LoadSignal] = []
 
     def attach(self, signal: LoadSignal) -> LoadSignal:
@@ -203,11 +213,15 @@ class SignalPlane:
                 location = self._locate(address)
                 if location is not None:
                     contract_shard[address] = location
+        read_rate: Dict[Address, float] = {}
+        if self._read_rates is not None:
+            read_rate = dict(self._read_rates())
         return ShardLoadView(
             at=now,
             shards=shards,
             contract_hotness=hotness,
             contract_shard=contract_shard,
+            contract_read_rate=read_rate,
         )
 
 

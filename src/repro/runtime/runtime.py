@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Optional, Tuple, Type
 
 from repro.crypto.keys import Address, contract_address, create2_address
-from repro.errors import ContractLocked, Revert
+from repro.errors import ContractLocked, ReadOnlyReplicaError, Revert
 from repro.runtime.context import BlockEnv, Msg, TxContext
 from repro.runtime.contract import Contract
 from repro.runtime.registry import code_for, lookup_code
@@ -135,6 +135,11 @@ class Runtime:
             raise Revert(f"{cls.__name__} has no external method {method!r}")
         is_view = getattr(fn, "_is_view", False)
         if self.state.is_locked(target) and not is_view:
+            if self.state.is_mirror(target):
+                raise ReadOnlyReplicaError(
+                    f"contract {target} is a read-only replica of "
+                    f"chain {record.location}"
+                )
             raise ContractLocked(
                 f"contract {target} moved to chain {record.location}"
             )

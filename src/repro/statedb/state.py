@@ -247,6 +247,15 @@ class WorldState:
         #: active speculation frames keyed by executing thread id; empty
         #: in serial operation, so the hot-path check is one falsy test
         self._frames: Dict[int, SpeculationFrame] = {}
+        #: addresses whose local record is a read-only replica of a
+        #: contract living on another chain (repro.replicate); a mirror
+        #: is *never* the active copy, so writes against one are typed
+        #: protocol violations and GC must not sweep its storage
+        self._mirrors: Set[Address] = set()
+        #: addresses whose storage was replaced wholesale since the last
+        #: commit (Move2 load, GC wipe, mirror apply) — the replication
+        #: log reads this to rebase its delta capture on a full image
+        self._storage_replaced: Set[Address] = set()
 
     @property
     def tree_factory(self) -> TreeFactory:
@@ -533,6 +542,9 @@ class WorldState:
         # The fresh trie matches the dict exactly — no slots left to fold.
         self._dirty_slots[address] = set()
         self._dirty.add(address)
+        # Over-approximate on revert: a spurious mark just makes the
+        # replication log rebase on a full (correct) image.
+        self._storage_replaced.add(address)
 
         def undo() -> None:
             record.storage.clear()
@@ -561,6 +573,7 @@ class WorldState:
         self._storage_tries[address] = self._tree_factory()
         self._dirty_slots.pop(address, None)
         self._dirty.add(address)
+        self._storage_replaced.add(address)
 
     def set_location(
         self, address: Address, target_chain: int, height: Optional[int] = None
@@ -574,13 +587,20 @@ class WorldState:
         record = self.require_contract(address)
         old = record.location
         old_height = record.moved_at_height
+        was_mirror = address in self._mirrors
         record.location = target_chain
         record.moved_at_height = height
+        if was_mirror and target_chain == self.chain_id:
+            # A Move2 landed on a chain that hosted a mirror: the record
+            # is upgraded to the active copy and stops being read-only.
+            self._mirrors.discard(address)
         self._dirty.add(address)
 
         def undo() -> None:
             record.location = old
             record.moved_at_height = old_height
+            if was_mirror:
+                self._mirrors.add(address)
 
         self._record(undo)
 
@@ -603,6 +623,107 @@ class WorldState:
         """True when the contract was moved away (``L_c`` ≠ this chain)."""
         record = self.require_contract(address)
         return record.location != self.chain_id
+
+    # ------------------------------------------------------------------
+    # Read-only replicas (repro.replicate)
+    # ------------------------------------------------------------------
+
+    def is_mirror(self, address: Address) -> bool:
+        """True when the local record is a read-only replica.
+
+        Mirrors carry ``location`` = the source chain's id (so every
+        lock check already treats them as non-active) plus this flag,
+        which distinguishes them from moved-away relics: a relic's
+        storage is garbage, a mirror's storage is live replicated state
+        that GC must preserve and writes must reject with
+        :class:`~repro.errors.ReadOnlyReplicaError`.
+        """
+        frame = self._frames.get(get_ident()) if self._frames else None
+        if frame is not None:
+            frame.reads.add(("c", address))
+        return address in self._mirrors
+
+    def apply_mirror(
+        self,
+        address: Address,
+        *,
+        code_hash: bytes,
+        code: bytes,
+        storage: Mapping[bytes, bytes],
+        balance: int,
+        location: int,
+    ) -> ContractRecord:
+        """Create or refresh a read-only replica (not journaled).
+
+        Called by the replication relay between blocks — exactly like
+        GC — after it has *verified* the new image against the source
+        chain's committed state root.  ``location`` is the proven
+        ``L_c`` (the source chain id), so the record is locked by
+        construction.  The local ``move_nonce`` is never lowered: a
+        relic upgraded to a mirror keeps its nonce so I2 monotonicity
+        holds and a later legitimate Move2 onto this chain still passes
+        the replay guard (mirrors never claim the source's nonce for the
+        same reason).
+        """
+        if self._frames and self._frames.get(get_ident()) is not None:
+            raise SpeculationUnsupported("mirror application")
+        record = self.contracts.get(address)
+        if record is None:
+            record = ContractRecord(
+                code_hash=code_hash, location=location, balance=balance
+            )
+            self.contracts[address] = record
+        else:
+            if address not in self._mirrors and record.location == self.chain_id:
+                raise StateError(
+                    f"cannot mirror over the active contract at {address}"
+                )
+            record.code_hash = code_hash
+            record.location = location
+            record.balance = balance
+        if code_hash not in self.code_store:
+            self.code_store[code_hash] = code
+        record.storage.clear()
+        for key, value in storage.items():
+            if value:
+                record.storage[key] = value
+        self._storage_tries[address] = build_storage_trie(
+            self._tree_factory, record.storage
+        )
+        self._dirty_slots[address] = set()
+        self._storage_replaced.add(address)
+        self._dirty.add(address)
+        self._mirrors.add(address)
+        return record
+
+    def drop_mirror(self, address: Address) -> None:
+        """Demote a replica back to an ordinary stale record (not
+        journaled).  Its storage is wiped immediately — a tombstoned
+        mirror must be *unavailable*, never silently stale — and the
+        record becomes an ordinary relic the garbage collector may age
+        out."""
+        if address not in self._mirrors:
+            return
+        self._mirrors.discard(address)
+        self.wipe_storage(address)
+
+    def pending_storage_changes(
+        self, address: Address
+    ) -> Optional[Dict[bytes, bytes]]:
+        """Slot writes since the last commit (``b""`` marks a delete),
+        or ``None`` when the storage was replaced wholesale this block
+        (Move2 load, GC wipe) and the caller must rebase on the full
+        image.  The replication log calls this just before commit to
+        capture the block's delta."""
+        if address in self._storage_replaced:
+            return None
+        record = self.contracts.get(address)
+        if record is None:
+            return None
+        dirty = self._dirty_slots.get(address)
+        if not dirty:
+            return {}
+        return {key: record.storage.get(key, b"") for key in sorted(dirty)}
 
     # ------------------------------------------------------------------
     # Commitment
@@ -675,6 +796,7 @@ class WorldState:
             self._account_tree.set(address.raw, leaf)
         self._dirty.clear()
         self._dirty_slots.clear()
+        self._storage_replaced.clear()
         self._journal.clear()
         self._committed_root = self._account_tree.root_hash
         return self._committed_root

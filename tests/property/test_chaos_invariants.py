@@ -99,23 +99,29 @@ def test_chaos_runs_reproduce_exactly(seed):
 # ----------------------------------------------------------------------
 
 SEED_MATRIX = [
-    pytest.param(1, "scoin", False, id="seed1_scoin"),
+    pytest.param(1, "scoin", False, False, id="seed1_scoin"),
     # pow_peer: with the PoW bystander chain (reorg faults live)
-    pytest.param(7, "scoin", True, id="seed7_scoin_pow"),
-    pytest.param(11, "kitties", False, id="seed11_kitties"),
-    pytest.param(23, "scoin", False, id="seed23_scoin"),
-    pytest.param(42, "kitties", True, id="seed42_kitties_pow"),
+    pytest.param(7, "scoin", True, False, id="seed7_scoin_pow"),
+    pytest.param(11, "kitties", False, False, id="seed11_kitties"),
+    pytest.param(23, "scoin", False, False, id="seed23_scoin"),
+    pytest.param(42, "kitties", True, False, id="seed42_kitties_pow"),
+    # replicate: mirrors under chaos — partitions, withheld relays and
+    # equivocation must never let a replica serve orphaned/torn state
+    pytest.param(5, "scoin", False, True, id="seed5_scoin_replicate"),
+    pytest.param(13, "scoin", True, True, id="seed13_scoin_pow_replicate"),
+    pytest.param(31, "kitties", False, True, id="seed31_kitties_replicate"),
 ]
 
 
-@pytest.mark.parametrize("seed,workload,pow_peer", SEED_MATRIX)
-def test_chaos_seed_matrix(seed, workload, pow_peer):
+@pytest.mark.parametrize("seed,workload,pow_peer,replicate", SEED_MATRIX)
+def test_chaos_seed_matrix(seed, workload, pow_peer, replicate):
     report = run_chaos(
         seed=seed,
         duration=200.0,
         workload=workload,
         intensity=1.5,
         pow_peer=pow_peer,
+        replicate=replicate,
     )
     assert report.invariant_checks > 0
     # Both workload chains made progress despite the schedule.
@@ -124,3 +130,28 @@ def test_chaos_seed_matrix(seed, workload, pow_peer):
     # The schedule actually injected faults.
     assert sum(report.plan_counts.values()) >= 4
     assert report.moves_started > 0
+    if replicate:
+        # The run actually exercised replication: mirrors synced and
+        # the per-block safety predicate ran (it raising is the fail).
+        assert report.replica_updates > 0
+        assert report.replica_checks > 0
+        # Moving a replicated contract tombstones its mirrors.
+        if report.moves_completed > 0:
+            assert report.replica_tombstones > 0
+
+
+@pytest.mark.parametrize(
+    "seed", [5, 13], ids=["seed5_replicate", "seed13_replicate_pow"]
+)
+def test_chaos_replication_reproduces_exactly(seed):
+    """A replicated chaos run is still a pure function of its seed."""
+    import dataclasses
+
+    pow_peer = seed == 13
+    first = run_chaos(
+        seed=seed, duration=120.0, workload="scoin", pow_peer=pow_peer, replicate=True
+    )
+    second = run_chaos(
+        seed=seed, duration=120.0, workload="scoin", pow_peer=pow_peer, replicate=True
+    )
+    assert dataclasses.asdict(first) == dataclasses.asdict(second)

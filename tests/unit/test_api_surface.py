@@ -58,6 +58,10 @@ GOLDEN_SURFACE = sorted([
     "ShardLoadView",
     "RebalancePolicy",
     "Rebalancer",
+    # replication (read-only cross-chain mirrors)
+    "ReplicationManager",
+    "ReplicationRelay",
+    "Mirror",
     # observation and adversity
     "Telemetry",
     "FaultPlan",
@@ -79,6 +83,8 @@ GOLDEN_SURFACE = sorted([
     "RequestTimeout",
     "UnknownChainError",
     "InvalidRequest",
+    "ReadOnlyReplicaError",
+    "ReplicaUnavailable",
 ])
 
 

@@ -1,0 +1,176 @@
+"""Writes against read-only replicas fail typed, at every entry point.
+
+Mirrors extend the paper's single-mutability invariant I1: exactly one
+chain may mutate a contract.  A mutating call that targets a mirror
+must therefore fail with the machine-readable
+:class:`~repro.errors.ReadOnlyReplicaError` — whether it arrives
+through the gateway front door (rejected at admission, before it can
+occupy queue space) or straight through a chain's mempool (aborted
+in-block by the runtime's lock check).  View calls pass everywhere:
+serving reads is what replicas are for.
+"""
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.chain.tx import (
+    BytecodeCallPayload,
+    Move1Payload,
+    sign_transaction,
+)
+from repro.core.registry import ChainRegistry
+from repro.errors import ReadOnlyReplicaError
+from repro.gateway import Gateway
+from repro.ibc.headers import connect_chains
+from repro.node import Node
+from repro.replicate.relay import ReplicationRelay
+from tests.helpers import (
+    ALICE,
+    BOB,
+    CallPayload,
+    DeployPayload,
+    ManualClock,
+    StoreContract,
+    deploy_store,
+    produce,
+    run_tx,
+)
+
+
+def _mirrored_pair():
+    """A LIVE mirror of a StoreContract: source chain 1, replica on 2."""
+    registry = ChainRegistry()
+    source = Chain(burrow_params(1), registry)
+    target = Chain(burrow_params(2), registry)
+    connect_chains([source, target])
+    clock = ManualClock()
+    address = deploy_store(source, clock, ALICE)
+    run_tx(source, clock, ALICE, CallPayload(address, "put", (1, 42)))
+    relay = ReplicationRelay(source, target)
+    relay.start()
+    mirror = relay.add_contract(address)
+    produce(source, clock, 3)
+    assert mirror.available
+    return source, target, clock, address
+
+
+# ----------------------------------------------------------------------
+# Direct chain submission: the runtime aborts the transaction in-block
+# ----------------------------------------------------------------------
+
+
+def test_direct_write_to_mirror_aborts_with_typed_receipt():
+    source, target, clock, address = _mirrored_pair()
+    receipt = run_tx(target, clock, BOB, CallPayload(address, "put", (9, 9)))
+    assert not receipt.success
+    assert receipt.error.startswith("ReadOnlyReplicaError:")
+    # The failed write never leaked into the replica or the source.
+    assert target.view(address, "get_value", 1) == 42
+    assert source.view(address, "get_value", 1) == 42
+
+
+def test_direct_view_on_mirror_still_serves():
+    _source, target, _clock, address = _mirrored_pair()
+    assert target.view(address, "get_value", 1) == 42
+
+
+def test_direct_move1_of_a_mirror_aborts():
+    _source, target, clock, address = _mirrored_pair()
+    receipt = run_tx(
+        target, clock, ALICE, Move1Payload(contract=address, target_chain=1)
+    )
+    assert not receipt.success
+    # The executor's L_c ownership check fires first: a mirror is never
+    # the active copy, so Move1 aborts before the replica-specific
+    # branch is even consulted.  (The gateway pre-check still maps this
+    # to ReadOnlyReplicaError at admission — covered below.)
+    assert "not active here" in receipt.error
+    assert target.state.is_mirror(address)
+    assert target.view(address, "get_value", 1) == 42
+
+
+# ----------------------------------------------------------------------
+# Gateway admission: rejected at the front door, machine-readable
+# ----------------------------------------------------------------------
+
+
+def _gateway_setup():
+    node = Node([burrow_params(1), burrow_params(2)], seed=11)
+    node.chain(1).fund({ALICE.address: 10**9, BOB.address: 10**9})
+    node.chain(2).fund({ALICE.address: 10**9, BOB.address: 10**9})
+    manager = node.attach_replication()
+    gateway = Gateway(node)
+    gateway.start()
+
+    def commit(chain_id, keypair, payload):
+        handle = gateway.submit(sign_transaction(keypair, payload), chain_id)
+        assert node.run_until(lambda: handle.done, max_time=node.now + 120.0)
+        return handle.result()
+
+    receipt = commit(1, ALICE, DeployPayload(code_hash=StoreContract.CODE_HASH))
+    address = receipt.return_value
+    commit(1, ALICE, CallPayload(address, "put", (1, 42)))
+    manager.replicate(address, 1, [2])
+    ok = node.run_until(
+        lambda: manager.mirror(address, 2) is not None
+        and manager.mirror(address, 2).available,
+        max_time=node.now + 120.0,
+    )
+    assert ok, manager.status(address)
+    return node, gateway, address
+
+
+def test_gateway_rejects_mirror_write_with_reason_code():
+    node, gateway, address = _gateway_setup()
+    handle = gateway.submit(
+        sign_transaction(BOB, CallPayload(address, "put", (2, 9))), 2
+    )
+    # Rejected at admission: resolved immediately, never queued.
+    assert handle.done
+    assert isinstance(handle.error, ReadOnlyReplicaError)
+    assert handle.error.code == "read_only_replica"
+    wire = handle.error.to_dict()
+    assert wire["code"] == "read_only_replica"
+    assert "read-only replica" in wire["message"]
+    with pytest.raises(ReadOnlyReplicaError):
+        handle.result()
+    # The shed surfaced in the gateway's rejection metrics by reason.
+    assert (
+        gateway.telemetry.metrics.value(
+            "gateway_rejected_total", reason="read_only_replica"
+        )
+        == 1
+    )
+
+
+def test_gateway_rejects_bytecode_and_move_writes_to_mirrors():
+    node, gateway, address = _gateway_setup()
+    bytecode = gateway.submit(
+        sign_transaction(BOB, BytecodeCallPayload(target=address, calldata=b"x")), 2
+    )
+    move = gateway.submit(
+        sign_transaction(ALICE, Move1Payload(contract=address, target_chain=1)), 2
+    )
+    for handle in (bytecode, move):
+        assert handle.done
+        assert isinstance(handle.error, ReadOnlyReplicaError)
+        assert handle.error.code == "read_only_replica"
+
+
+def test_gateway_passes_view_calls_and_nonmirror_writes():
+    node, gateway, address = _gateway_setup()
+    # Reads route through the replication manager to the LIVE replica.
+    assert gateway.view(2, address, "get_value", 1) == 42
+    # Writes against the active copy are untouched by the pre-check.
+    handle = gateway.submit(
+        sign_transaction(ALICE, CallPayload(address, "put", (3, 5))), 1
+    )
+    assert node.run_until(lambda: handle.done, max_time=node.now + 120.0)
+    assert handle.result().success
+    # The committed write propagates to the replica within the bound.
+    ok = node.run_until(
+        lambda: gateway.view(2, address, "get_value", 3) == 5,
+        max_time=node.now + 120.0,
+    )
+    assert ok

@@ -1,0 +1,78 @@
+"""Units for the source-side replication delta log."""
+
+import pytest
+
+from repro.errors import ProofError
+from repro.replicate.log import ReplicationLog
+
+
+def test_base_image_drops_empty_values():
+    log = ReplicationLog(5, {b"a": b"1", b"b": b""})
+    assert log.image_at(5) == {b"a": b"1"}
+    assert log.head_height == 5
+
+
+def test_append_and_image_at_each_height():
+    log = ReplicationLog(0, {b"a": b"1"})
+    log.append(1, {b"b": b"2"})
+    log.append(2, {b"a": b"9", b"c": b"3"})
+    log.append(3, {b"b": b""})  # delete
+    assert log.head_height == 3
+    assert log.image_at(0) == {b"a": b"1"}
+    assert log.image_at(1) == {b"a": b"1", b"b": b"2"}
+    assert log.image_at(2) == {b"a": b"9", b"b": b"2", b"c": b"3"}
+    assert log.image_at(3) == {b"a": b"9", b"c": b"3"}
+
+
+def test_image_at_outside_window_raises():
+    log = ReplicationLog(10, {})
+    log.append(11, {b"x": b"1"})
+    with pytest.raises(ProofError):
+        log.image_at(9)
+    with pytest.raises(ProofError):
+        log.image_at(12)
+
+
+def test_delta_between_merges_contiguous_blocks():
+    log = ReplicationLog(0, {})
+    log.append(1, {b"a": b"1"})
+    log.append(2, {b"a": b"2", b"b": b"1"})
+    log.append(3, {b"b": b""})
+    assert log.delta_between(0, 3) == {b"a": b"2", b"b": b""}
+    assert log.delta_between(1, 2) == {b"a": b"2", b"b": b"1"}
+    assert log.delta_between(2, 2) == {}
+
+
+def test_delta_between_returns_none_outside_coverage():
+    log = ReplicationLog(5, {})
+    log.append(6, {b"a": b"1"})
+    # since predates the base: the caller must full-sync instead.
+    assert log.delta_between(3, 6) is None
+    # upto beyond the head: not yet recorded.
+    assert log.delta_between(5, 7) is None
+
+
+def test_trim_folds_old_deltas_into_base():
+    log = ReplicationLog(0, {b"a": b"1"})
+    for height in range(1, 6):
+        log.append(height, {f"k{height}".encode(): b"v"})
+    log.trim(3)
+    assert log.base_height == 3
+    # Heights at or below the horizon are gone...
+    assert log.delta_between(1, 5) is None
+    # ...but the folded base still reproduces newer heights exactly.
+    assert log.image_at(3) == {
+        b"a": b"1", b"k1": b"v", b"k2": b"v", b"k3": b"v"
+    }
+    assert log.delta_between(3, 5) == {b"k4": b"v", b"k5": b"v"}
+
+
+def test_rebase_clears_history_and_counts():
+    log = ReplicationLog(0, {b"a": b"1"})
+    log.append(1, {b"b": b"2"})
+    log.rebase(7, {b"z": b"9"})
+    assert log.rebases == 1
+    assert log.base_height == 7
+    assert log.head_height == 7
+    assert log.image_at(7) == {b"z": b"9"}
+    assert log.delta_between(0, 7) is None
