@@ -7,13 +7,18 @@ Runs the same fault-free SCoin chaos workload three ways:
   "telemetry wired but off" configuration every instrumented call site
   pays for;
 * **enabled** — a ``MemorySink`` tracer recording every span, event,
-  watch and metric.
+  watch and metric;
+* **monitor** — baseline telemetry plus the full health plane
+  (``health=True``): probes, SLO evaluation and flight recording every
+  5 simulated seconds.
 
 Gates (the CI ``telemetry`` job runs this in smoke mode):
 
 * the null configuration stays within **5 %** of baseline — the
   single-``enabled``-check fast path really is near-zero-cost;
-* full tracing stays within **15 %** of baseline on the SCoin workload.
+* full tracing stays within **15 %** of baseline on the SCoin workload;
+* the health monitor stays within **5 %** of baseline — read-only
+  sampling on a 5 s cadence must never tax the workload it watches.
 
 Wall-clock comparisons use best-of-N (minimum), the standard way to
 suppress scheduler noise: the minimum is the run least disturbed by the
@@ -46,7 +51,7 @@ def _repeats() -> int:
     return 10 if full_scale() else 8
 
 
-def _one_run(telemetry) -> float:
+def _one_run(telemetry, health=False) -> float:
     duration = _duration()
     plan = FaultPlan(seed=SEED, duration=duration, events=())
     gc.collect()  # earlier runs' garbage must not bill this one
@@ -57,6 +62,7 @@ def _one_run(telemetry) -> float:
         workload="scoin",
         plan=plan,
         telemetry=telemetry,
+        health=health,
     )
     elapsed = time.perf_counter() - start
     assert report.moves_completed > 0, "workload must actually move contracts"
@@ -64,20 +70,21 @@ def _one_run(telemetry) -> float:
 
 
 CONFIGS = (
-    ("baseline", lambda: None),
-    ("null", lambda: Telemetry(tracer=Tracer(sink=NullSink()))),
-    ("enabled", lambda: Telemetry(tracer=Tracer(sink=MemorySink()))),
+    ("baseline", lambda: None, False),
+    ("null", lambda: Telemetry(tracer=Tracer(sink=NullSink())), False),
+    ("enabled", lambda: Telemetry(tracer=Tracer(sink=MemorySink())), False),
+    ("monitor", lambda: None, True),
 )
 
 
 def _measure():
     # Interleave configurations round-robin so drift over the process's
     # lifetime (cache warmup, allocator growth) hits all three equally.
-    best = {name: float("inf") for name, _ in CONFIGS}
+    best = {name: float("inf") for name, _, _ in CONFIGS}
     _one_run(None)  # warm-up, untimed
     for _ in range(_repeats()):
-        for name, make_telemetry in CONFIGS:
-            best[name] = min(best[name], _one_run(make_telemetry()))
+        for name, make_telemetry, health in CONFIGS:
+            best[name] = min(best[name], _one_run(make_telemetry(), health))
     return best
 
 
@@ -102,5 +109,9 @@ def test_telemetry_overhead(benchmark):
     )
     assert results["enabled"] <= max(base * 1.15, base + 0.02), (
         f"enabled-tracing run {results['enabled']:.3f}s exceeds 15% over "
+        f"baseline {base:.3f}s"
+    )
+    assert results["monitor"] <= max(base * 1.05, base + 0.02), (
+        f"health-monitored run {results['monitor']:.3f}s exceeds 5% over "
         f"baseline {base:.3f}s"
     )

@@ -18,8 +18,10 @@ The facade covers four layers:
 * **transactions and contracts** — payload kinds, signing, keypairs,
   and the Solidity-like contract-authoring layer
   (:class:`MovableContract`, slots, decorators, ``require``);
-* **observation and adversity** — :class:`Telemetry`, fault plans, and
-  the full typed error taxonomy rooted at :class:`ReproError`.
+* **observation and adversity** — :class:`Telemetry`, fault plans, the
+  health plane (:class:`HealthMonitor`, :class:`SloSpec`,
+  :class:`FlightRecorder`), and the full typed error taxonomy rooted at
+  :class:`ReproError`.
 
 Quick start::
 
@@ -92,6 +94,12 @@ from repro.replicate import (
 
 # -- observation and adversity ----------------------------------------
 from repro.faults.plan import FaultPlan
+from repro.health import (
+    FlightRecorder,
+    HealthMonitor,
+    SloSpec,
+    default_slos,
+)
 from repro.telemetry import Telemetry
 
 # -- errors -----------------------------------------------------------
@@ -172,6 +180,10 @@ __all__ = [
     # observation and adversity
     "Telemetry",
     "FaultPlan",
+    "HealthMonitor",
+    "SloSpec",
+    "FlightRecorder",
+    "default_slos",
     # errors
     "ReproError",
     "ConfigError",

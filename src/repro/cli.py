@@ -12,9 +12,13 @@
     python -m repro telemetry breakdown --workload scoin --duration 300
     python -m repro telemetry slowest   --top 5
     python -m repro telemetry export    --format chrome --out trace.json
+    python -m repro obs status     --seed 11 --duration 300
+    python -m repro obs slo        --seed 11 --json
+    python -m repro obs postmortem --seed 11 --out bundle.json
 
 ``info``, ``gateway``, ``ibc``, ``trace --inspect`` and the
-``telemetry`` analyses accept ``--json`` for machine-readable output.
+``telemetry``/``obs`` analyses accept ``--json`` for machine-readable
+output.
 
 The CLI builds everything through the stable :mod:`repro.api` facade —
 the same front door applications use.  Every command prints the same
@@ -412,6 +416,117 @@ def _cmd_telemetry_export(args) -> int:
     return 0
 
 
+def _health_chaos(args):
+    """Run one health-monitored chaos workload; returns
+    ``(monitor, report)``.  ``report`` is None when an invariant
+    violation aborted the run — the monitor (and its postmortem of the
+    violation) survives the abort via the ``on_monitor`` hook."""
+    from repro.errors import InvariantViolation
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+
+    plan = None
+    if getattr(args, "no_faults", False):
+        plan = FaultPlan(seed=args.seed, duration=args.duration, events=())
+    holder = {}
+    try:
+        report = run_chaos(
+            args.seed,
+            duration=args.duration,
+            workload=args.workload,
+            plan=plan,
+            intensity=args.intensity,
+            pow_peer=getattr(args, "pow_peer", False),
+            replicate=getattr(args, "replicate", False),
+            health=True,
+            on_monitor=lambda m: holder.__setitem__("monitor", m),
+        )
+    except InvariantViolation as violation:
+        print(f"invariant violation aborted the run: {violation}", file=sys.stderr)
+        report = None
+    monitor = holder["monitor"]
+    monitor.stop()
+    return monitor, report
+
+
+def _cmd_obs_status(args) -> int:
+    monitor, report = _health_chaos(args)
+    status = monitor.status()
+    if args.json:
+        _print_json(status)
+        return 0 if report is not None else 1
+    print(
+        f"{args.workload} under chaos (seed {args.seed}, {args.duration:.0f}s): "
+        f"{status['ticks']} health ticks over {status['probes']} probes, "
+        f"{len(status['targets'])} targets"
+    )
+    for target, state in status["targets"].items():
+        marker = "!!" if state == "unhealthy" else "ok"
+        print(f"  {marker}  {target:<28s} {state}")
+    if status["firing"]:
+        print("firing alerts:")
+        for alert in status["firing"]:
+            print(f"  [{alert['severity']}] {alert['slo']} on {alert['target']}")
+    else:
+        print("firing alerts: none")
+    print(
+        f"alert transitions logged: {status['alerts_logged']}, "
+        f"health transitions: {status['transitions']}, "
+        f"postmortems: {status['postmortems']}"
+    )
+    return 0 if report is not None else 1
+
+
+def _cmd_obs_slo(args) -> int:
+    monitor, report = _health_chaos(args)
+    log = monitor.alert_log()
+    if args.json:
+        _print_json({
+            "seed": args.seed,
+            "workload": args.workload,
+            "slos": [
+                {
+                    "name": spec.name,
+                    "kind": spec.kind,
+                    "objective": spec.objective,
+                    "fast_window": spec.fast_window,
+                    "slow_window": spec.slow_window,
+                    "severity": spec.severity,
+                }
+                for spec in monitor.evaluator.specs
+            ],
+            "alerts": log,
+            "firing": monitor.firing(),
+        })
+        return 0 if report is not None else 1
+    print(f"{len(monitor.evaluator.specs)} SLOs, {len(log)} alert transitions:")
+    for entry in log:
+        print(
+            f"  t={entry['at']:>8.1f}  {entry['state']:<9s} "
+            f"[{entry['severity']}] {entry['slo']} on {entry['target']} "
+            f"(burn fast {entry['burn_fast']:.2f} / slow {entry['burn_slow']:.2f})"
+        )
+    if not log:
+        print("  (none — every SLO stayed within budget)")
+    return 0 if report is not None else 1
+
+
+def _cmd_obs_postmortem(args) -> int:
+    monitor, report = _health_chaos(args)
+    text = monitor.last_postmortem_json()
+    if not text:
+        # Nothing tripped the recorder — dump the final state on demand.
+        monitor.postmortem("manual")
+        text = monitor.last_postmortem_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote postmortem bundle to {args.out}")
+    else:
+        print(text)
+    return 0 if report is not None else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with every subcommand."""
     parser = argparse.ArgumentParser(
@@ -508,6 +623,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("--out", metavar="PATH", help="write to a file (default stdout)")
     export.set_defaults(fn=_cmd_telemetry_export)
+
+    obs = sub.add_parser(
+        "obs", help="health-monitored chaos run: states, SLO alerts, postmortem"
+    )
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def _obs_args(p) -> None:
+        _chaos_args(p)
+        p.add_argument("--pow-peer", action="store_true",
+                       help="add the PoW bystander chain")
+        p.add_argument("--replicate", action="store_true",
+                       help="mirror contracts cross-chain (staleness probes)")
+
+    status = osub.add_parser("status", help="final per-target health map")
+    _obs_args(status)
+    status.add_argument("--json", action="store_true")
+    status.set_defaults(fn=_cmd_obs_status)
+
+    slo = osub.add_parser("slo", help="SLO specs + the deterministic alert log")
+    _obs_args(slo)
+    slo.add_argument("--json", action="store_true")
+    slo.set_defaults(fn=_cmd_obs_slo)
+
+    postmortem = osub.add_parser(
+        "postmortem", help="the last flight-recorder bundle (canonical JSON)"
+    )
+    _obs_args(postmortem)
+    postmortem.add_argument(
+        "--out", metavar="PATH", help="write the bundle to a file (default stdout)"
+    )
+    postmortem.set_defaults(fn=_cmd_obs_postmortem)
 
     return parser
 

@@ -98,6 +98,15 @@ class ChaosReport:
     replica_tombstones: int = 0
     replica_rehomes: int = 0
     replica_checks: int = 0
+    # health plane (``health=True`` runs only) — the log and bundle are
+    # canonical JSON strings so determinism harnesses can compare runs
+    # byte-for-byte across executor worker counts
+    alerts_fired: int = 0
+    health_transitions: int = 0
+    health_postmortems: int = 0
+    health_states: Dict[str, str] = field(default_factory=dict)
+    alert_log: str = ""
+    postmortem_bundle: str = ""
 
 
 @dataclass
@@ -498,6 +507,36 @@ def _attach_replication(world: ChaosWorld):
     return manager
 
 
+def _attach_health(world: ChaosWorld, checker, injector, manager):
+    """Build the chaos-default :class:`~repro.health.monitor
+    .HealthMonitor` over the world and wire the flight-recorder
+    triggers (injected faults, invariant violations).
+
+    The probe set deliberately omits :class:`~repro.health.probes
+    .ConflictRateProbe`: its counters only exist on parallel chains, so
+    including it would break the byte-identical-across-worker-counts
+    contract the detection gate asserts.
+    """
+    from repro.health.monitor import HealthMonitor
+    from repro.health.probes import (
+        ChainLivenessProbe,
+        MempoolDepthProbe,
+        RelayLagProbe,
+        ReplicaStalenessProbe,
+    )
+
+    monitor = HealthMonitor(world.sim, telemetry=world.telemetry)
+    monitor.add_probe(ChainLivenessProbe(world.chains))
+    monitor.add_probe(RelayLagProbe(world.relays.values()))
+    monitor.add_probe(MempoolDepthProbe(world.chains))
+    if manager is not None:
+        monitor.add_probe(ReplicaStalenessProbe(manager))
+    checker.on_violation = monitor.on_violation
+    injector.observers.append(monitor.on_fault)
+    monitor.start()
+    return monitor
+
+
 def _check_replicas(world: ChaosWorld, manager) -> None:
     """The replication safety invariant, asserted at every block:
 
@@ -556,6 +595,8 @@ def run_chaos(
     telemetry: Optional[Telemetry] = None,
     executor_workers: int = 0,
     replicate: bool = False,
+    health: bool = False,
+    on_monitor: Optional[Callable] = None,
 ) -> ChaosReport:
     """One fully seeded chaos run; raises
     :class:`~repro.errors.InvariantViolation` on the first unsafe block.
@@ -575,6 +616,15 @@ def run_chaos(
     block: a serving mirror never rests on an orphaned header and never
     serves a torn image — it rolls back with the source or halts.
     Moves then also exercise the tombstone/re-home path under faults.
+
+    ``health=True`` attaches a read-only
+    :class:`~repro.health.monitor.HealthMonitor` (chain liveness, relay
+    lag, mempool depth, plus replica staleness under ``replicate``);
+    the report then carries the deterministic alert log, the final
+    health map and the last postmortem bundle as canonical JSON.
+    ``on_monitor`` (if given) receives the monitor right after
+    construction, so callers keep a handle to it even when an
+    invariant violation aborts the run mid-flight.
     """
     if workload not in _WORKLOADS:
         raise ValueError(f"unknown workload {workload!r}")
@@ -623,6 +673,10 @@ def run_chaos(
         for chain_id in WORKLOAD_CHAINS:
             world.chains[chain_id].subscribe(on_block)
 
+    monitor = _attach_health(world, checker, injector, manager) if health else None
+    if monitor is not None and on_monitor is not None:
+        on_monitor(monitor)
+
     def on_ready(total_supply: int) -> None:
         if total_supply:
             checker.expected_token_supply = total_supply
@@ -651,6 +705,16 @@ def run_chaos(
             report.replica_halts += relay.halts
             report.replica_tombstones += relay.tombstones
 
+    if monitor is not None:
+        monitor.stop()
+        report.alerts_fired = sum(
+            1 for entry in monitor.alert_log() if entry["state"] == "firing"
+        )
+        report.health_transitions = len(monitor.transitions)
+        report.health_postmortems = monitor.recorder.postmortems_written
+        report.health_states = monitor.states_text()
+        report.alert_log = monitor.alert_log_json()
+        report.postmortem_bundle = monitor.last_postmortem_json()
     report.injected = dict(injector.injected)
     report.blocks = {cid: chain.height for cid, chain in world.chains.items()}
     report.final_roots = {

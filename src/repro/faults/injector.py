@@ -67,6 +67,10 @@ class FaultInjector:
         self.telemetry = telemetry
         self.rng = random.Random(seed ^ 0x5FA17)
         self.injected: Dict[str, int] = {}
+        #: callbacks invoked with each plan-level FaultEvent as it
+        #: fires (per-message drops/delays are not reported here) —
+        #: the health plane's flight recorder hooks in through this
+        self.observers: List[Any] = []
         self._windows: List[_MessageWindow] = []
         self._isolated: Dict[str, int] = {}  # endpoint -> active windows
         if network is not None:
@@ -96,6 +100,8 @@ class FaultInjector:
             duration=event.duration,
             magnitude=event.magnitude,
         )
+        for observer in list(self.observers):
+            observer(event)
         if event.kind in MESSAGE_KINDS:
             self._windows.append(
                 _MessageWindow(

@@ -75,6 +75,10 @@ class InvariantChecker:
         self.expected_token_supply = expected_token_supply
         self.checks_run = 0
         self.violations_found = 0
+        #: called with the formatted message just before a violation
+        #: raises — the health plane's flight recorder dumps its
+        #: postmortem bundle here, while the world is still intact
+        self.on_violation: Optional[object] = None
         self._nonce_high: Dict[Tuple[int, bytes], int] = {}
         self._subscriptions: List[Tuple[Chain, object]] = []
         self._code_hashes_loaded = False
@@ -101,7 +105,10 @@ class InvariantChecker:
 
     def _fail(self, invariant: str, message: str) -> None:
         self.violations_found += 1
-        raise InvariantViolation(f"[{invariant}] {message}")
+        formatted = f"[{invariant}] {message}"
+        if self.on_violation is not None:
+            self.on_violation(formatted)
+        raise InvariantViolation(formatted)
 
     # ------------------------------------------------------------------
 

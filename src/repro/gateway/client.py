@@ -157,6 +157,14 @@ class Client:
         """This client's native balance."""
         return self.node.chain(self._chain_id(chain)).balance_of(self.address)
 
+    def health(self) -> dict:
+        """The serving side's health/degraded-mode status (see
+        :meth:`~repro.gateway.gateway.Gateway.health`): is the gateway
+        serving, how full its queues are and — when the node hosts a
+        health monitor — which targets are unhealthy and which alerts
+        are firing."""
+        return self.transport.health()
+
     def wait(self, handle, max_time: Optional[float] = None):
         """Drive the node until ``handle`` resolves, then return its
         result (receipt or :class:`~repro.ibc.bridge.MovePhases`).

@@ -702,3 +702,37 @@ class Gateway:
             "parked": {c: len(q) for c, q in self._blocked.items()},
             "peak_queue_depth": dict(self.peak_queue_depth),
         }
+
+    def health(self) -> Dict[str, object]:
+        """Serving/degraded-mode status a client can poll.
+
+        Always reports the gateway's own view — whether it is serving
+        and how full each admission queue is; when the node hosts a
+        :class:`~repro.health.monitor.HealthMonitor`
+        (:meth:`~repro.node.node.Node.attach_health`), the monitor's
+        per-target health map and currently firing alerts ride along.
+        ``degraded`` is the one-bit summary: an alert is firing, some
+        target is unhealthy, or an admission queue is at its bound
+        (i.e. the gateway is shedding).
+        """
+        bound = self.limits.max_queue_depth
+        queues = {c: self.queue_depth(c) for c in sorted(self._queues)}
+        monitor = self.node.health
+        targets: Dict[str, str] = {}
+        alerts: list = []
+        if monitor is not None:
+            targets = monitor.states_text()
+            alerts = monitor.firing()
+        degraded = (
+            bool(alerts)
+            or any(state == "unhealthy" for state in targets.values())
+            or any(depth >= bound for depth in queues.values())
+        )
+        return {
+            "serving": self._started,
+            "degraded": degraded,
+            "queues": queues,
+            "queue_bound": bound,
+            "targets": targets,
+            "alerts": alerts,
+        }

@@ -65,6 +65,11 @@ class InProcessTransport:
             idempotency_key=idempotency_key,
         )
 
+    def health(self) -> dict:
+        """The gateway's serving/degraded status (see
+        :meth:`~repro.gateway.gateway.Gateway.health`)."""
+        return self.gateway.health()
+
 
 class SimNetTransport:
     """A deterministic simulated network hop in front of the gateway.
@@ -158,3 +163,9 @@ class SimNetTransport:
 
         self.gateway.node.sim.schedule(self._delay(), deliver)
         return proxy
+
+    def health(self) -> dict:
+        """The gateway's serving/degraded status.  Served immediately
+        (health checks are reads against the current instant; the
+        network hop would only report an older now)."""
+        return self.gateway.health()

@@ -101,6 +101,7 @@ class Node:
         self._cluster = None
         self._rebalancer = None
         self._replication = None
+        self._health = None
         #: bumped on every start(); stale tick timers check it and die
         self._epoch = 0
 
@@ -123,6 +124,7 @@ class Node:
         node._cluster = cluster
         node._rebalancer = None
         node._replication = None
+        node._health = None
         node._epoch = 0
         return node
 
@@ -157,6 +159,8 @@ class Node:
             self._rebalancer.start()
         if self._replication is not None:
             self._replication.start()
+        if self._health is not None:
+            self._health.start()
 
     def stop(self) -> None:
         """Halt block production (pending timers become no-ops)."""
@@ -165,6 +169,8 @@ class Node:
             self._rebalancer.stop()
         if self._replication is not None:
             self._replication.stop()
+        if self._health is not None:
+            self._health.stop()
         if self._cluster is not None:
             self._cluster.stop()
         else:
@@ -212,6 +218,31 @@ class Node:
         if manager is not None and self._running:
             manager.start()
         return manager
+
+    @property
+    def health(self):
+        """The attached :class:`~repro.health.monitor.HealthMonitor`,
+        if any."""
+        return self._health
+
+    def attach_health(self, monitor=_BUILD):
+        """Host a health monitor: it samples while block production
+        runs.  With no argument, the existing monitor is returned (a
+        stock :meth:`~repro.health.monitor.HealthMonitor.for_node`
+        monitor is built on first use); attaching None detaches,
+        stopping the old one.  Returns the attached monitor."""
+        if monitor is _BUILD:
+            if self._health is not None:
+                return self._health
+            from repro.health.monitor import HealthMonitor
+
+            monitor = HealthMonitor.for_node(self)
+        if self._health is not None and self._health is not monitor:
+            self._health.stop()
+        self._health = monitor
+        if monitor is not None and self._running:
+            monitor.start()
+        return monitor
 
     def _schedule_tick(self, chain: Chain, epoch: int) -> None:
         self.sim.schedule(chain.params.block_interval, lambda: self._tick(chain, epoch))

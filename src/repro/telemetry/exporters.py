@@ -112,8 +112,17 @@ def chrome_trace_json(spans: Iterable[Span]) -> str:
 _QUANTILES = (0.5, 0.9, 0.99)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format spec:
+    backslash, double quote and newline must be written as ``\\\\``,
+    ``\\"`` and ``\\n`` inside the quoted value."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _labels_text(labels, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -130,7 +139,9 @@ def registry_to_prometheus(registry: MetricsRegistry) -> str:
 
     Counters and gauges render one sample per label set; histograms
     render summary-style ``quantile`` samples plus ``_count`` and
-    ``_sum`` (exact quantiles — the raw samples are retained).
+    ``_sum`` (quantiles are exact up to the histogram's retained-sample
+    bound; past it a ``_dropped`` sample reports how many observations
+    the quantiles no longer cover).
     """
     lines: List[str] = []
     seen_types: Dict[str, str] = {}
@@ -165,4 +176,9 @@ def registry_to_prometheus(registry: MetricsRegistry) -> str:
             lines.append(
                 f"{name}_sum{_labels_text(instrument.labels)} {_number(instrument.sum)}"
             )
+            if instrument.dropped:
+                lines.append(
+                    f"{name}_dropped{_labels_text(instrument.labels)} "
+                    f"{instrument.dropped}"
+                )
     return "\n".join(lines) + ("\n" if lines else "")

@@ -12,17 +12,22 @@ to be scattered across the chain, relay, consensus and fault layers.
 
 Instruments are deliberately simple (this is a simulation, not an
 agent): counters and gauges hold one float; histograms keep their raw
-samples, which makes exact percentiles — the quantity the paper's
-figures report — trivial.  :func:`~repro.telemetry.exporters
+samples up to a deterministic bound (:data:`DEFAULT_MAX_SAMPLES`),
+which makes exact percentiles — the quantity the paper's figures
+report — trivial while keeping a long-running series' memory finite.  :func:`~repro.telemetry.exporters
 .registry_to_prometheus` renders the whole registry in Prometheus text
 exposition format.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
+
+#: retained-sample bound per histogram series; beyond it new
+#: observations still feed ``count``/``sum``/``mean`` but are not kept
+DEFAULT_MAX_SAMPLES = 100_000
 
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
@@ -71,42 +76,63 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution of observations with exact percentiles.
+    """A distribution of observations with exact percentiles — up to a
+    deterministic memory bound.
 
-    Raw samples are retained (simulated experiments observe at most a
-    few hundred thousand values); :meth:`percentile` sorts lazily and
-    caches until the next observation.
+    The first ``max_samples`` observations are retained raw, so
+    percentiles over them are exact (the quantity the paper's figures
+    report).  Observations beyond the bound still update ``count``,
+    ``sum`` and ``mean`` exactly, but the samples themselves are
+    dropped (counted in ``dropped``): percentiles then rank over the
+    retained prefix only, by the same nearest-rank rule.  The bound is
+    a fixed constant, not a sampling rate, so two identically seeded
+    runs always retain the identical prefix.  :meth:`percentile` sorts
+    lazily and caches until the next retained observation.
     """
 
-    __slots__ = ("name", "labels", "_samples", "_sorted", "sum")
+    __slots__ = ("name", "labels", "max_samples", "dropped", "_samples",
+                 "_sorted", "_count", "sum")
 
-    def __init__(self, name: str, labels: LabelKey):
+    def __init__(
+        self, name: str, labels: LabelKey, max_samples: int = DEFAULT_MAX_SAMPLES
+    ):
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
         self.name = name
         self.labels = labels
+        self.max_samples = max_samples
+        self.dropped = 0
         self._samples: List[float] = []
         self._sorted: Optional[List[float]] = None
+        self._count = 0
         self.sum = 0.0
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self._samples.append(value)
-        self._sorted = None
+        self._count += 1
         self.sum += value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+            self._sorted = None
+        else:
+            self.dropped += 1
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        """Every observation ever made (retained or dropped)."""
+        return self._count
 
     @property
     def mean(self) -> float:
-        return self.sum / len(self._samples) if self._samples else 0.0
+        return self.sum / self._count if self._count else 0.0
 
     def samples(self) -> Tuple[float, ...]:
-        """All recorded observations, in observation order."""
+        """The retained observations, in observation order."""
         return tuple(self._samples)
 
     def percentile(self, q: float) -> float:
-        """The ``q``-quantile (0..1) by nearest rank.
+        """The ``q``-quantile (0..1) by nearest rank over the retained
+        samples (exact while nothing has been dropped).
 
         Raises :class:`ValueError` when the histogram is empty or
         ``q`` falls outside ``[0, 1]``.
@@ -180,3 +206,13 @@ class MetricsRegistry:
             for (iname, _), instrument in self._instruments.items()
             if iname == name and isinstance(instrument, Counter)
         )
+
+    def totals(self, names: Iterable[str]) -> Dict[str, float]:
+        """Counter totals for several names in one registry pass
+        (absent names read 0.0) — what periodic samplers such as the
+        flight recorder call instead of N :meth:`total` scans."""
+        wanted: Dict[str, float] = {name: 0.0 for name in names}
+        for (iname, _), instrument in self._instruments.items():
+            if iname in wanted and isinstance(instrument, Counter):
+                wanted[iname] += instrument.value
+        return wanted

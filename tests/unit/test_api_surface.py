@@ -65,6 +65,10 @@ GOLDEN_SURFACE = sorted([
     # observation and adversity
     "Telemetry",
     "FaultPlan",
+    "HealthMonitor",
+    "SloSpec",
+    "FlightRecorder",
+    "default_slos",
     # errors
     "ReproError",
     "ConfigError",

@@ -1,0 +1,167 @@
+"""CLI tests for the ``telemetry`` and ``obs`` command families."""
+
+import json
+
+from repro.cli import main
+
+DURATION = ["--duration", "120"]
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+# ----------------------------------------------------------------------
+# telemetry breakdown / slowest / export
+# ----------------------------------------------------------------------
+
+
+def test_telemetry_breakdown_text(capsys):
+    code, out = run_cli(capsys, "telemetry", "breakdown", *DURATION)
+    assert code == 0
+    assert "move traces" in out
+    assert "phase" in out and "p99 (s)" in out
+    for phase in ("move1", "confirm.wait", "proof.build", "move2", "complete", "total"):
+        assert phase in out
+
+
+def test_telemetry_breakdown_json(capsys):
+    code, out = run_cli(capsys, "telemetry", "breakdown", "--json", *DURATION)
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["seed"] == 11
+    assert doc["workload"] == "scoin"
+    assert doc["traces"] == len(doc["breakdown"])
+    assert set(doc["phases"]) == {
+        "move1", "confirm.wait", "proof.build", "move2", "complete"
+    }
+    for stats in doc["phases"].values():
+        assert set(stats) == {"mean", "p50", "p99"}
+
+
+def test_telemetry_slowest_text(capsys):
+    code, out = run_cli(capsys, "telemetry", "slowest", "--top", "3", *DURATION)
+    assert code == 0
+    assert "slowest" in out
+    assert "trace" in out
+
+
+def test_telemetry_slowest_json(capsys):
+    code, out = run_cli(capsys, "telemetry", "slowest", "--top", "3", "--json", *DURATION)
+    assert code == 0
+    docs = json.loads(out)
+    assert isinstance(docs, list) and len(docs) <= 3
+    totals = [t["total"] for t in docs]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_telemetry_export_jsonl(capsys):
+    code, out = run_cli(capsys, "telemetry", "export", *DURATION)
+    assert code == 0
+    lines = [json.loads(line) for line in out.splitlines()]
+    assert lines
+    assert all("trace" in doc and "name" in doc for doc in lines)
+
+
+def test_telemetry_export_prometheus(capsys):
+    code, out = run_cli(
+        capsys, "telemetry", "export", "--format", "prometheus", *DURATION
+    )
+    assert code == 0
+    assert "# TYPE" in out
+    assert "faults_injected_total" in out
+
+
+def test_telemetry_export_to_file(capsys, tmp_path):
+    path = tmp_path / "spans.jsonl"
+    code, out = run_cli(
+        capsys, "telemetry", "export", "--out", str(path), *DURATION
+    )
+    assert code == 0
+    assert "wrote" in out
+    assert path.read_text().count("\n") >= 1
+
+
+# ----------------------------------------------------------------------
+# obs status / slo / postmortem
+# ----------------------------------------------------------------------
+
+
+def test_obs_status_text(capsys):
+    code, out = run_cli(capsys, "obs", "status", *DURATION)
+    assert code == 0
+    assert "health ticks" in out
+    assert "chain:1" in out and "chain:2" in out
+    assert "firing alerts" in out
+    assert "postmortems" in out
+
+
+def test_obs_status_json(capsys):
+    code, out = run_cli(capsys, "obs", "status", "--json", *DURATION)
+    assert code == 0
+    status = json.loads(out)
+    assert status["ticks"] > 0
+    assert status["targets"]["chain:1"] in ("healthy", "unhealthy")
+    assert isinstance(status["firing"], list)
+
+
+def test_obs_status_fault_free_is_all_healthy(capsys):
+    code, out = run_cli(
+        capsys, "obs", "status", "--json", "--no-faults", *DURATION
+    )
+    assert code == 0
+    status = json.loads(out)
+    assert status["unhealthy"] == []
+    assert status["alerts_logged"] == 0
+
+
+def test_obs_slo_text(capsys):
+    code, out = run_cli(capsys, "obs", "slo", *DURATION)
+    assert code == 0
+    assert "SLOs" in out and "alert transitions" in out
+
+
+def test_obs_slo_json(capsys):
+    code, out = run_cli(capsys, "obs", "slo", "--json", *DURATION)
+    assert code == 0
+    doc = json.loads(out)
+    names = {spec["name"] for spec in doc["slos"]}
+    assert "chain-liveness" in names and "relay-lag" in names
+    for spec in doc["slos"]:
+        assert 0.0 < spec["objective"] < 1.0
+        assert spec["fast_window"] < spec["slow_window"]
+    assert isinstance(doc["alerts"], list)
+
+
+def test_obs_postmortem_stdout(capsys):
+    code, out = run_cli(capsys, "obs", "postmortem", *DURATION)
+    assert code == 0
+    bundle = json.loads(out)
+    assert bundle["reason"] in ("manual", "alert", "fault", "invariant")
+    assert set(bundle["metrics"]) == {"start", "current", "delta"}
+    assert "health" in bundle and "events" in bundle
+
+
+def test_obs_postmortem_to_file(capsys, tmp_path):
+    path = tmp_path / "bundle.json"
+    code, out = run_cli(
+        capsys, "obs", "postmortem", "--out", str(path), *DURATION
+    )
+    assert code == 0
+    assert "wrote postmortem bundle" in out
+    bundle = json.loads(path.read_text())
+    assert "reason" in bundle
+
+
+def test_obs_postmortem_deterministic(capsys, tmp_path):
+    texts = set()
+    for name in ("a.json", "b.json"):
+        path = tmp_path / name
+        code, _ = run_cli(
+            capsys, "obs", "postmortem", "--out", str(path), *DURATION
+        )
+        assert code == 0
+        texts.add(path.read_text())
+    assert len(texts) == 1

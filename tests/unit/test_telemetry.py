@@ -322,3 +322,100 @@ def test_bundle_bind_clock():
     bundle.bind_clock(lambda: clock[0])
     span = bundle.tracer.start_trace("move")
     assert span.start == 7.0
+
+
+# ----------------------------------------------------------------------
+# Histogram memory bound
+# ----------------------------------------------------------------------
+
+
+class TestHistogramBound:
+    def test_cap_keeps_count_sum_mean_exact(self):
+        from repro.telemetry.metrics import Histogram
+
+        histogram = Histogram("latency", (), max_samples=5)
+        for i in range(1, 11):  # 1..10, only 1..5 retained
+            histogram.observe(float(i))
+        assert histogram.count == 10
+        assert histogram.sum == 55.0
+        assert histogram.mean == 5.5
+        assert histogram.dropped == 5
+        assert histogram.samples() == (1.0, 2.0, 3.0, 4.0, 5.0)
+
+    def test_percentiles_rank_over_retained_prefix(self):
+        from repro.telemetry.metrics import Histogram
+
+        histogram = Histogram("latency", (), max_samples=5)
+        for i in range(1, 11):
+            histogram.observe(float(i))
+        assert histogram.percentile(1.0) == 5.0  # 6..10 were dropped
+
+    def test_nothing_dropped_below_cap(self):
+        from repro.telemetry.metrics import DEFAULT_MAX_SAMPLES
+
+        histogram = MetricsRegistry().histogram("latency")
+        assert histogram.max_samples == DEFAULT_MAX_SAMPLES
+        histogram.observe(1.0)
+        assert histogram.dropped == 0
+
+    def test_cap_must_be_positive(self):
+        from repro.telemetry.metrics import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram("latency", (), max_samples=0)
+
+    def test_dropped_sample_in_exposition_only_when_nonzero(self):
+        from repro.telemetry.metrics import Histogram
+
+        registry = MetricsRegistry()
+        registry.histogram("latency", chain=1).observe(1.0)
+        assert "latency_dropped" not in registry_to_prometheus(registry)
+        # force drops through a tiny private histogram
+        tiny = Histogram("tiny", (("chain", "1"),), max_samples=1)
+        tiny.observe(1.0)
+        tiny.observe(2.0)
+        registry._instruments[("tiny", (("chain", "1"),))] = tiny
+        text = registry_to_prometheus(registry)
+        assert 'tiny_dropped{chain="1"} 1' in text
+        assert 'tiny_count{chain="1"} 2' in text
+
+
+# ----------------------------------------------------------------------
+# Prometheus label escaping
+# ----------------------------------------------------------------------
+
+
+class TestPrometheusEscaping:
+    def test_quote_backslash_newline_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", detail='say "hi"\\now\n').inc()
+        text = registry_to_prometheus(registry)
+        assert 'detail="say \\"hi\\"\\\\now\\n"' in text
+        assert "\n\n" not in text  # the raw newline never leaks
+
+    def test_escaped_line_round_trips(self):
+        # Parse the exposition line back the way a Prometheus scraper
+        # would and recover the original label value.
+        original = 'tricky "value" with \\ and\nnewline'
+        registry = MetricsRegistry()
+        registry.counter("ops_total", detail=original).inc()
+        (line,) = [
+            l
+            for l in registry_to_prometheus(registry).splitlines()
+            if l.startswith("ops_total{")
+        ]
+        escaped = line[len('ops_total{detail="') : line.rindex('"')]
+        unescaped = (
+            escaped.replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\x00", "\\")
+        )
+        assert unescaped == original
+
+    def test_plain_labels_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", chain=1, status="ok").inc(2)
+        assert 'ops_total{chain="1",status="ok"} 2' in registry_to_prometheus(
+            registry
+        )
