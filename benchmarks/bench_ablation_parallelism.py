@@ -28,6 +28,7 @@ table), including the keccak-memo micro-benchmark satellite note.
 from __future__ import annotations
 
 import json
+import os
 import time
 
 from bench_common import RESULTS_DIR, emit, full_scale, once
@@ -44,6 +45,21 @@ WORKER_SWEEP = (1, 2, 4, 8)
 #: CI gate: modeled conflict-light speedup at 4 workers must beat this
 MIN_SPEEDUP_4W = 1.5
 
+CPU_COUNT = os.cpu_count() or 1
+#: Measured wall-clock gate for the process backend at 4 workers.
+#: Only meaningful when the host actually has cores to run them on:
+#: >=2x locally, relaxed to >=1.5x on shared CI runners.  On a
+#: single-core host a measured multi-process speedup is physically
+#: impossible, so the gate degrades to a bounded-overhead assertion
+#: (process shipping must not blow up wall-clock) while the modeled
+#: gate above keeps quantifying the concurrency honestly.
+MEASURED_GATE_4W = (
+    (1.5 if os.environ.get("CI") else 2.0) if CPU_COUNT >= 4 else None
+)
+#: Single-core fallback: process@4 wall-clock must stay within this
+#: factor of the serial loop (pickling + IPC + snapshot overhead).
+MAX_PROCESS_OVERHEAD_1CORE = 10.0
+
 if full_scale():
     USERS, BLOCKS = 64, 8
 else:
@@ -52,9 +68,12 @@ else:
 KEYPAIRS = [KeyPair.from_name(f"ablation-par-{i}") for i in range(USERS)]
 
 
-def _setup_chain(workers: int):
+def _setup_chain(workers: int, backend: str = "thread"):
     """Chain + SCoin + one funded SAccount per user."""
-    chain = Chain(burrow_params(1, executor_workers=workers), verify_signatures=True)
+    chain = Chain(
+        burrow_params(1, executor_workers=workers, executor_backend=backend),
+        verify_signatures=True,
+    )
     chain.fund({kp.address: 10**9 for kp in KEYPAIRS})
     deploy = sign_transaction(KEYPAIRS[0], DeployPayload(code_hash=SCoin.CODE_HASH), nonce=1)
     chain.submit(deploy)
@@ -115,9 +134,9 @@ def _workload_txs(accounts, conflict: str):
     return blocks
 
 
-def _run(workers: int, conflict: str):
+def _run(workers: int, conflict: str, backend: str = "thread"):
     """Execute the workload; returns (root, receipt digest, report)."""
-    chain, accounts = _setup_chain(workers)
+    chain, accounts = _setup_chain(workers, backend)
     blocks = _workload_txs(accounts, conflict)
     aggregate = ParallelBlockReport(workers=max(1, workers))
     timestamp = 4.0
@@ -137,7 +156,9 @@ def _run(workers: int, conflict: str):
         for tx in txs
     )
     assert all(ok for ok, _gas in digest), "benchmark workload must not abort"
-    return chain.state.committed_root, digest, aggregate, wall
+    root = chain.state.committed_root
+    chain.close()
+    return root, digest, aggregate, wall
 
 
 def _keccak_memo_note():
@@ -169,15 +190,19 @@ def _keccak_memo_note():
 
 
 def _sweep():
-    results = {"workloads": {}, "root_identity": True}
+    results = {"workloads": {}, "root_identity": True, "cpu_count": CPU_COUNT}
+    light_baseline = None
     for conflict in ("light", "heavy"):
         serial_root, serial_digest, _rep, serial_wall = _run(0, conflict)
+        if conflict == "light":
+            light_baseline = (serial_root, serial_digest, serial_wall)
         per_worker = {}
         for workers in WORKER_SWEEP:
             root, digest, report, wall = _run(workers, conflict)
             assert root == serial_root, f"{conflict}@{workers}w: state root diverged"
             assert digest == serial_digest, f"{conflict}@{workers}w: receipts diverged"
             per_worker[workers] = {
+                "backend": "thread",
                 "txs": report.tx_count,
                 "waves": report.wave_count,
                 "barriers": report.barrier_count,
@@ -185,6 +210,7 @@ def _sweep():
                 "reexecuted": report.reexecuted,
                 "unsupported": report.unsupported,
                 "measured_seconds": round(wall, 4),
+                "measured_speedup": round(serial_wall / wall, 3) if wall > 0 else None,
                 "modeled_seconds": round(report.modeled_seconds(workers), 4),
                 "modeled_serial_seconds": round(report.modeled_serial_seconds(), 4),
                 "modeled_speedup": round(report.modeled_speedup(workers), 3),
@@ -193,6 +219,33 @@ def _sweep():
             "serial_measured_seconds": round(serial_wall, 4),
             "workers": per_worker,
         }
+
+    # Process backend, conflict-light only: the measured wall-clock
+    # lane of the ablation (threads cannot beat the GIL; processes can
+    # when the host has cores).
+    serial_root, serial_digest, serial_wall = light_baseline
+    process_workers = {}
+    for workers in (2, 4):
+        root, digest, report, wall = _run(workers, "light", backend="process")
+        assert root == serial_root, f"process@{workers}w: state root diverged"
+        assert digest == serial_digest, f"process@{workers}w: receipts diverged"
+        process_workers[workers] = {
+            "backend": "process",
+            "txs": report.tx_count,
+            "waves": report.wave_count,
+            "max_wave_size": report.max_wave_size,
+            "reexecuted": report.reexecuted,
+            "unsupported": report.unsupported,
+            "measured_seconds": round(wall, 4),
+            "measured_speedup": round(serial_wall / wall, 3) if wall > 0 else None,
+            "modeled_seconds": round(report.modeled_seconds(workers), 4),
+            "modeled_speedup": round(report.modeled_speedup(workers), 3),
+        }
+    results["process_backend"] = {
+        "workload": "conflict_light",
+        "serial_measured_seconds": round(serial_wall, 4),
+        "workers": process_workers,
+    }
     results["keccak_memo"] = _keccak_memo_note()
     return results
 
@@ -206,17 +259,35 @@ def test_ablation_parallelism(benchmark):
             rows.append(
                 [
                     workload,
+                    stats["backend"],
                     workers,
                     stats["txs"],
                     stats["waves"],
                     stats["max_wave_size"],
                     stats["reexecuted"],
+                    stats["measured_seconds"],
                     stats["modeled_seconds"],
                     f"{stats['modeled_speedup']:.2f}x",
                 ]
             )
+    for workers, stats in results["process_backend"]["workers"].items():
+        rows.append(
+            [
+                "conflict_light",
+                stats["backend"],
+                workers,
+                stats["txs"],
+                stats["waves"],
+                stats["max_wave_size"],
+                stats["reexecuted"],
+                stats["measured_seconds"],
+                stats["modeled_seconds"],
+                f"{stats['measured_speedup']:.2f}x measured",
+            ]
+        )
     table = format_table(
-        ["workload", "workers", "txs", "waves", "max wave", "re-exec", "modeled s", "speedup"],
+        ["workload", "backend", "workers", "txs", "waves", "max wave",
+         "re-exec", "measured s", "modeled s", "speedup"],
         rows,
     )
     memo = results["keccak_memo"]
@@ -230,10 +301,20 @@ def test_ablation_parallelism(benchmark):
 
     light = results["workloads"]["conflict_light"]["workers"]
     heavy = results["workloads"]["conflict_heavy"]["workers"]
+    process = results["process_backend"]["workers"]
+    serial_wall = results["process_backend"]["serial_measured_seconds"]
 
     results["gate"] = {
         "min_modeled_speedup_4w_conflict_light": MIN_SPEEDUP_4W,
         "achieved": light[4]["modeled_speedup"],
+        "measured": {
+            "cpu_count": CPU_COUNT,
+            "min_measured_speedup_4w_process": MEASURED_GATE_4W,
+            "achieved": process[4]["measured_speedup"],
+            "single_core_max_overhead": (
+                MAX_PROCESS_OVERHEAD_1CORE if MEASURED_GATE_4W is None else None
+            ),
+        },
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_parallelism.json").write_text(
@@ -246,5 +327,15 @@ def test_ablation_parallelism(benchmark):
     assert light[4]["modeled_speedup"] >= light[2]["modeled_speedup"] * 0.9
     assert heavy[4]["modeled_speedup"] < 1.3
     assert heavy[4]["max_wave_size"] == 1
+    # Measured wall-clock gate for the process backend (adaptive: a
+    # single-core host cannot show a multi-process speedup, so it is
+    # held to bounded shipping overhead + the modeled gate instead).
+    if MEASURED_GATE_4W is not None:
+        assert process[4]["measured_speedup"] >= MEASURED_GATE_4W
+    else:
+        assert (
+            process[4]["measured_seconds"]
+            <= serial_wall * MAX_PROCESS_OVERHEAD_1CORE
+        )
     # Memoization must not be slower than direct hashing on hot inputs.
     assert memo["speedup"] is None or memo["speedup"] > 1.0

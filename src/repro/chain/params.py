@@ -47,6 +47,12 @@ class ChainParams:
     #: many speculation threads — 1 is the pipeline's serial baseline.
     #: Results are byte-identical either way (see docs/PERFORMANCE.md).
     executor_workers: int = 0
+    #: speculation backend for the parallel pipeline: ``thread`` (the
+    #: default) speculates on a thread pool against shared state;
+    #: ``process`` ships waves to worker processes as coverage
+    #: snapshots for real multi-core wall-clock (docs/PERFORMANCE.md).
+    #: Ignored while ``executor_workers`` is 0.
+    executor_backend: str = "thread"
     #: how many recent blocks keep their post-state root and account
     #: tree snapshot for serving historical proofs.  Must comfortably
     #: exceed every peer's ``state_root_lag + confirmation_depth`` (the
@@ -98,6 +104,12 @@ class ChainParams:
             raise ConfigError(
                 f"executor_workers must be >= 0, got {self.executor_workers} — "
                 "use 0 for the serial loop, or >= 1 for the parallel pipeline"
+            )
+        if self.executor_backend not in ("thread", "process"):
+            raise ConfigError(
+                f"executor_backend must be 'thread' or 'process', got "
+                f"{self.executor_backend!r} — 'thread' speculates against "
+                "shared state, 'process' ships waves to worker processes"
             )
         if self.snapshot_retention < 0:
             raise ConfigError(

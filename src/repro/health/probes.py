@@ -310,7 +310,16 @@ class ConflictRateProbe:
         self._prev: Dict[int, tuple] = {}
 
     def sample(self, now: float) -> List[ProbeSample]:
-        """One judgement per watched chain's executor."""
+        """One judgement per watched chain's executor.
+
+        The detail carries the executor backend (from the
+        ``executor_parallel_backend_process`` gauge — pure
+        configuration, hence deterministic), so operators reading an
+        alert know whether the pressure is thread or process
+        speculation.  The measured wall-clock gauges in the same family
+        are intentionally *not* read here: probe judgements must replay
+        byte-identically, and real time does not.
+        """
         samples = []
         for chain_id in self.chain_ids:
             speculated = self.metrics.value(
@@ -319,6 +328,10 @@ class ConflictRateProbe:
             reexecuted = self.metrics.value(
                 "executor_parallel_txs_reexecuted_total", chain=chain_id
             )
+            is_process = self.metrics.value(
+                "executor_parallel_backend_process", chain=chain_id
+            )
+            backend = "process" if is_process else "thread"
             prev_s, prev_r = self._prev.get(chain_id, (0.0, 0.0))
             self._prev[chain_id] = (speculated, reexecuted)
             new_s, new_r = speculated - prev_s, reexecuted - prev_r
@@ -328,7 +341,8 @@ class ConflictRateProbe:
                     target=f"executor:{chain_id}",
                     healthy=rate <= self.max_rate,
                     value=rate,
-                    detail=f"{new_r:.0f}/{new_s:.0f} re-executed since last sample",
+                    detail=f"{new_r:.0f}/{new_s:.0f} re-executed since last "
+                    f"sample ({backend} backend)",
                 )
             )
         return samples

@@ -42,19 +42,28 @@ state roots, gas accounting and telemetry.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.chain.executor import TransactionExecutor
 from repro.chain.tx import Transaction
-from repro.errors import SpeculationUnsupported
+from repro.errors import ConfigError, SpeculationUnsupported
+from repro.parallel import frames
 from repro.parallel.scheduler import BlockSchedule, schedule_block
 from repro.runtime.context import BlockEnv
 from repro.statedb.receipts import Receipt
 from repro.statedb.state import SpeculationFrame
 from repro.telemetry import Telemetry
+
+#: speculation backends: ``thread`` shares state directly (cheap, but
+#: the GIL serializes CPU-bound speculation), ``process`` ships waves
+#: to worker processes as coverage snapshots (real multi-core
+#: wall-clock; see :mod:`repro.parallel.frames`)
+BACKENDS = ("thread", "process")
 
 
 @dataclass
@@ -134,10 +143,20 @@ class ParallelBlockExecutor:
         workers: int = 2,
         telemetry: Optional[Telemetry] = None,
         chain_id: int = 0,
+        backend: str = "thread",
     ):
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"executor backend {backend!r} is not one of {BACKENDS}; "
+                "use 'thread' for shared-state speculation or 'process' "
+                "for multi-core wave shipping"
+            )
         self.executor = executor
         self.workers = max(1, workers)
+        self.backend = backend
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._process_pool: Optional[ProcessPoolExecutor] = None
+        self._config_blob: Optional[bytes] = None
         telemetry = telemetry if telemetry is not None else executor.telemetry
         metrics = telemetry.metrics
         self._m_waves = metrics.counter("executor_parallel_waves_total", chain=chain_id)
@@ -156,6 +175,23 @@ class ParallelBlockExecutor:
         self._m_wave_size = metrics.histogram(
             "executor_parallel_wave_size", chain=chain_id
         )
+        # Wall-clock instruments live in the executor_parallel_* family
+        # on purpose: the flight recorder's determinism whitelist
+        # excludes that family, so real (nondeterministic) timings never
+        # leak into replay-compared evidence.  The backend gauge is pure
+        # configuration (deterministic); probes may read it freely.
+        self._g_backend = metrics.gauge(
+            "executor_parallel_backend_process", chain=chain_id
+        )
+        self._g_backend.set(1.0 if backend == "process" else 0.0)
+        self._g_measured_block = metrics.gauge(
+            "executor_parallel_measured_block_seconds", chain=chain_id
+        )
+        self._m_measured_total = metrics.counter(
+            "executor_parallel_measured_seconds_total",
+            chain=chain_id,
+            backend=backend,
+        )
 
     # ------------------------------------------------------------------
 
@@ -166,11 +202,38 @@ class ParallelBlockExecutor:
             )
         return self._pool
 
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        if self._process_pool is None:
+            try:
+                # fork inherits the parent's contract registry, so
+                # worker-side dispatch resolves the same classes
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                context = multiprocessing.get_context()
+            # Freeze the parent heap into the permanent generation
+            # before forking: the children inherit a heap their cyclic
+            # collector never walks, so a pool spun up next to a
+            # million-account world state does not copy-on-write fault
+            # gigabytes of shared pages (see frames.worker_init).
+            import gc
+
+            gc.freeze()
+            self._process_pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=frames.worker_init,
+            )
+        return self._process_pool
+
     def close(self) -> None:
-        """Shut the speculation pool down (idempotent)."""
+        """Shut the speculation pools down (idempotent; pools are
+        recreated lazily, so a closed executor remains usable)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=True)
+            self._process_pool = None
 
     # ------------------------------------------------------------------
 
@@ -209,6 +272,69 @@ class ParallelBlockExecutor:
         self.executor.record_receipt(receipt)
         return receipt, frame.writes
 
+    def _speculate_wave_process(
+        self,
+        txs: Sequence[Transaction],
+        env: BlockEnv,
+        wave: List[int],
+        schedule: BlockSchedule,
+    ) -> Iterator[Tuple[Optional[Receipt], Optional[SpeculationFrame], float]]:
+        """Stage 1 on the process backend: ship the wave, stream results.
+
+        The wave's coverage snapshot (built from the footprint union,
+        so it is identical at every worker count) and the pre-encoded
+        transaction batch go out in contiguous chunks — one pickle per
+        chunk, shared snapshot blob.  The returned iterator yields
+        outcomes in wave order as chunks complete, so the parent's
+        validate/commit stage overlaps with still-running workers
+        without changing commit order.  A crashed or failed chunk
+        degrades to "unsupported" outcomes (serial re-execution), never
+        to divergent results.
+        """
+        pool = self._ensure_process_pool()
+        if self._config_blob is None:
+            self._config_blob = frames.encode_config(self.executor)
+        snapshot_blob = frames.encode_snapshot(
+            self.executor.runtime.state,
+            env,
+            [schedule.footprints.get(i) for i in wave],
+        )
+        want_verdict = self.executor.verify_signatures
+        encoded = [frames.encode_wave_tx(txs[i], want_verdict) for i in wave]
+        n_chunks = min(self.workers, len(wave))
+        base, extra = divmod(len(wave), n_chunks)
+        futures = []
+        sizes = []
+        start = 0
+        for chunk_index in range(n_chunks):
+            size = base + (1 if chunk_index < extra else 0)
+            chunk_blob = pickle.dumps(
+                encoded[start : start + size], protocol=pickle.HIGHEST_PROTOCOL
+            )
+            futures.append(
+                pool.submit(
+                    frames.execute_wave_chunk,
+                    self._config_blob,
+                    snapshot_blob,
+                    chunk_blob,
+                )
+            )
+            sizes.append(size)
+            start += size
+
+        def drain() -> Iterator[tuple]:
+            position = 0
+            for future, size in zip(futures, sizes):
+                try:
+                    results = future.result()
+                except Exception:  # broken pool / unpicklable surprise
+                    results = [(None, 0.0)] * size
+                for element in results:
+                    yield frames.decode_outcome(element, txs[wave[position]])
+                    position += 1
+
+        return drain()
+
     # ------------------------------------------------------------------
 
     def execute_block(
@@ -225,7 +351,6 @@ class ParallelBlockExecutor:
             schedule = schedule_block(txs, self.executor.gas_price)
         report = ParallelBlockReport(workers=self.workers, tx_count=len(txs))
         receipts: List[Optional[Receipt]] = [None] * len(txs)
-        pool = self._ensure_pool()
 
         for item in schedule.items:
             if item.serial is not None:
@@ -246,21 +371,31 @@ class ParallelBlockExecutor:
             self._m_speculated.inc(len(wave))
 
             # Stage 1: speculate every member concurrently.  Shared
-            # state is frozen until all futures resolve — commits only
-            # start below, after this barrier.
-            if self.workers == 1 or len(wave) == 1:
-                outcomes = [self._speculate_one(txs[i], env) for i in wave]
+            # state is frozen until the wave commits below — process
+            # workers read the pre-wave coverage snapshot, threads read
+            # the frozen shared structures directly; either way every
+            # frame is a pure function of (transaction, pre-wave state).
+            if self.backend == "process" and self.workers > 1 and len(wave) > 1:
+                outcomes = self._speculate_wave_process(txs, env, wave, schedule)
+            elif self.workers == 1 or len(wave) == 1:
+                outcomes = iter([self._speculate_one(txs[i], env) for i in wave])
             else:
-                outcomes = list(
-                    pool.map(lambda i: self._speculate_one(txs[i], env), wave)
+                pool = self._ensure_pool()
+                outcomes = iter(
+                    list(pool.map(lambda i: self._speculate_one(txs[i], env), wave))
                 )
-            report.wave_costs.append([seconds for _r, _f, seconds in outcomes])
 
             # Stage 2: validate + commit in original transaction order.
-            commit_start = perf_counter()
+            # ``outcomes`` may still be streaming in (process backend);
+            # only the per-transaction validate/commit slices count as
+            # sequential time, so waiting on a straggler chunk does not
+            # masquerade as commit cost in the modeled lanes.
+            costs: List[float] = []
             committed_writes: set = set()
             writes_unknown = False
-            for index, (receipt, frame, _seconds) in zip(wave, outcomes):
+            for index, (receipt, frame, seconds) in zip(wave, outcomes):
+                costs.append(seconds)
+                slice_start = perf_counter()
                 valid = (
                     frame is not None
                     and not writes_unknown
@@ -272,6 +407,7 @@ class ParallelBlockExecutor:
                     committed_writes |= frame.writes
                     receipts[index] = receipt
                     report.committed += 1
+                    report.sequential_seconds += perf_counter() - slice_start
                     continue
                 if frame is not None:
                     # Mis-speculation (or shadowed by an unspeculatable
@@ -289,8 +425,22 @@ class ParallelBlockExecutor:
                     self._m_unsupported.inc()
                     writes_unknown = True
                 else:
+                    if frame is None:
+                        # Worker-side speculation failed (process
+                        # coverage miss / failed chunk) but the parent
+                        # could speculate at commit position: account
+                        # it as a re-execution so every wave member is
+                        # exactly one of committed/reexecuted/
+                        # unsupported.  Thread frames never hit this
+                        # arm — a None frame there means the tx itself
+                        # is unspeculatable, which re-raises above.
+                        report.reexecuted += 1
+                        self._m_reexecuted.inc()
                     committed_writes |= observed_writes
-            report.sequential_seconds += perf_counter() - commit_start
+                report.sequential_seconds += perf_counter() - slice_start
+            report.wave_costs.append(costs)
 
         report.measured_seconds = perf_counter() - block_start
+        self._g_measured_block.set(report.measured_seconds)
+        self._m_measured_total.inc(report.measured_seconds)
         return list(receipts), report  # type: ignore[arg-type]

@@ -134,6 +134,14 @@ def declared_footprint(tx: Transaction) -> Optional[Footprint]:
     )
 
 
+#: speculation memo: footprints depend only on (payload, sender, fee?),
+#: and workloads re-submit structurally identical payloads (same SCoin
+#: counterparty pair) across blocks — frozen-dataclass payloads hash
+#: cheaply, so one dict probe replaces the per-tx set construction
+_SPECULATE_MEMO: dict = {}
+_SPECULATE_MEMO_LIMIT = 8192
+
+
 def speculate_footprint(tx: Transaction, gas_price: int = 0) -> Optional[Footprint]:
     """Best-effort footprint guess from the payload alone.
 
@@ -145,6 +153,25 @@ def speculate_footprint(tx: Transaction, gas_price: int = 0) -> Optional[Footpri
     scheduler then treats the transaction as conflicting with
     everything (its own wave).
     """
+    try:
+        memo_key = (tx.payload.__class__, tx.payload, tx.sender, bool(gas_price))
+        cached = _SPECULATE_MEMO.get(memo_key)
+    except TypeError:  # unhashable payload contents (list args)
+        memo_key = None
+        cached = None
+    if cached is not None:
+        return cached
+    footprint = _speculate_footprint_uncached(tx, gas_price)
+    if memo_key is not None and footprint is not None:
+        if len(_SPECULATE_MEMO) >= _SPECULATE_MEMO_LIMIT:
+            _SPECULATE_MEMO.clear()
+        _SPECULATE_MEMO[memo_key] = footprint
+    return footprint
+
+
+def _speculate_footprint_uncached(
+    tx: Transaction, gas_price: int
+) -> Optional[Footprint]:
     payload = tx.payload
     reads: set = set()
     writes: set = set()

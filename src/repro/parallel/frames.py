@@ -1,0 +1,579 @@
+"""Compact wave serialization for the process speculation backend.
+
+The thread backend speculates against *shared* state frozen for the
+wave; a process worker has no shared memory, so the parent ships each
+wave as two blobs:
+
+* a **coverage snapshot** — the pre-wave values of exactly the state
+  the wave's footprint union names (balances, account nonces, contract
+  records, the named storage slots or the full storage where the
+  footprint carries a wildcard, mirror flags, and code for bytecode
+  contracts).  The snapshot is primitives-only — raw 20-byte addresses,
+  ints, bytes — so the C pickler serializes it in microseconds and the
+  blob is shared verbatim by every chunk of the wave;
+* a **transaction batch** — per transaction, a primitives-only tuple of
+  the signed fields plus the parent's memoized signature verdict (when
+  available), from which the worker reconstructs an equivalent
+  :class:`~repro.chain.tx.Transaction`.
+
+The worker executes each transaction through the ordinary
+:meth:`~repro.chain.executor.TransactionExecutor.execute_speculative`
+path against a :class:`_WaveState` — a :class:`WorldState` populated
+from the snapshot whose read paths raise
+:class:`~repro.errors.SpeculationUnsupported` for anything *outside*
+the shipped coverage.  That makes the byte-identity argument the same
+as the thread backend's: a covered read observes exactly the pre-wave
+value a thread would have observed, and an uncovered read (a footprint
+under-approximation, a light-client builtin, a registry miss) aborts
+speculation so the parent re-executes the transaction serially at its
+exact commit position.
+
+Results travel back as primitives too: receipt fields plus the frame's
+read set and op log (addresses flattened to raw bytes).  The parent
+rebuilds the :class:`~repro.statedb.state.SpeculationFrame` by
+replaying the decoded ops, then validates and commits it in transaction
+order exactly like a thread-produced frame.  Transactions whose payload
+or result cannot be expressed in primitives simply do not ship — the
+parent runs them at commit position, unchanged.
+"""
+
+from __future__ import annotations
+
+import pickle
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.tx import (
+    BytecodeCallPayload,
+    CallPayload,
+    DEFAULT_SIGNER,
+    Transaction,
+    TransferPayload,
+)
+from repro.crypto.keys import Address
+from repro.errors import SpeculationUnsupported
+from repro.statedb.state import (
+    AccountRecord,
+    ContractRecord,
+    SpeculationFrame,
+    WorldState,
+)
+
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
+
+class _Unshippable(Exception):
+    """Internal: this value cannot be expressed in primitives."""
+
+
+# ----------------------------------------------------------------------
+# Value encoding (payload arguments, return values, event fields)
+# ----------------------------------------------------------------------
+
+
+def _encode_value(value: Any):
+    """Flatten a contract-level value to tagged primitives."""
+    if isinstance(value, Address):
+        return ("A", value.raw)
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return ("P", value)
+    if isinstance(value, tuple):
+        return ("T", tuple(_encode_value(v) for v in value))
+    if isinstance(value, list):
+        return ("L", tuple(_encode_value(v) for v in value))
+    if isinstance(value, dict):
+        items = []
+        for key, val in value.items():
+            if not isinstance(key, str):
+                raise _Unshippable(f"dict key {type(key).__name__}")
+            items.append((key, _encode_value(val)))
+        return ("D", tuple(items))
+    raise _Unshippable(type(value).__name__)
+
+
+def _decode_value(encoded) -> Any:
+    tag, body = encoded
+    if tag == "A":
+        return Address(body)
+    if tag == "P":
+        return body
+    if tag == "T":
+        return tuple(_decode_value(v) for v in body)
+    if tag == "L":
+        return [_decode_value(v) for v in body]
+    if tag == "D":
+        return {key: _decode_value(val) for key, val in body}
+    raise ValueError(f"unknown value tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Transaction encoding
+# ----------------------------------------------------------------------
+
+
+def _encode_payload(payload):
+    if isinstance(payload, TransferPayload):
+        return ("transfer", payload.to.raw, payload.amount)
+    if isinstance(payload, CallPayload):
+        return (
+            "call",
+            payload.target.raw,
+            payload.method,
+            tuple(_encode_value(a) for a in payload.args),
+            payload.value,
+        )
+    if isinstance(payload, BytecodeCallPayload):
+        return ("bytecode-call", payload.target.raw, payload.calldata, payload.value)
+    # Deploys and Move1/Move2 are barriers and never reach a wave; any
+    # other payload kind simply does not ship.
+    raise _Unshippable(type(payload).__name__)
+
+
+def _decode_payload(encoded):
+    kind = encoded[0]
+    if kind == "transfer":
+        return TransferPayload(to=Address(encoded[1]), amount=encoded[2])
+    if kind == "call":
+        return CallPayload(
+            target=Address(encoded[1]),
+            method=encoded[2],
+            args=tuple(_decode_value(a) for a in encoded[3]),
+            value=encoded[4],
+        )
+    if kind == "bytecode-call":
+        return BytecodeCallPayload(
+            target=Address(encoded[1]), calldata=encoded[2], value=encoded[3]
+        )
+    raise ValueError(f"unknown payload kind {kind!r}")
+
+
+def encode_wave_tx(tx: Transaction, want_verdict: bool) -> Optional[tuple]:
+    """One transaction as a primitives-only tuple, or None when it
+    cannot ship (the parent then runs it at commit position).
+
+    ``want_verdict=True`` forwards the parent's memoized signature
+    verdict (seeded by :class:`~repro.parallel.pools.SignatureVerifierPool`
+    or a previous ``tx.verify()``) so the worker's in-line verification
+    becomes a cache hit.
+    """
+    try:
+        payload = _encode_payload(tx.payload)
+    except _Unshippable:
+        return None
+    verdict = None
+    if want_verdict:
+        cached = tx._verify_cache
+        if (
+            cached is not None
+            and cached[0] == tx.signature
+            and cached[1] == tx.signing_bytes()
+            and cached[2] is DEFAULT_SIGNER
+        ):
+            verdict = cached[3]
+    return (
+        tx.sender.raw,
+        tx.public_key,
+        tx.nonce,
+        tx.signature,
+        tx.tx_id,
+        payload,
+        tx.meta.get("gas_category") if tx.meta else None,
+        verdict,
+    )
+
+
+def _decode_tx(encoded: tuple) -> Transaction:
+    sender_raw, public_key, nonce, signature, tx_id, payload, category, verdict = encoded
+    tx = Transaction(
+        sender=Address(sender_raw),
+        public_key=public_key,
+        payload=_decode_payload(payload),
+        nonce=nonce,
+        signature=signature,
+        tx_id=tx_id,
+        meta={"gas_category": category} if category else {},
+    )
+    if verdict is not None:
+        # Re-key the memo against *this process's* DEFAULT_SIGNER —
+        # the memo compares signers by identity, and the executor's
+        # in-line tx.verify() uses exactly that instance.
+        tx._verify_cache = (tx.signature, tx.signing_bytes(), DEFAULT_SIGNER, verdict)
+    return tx
+
+
+# ----------------------------------------------------------------------
+# Coverage snapshot
+# ----------------------------------------------------------------------
+
+
+def encode_config(executor) -> bytes:
+    """The per-chain execution parameters a worker needs (stable for
+    the executor's lifetime, so the blob is built once and reused)."""
+    state = executor.runtime.state
+    return pickle.dumps(
+        (
+            executor.chain_id,
+            state.tree_factory,
+            executor.runtime.schedule,
+            executor.verify_signatures,
+            executor.tx_gas_limit,
+            executor.gas_price,
+        ),
+        protocol=_PICKLE,
+    )
+
+
+def encode_snapshot(state: WorldState, env, footprints: Sequence) -> bytes:
+    """Build and pickle the wave's coverage snapshot.
+
+    Coverage is the union of the wave members' footprints: every
+    address named by a ``b``/``n``/``c``/``s``/``s*`` key.  A contract
+    under an ``("s*", addr)`` wildcard ships its full storage;
+    otherwise only the named slots ship, together with the slot-cover
+    set so the worker can tell "covered and empty" from "uncovered".
+    Footprint entries that are not real addresses (a lying declared
+    footprint) are simply not covered — the worker's coverage check
+    turns any actual access into :class:`SpeculationUnsupported`.
+    """
+    covered: set = set()
+    slot_sets: Dict[Address, set] = {}
+    full_storage: set = set()
+    for footprint in footprints:
+        if footprint is None:
+            continue
+        for key in footprint.reads | footprint.writes:
+            if len(key) < 2 or not isinstance(key[1], Address):
+                continue
+            kind, address = key[0], key[1]
+            if kind in ("b", "n", "c"):
+                covered.add(address)
+            elif kind == "s":
+                covered.add(address)
+                if len(key) > 2 and isinstance(key[2], bytes):
+                    slot_sets.setdefault(address, set()).add(key[2])
+            elif kind == "s*":
+                covered.add(address)
+                full_storage.add(address)
+
+    accounts: Dict[bytes, Tuple[int, int]] = {}
+    contracts: Dict[bytes, tuple] = {}
+    mirrors: List[bytes] = []
+    codes: Dict[bytes, bytes] = {}
+    registered: List[bytes] = []
+    from repro.runtime.registry import knows_code
+
+    for address in covered:
+        record = state.contracts.get(address)
+        if record is not None:
+            if address in full_storage:
+                entries = tuple(record.storage.items())
+                slots = None
+            else:
+                named = slot_sets.get(address, ())
+                entries = tuple(
+                    (key, record.storage[key]) for key in named if key in record.storage
+                )
+                slots = tuple(named)
+            contracts[address.raw] = (
+                record.code_hash,
+                record.location,
+                record.balance,
+                record.move_nonce,
+                record.moved_at_height,
+                entries,
+                slots,
+            )
+            if address in state._mirrors:
+                mirrors.append(address.raw)
+            code = state.code_store.get(record.code_hash)
+            if code is not None:
+                codes[record.code_hash] = code
+            if knows_code(record.code_hash):
+                registered.append(record.code_hash)
+        else:
+            account = state.accounts.get(address)
+            if account is not None:
+                accounts[address.raw] = (account.balance, account.nonce)
+    return pickle.dumps(
+        (
+            (env.chain_id, env.height, env.timestamp),
+            frozenset(a.raw for a in covered),
+            accounts,
+            contracts,
+            frozenset(mirrors),
+            codes,
+            frozenset(registered),
+        ),
+        protocol=_PICKLE,
+    )
+
+
+class _WorkerLightClient:
+    """Any light-client use inside a worker aborts speculation — the
+    proof store lives in the parent and barriers never ship anyway."""
+
+    def __getattr__(self, name: str):
+        raise SpeculationUnsupported(
+            f"light-client access ({name}) inside a process speculation worker"
+        )
+
+
+class _WaveState(WorldState):
+    """World state populated from a coverage snapshot.
+
+    Reads of covered state return exactly the pre-wave values the
+    parent shipped; reads outside the coverage raise
+    :class:`SpeculationUnsupported`, so a footprint that
+    under-approximated its transaction degrades to serial re-execution
+    in the parent instead of producing a divergent result.
+    """
+
+    def __init__(self, chain_id: int, tree_factory, snapshot: tuple):
+        super().__init__(chain_id, tree_factory)
+        _env, covered, accounts, contracts, mirrors, codes, _registered = snapshot
+        self._covered = covered
+        self._slot_cover: Dict[Address, frozenset] = {}
+        for raw, fields in contracts.items():
+            code_hash, location, balance, move_nonce, moved_at, entries, slots = fields
+            address = Address(raw)
+            self.contracts[address] = ContractRecord(
+                code_hash=code_hash,
+                location=location,
+                balance=balance,
+                move_nonce=move_nonce,
+                storage=dict(entries),
+                moved_at_height=moved_at,
+            )
+            if slots is not None:
+                self._slot_cover[address] = frozenset(slots)
+        for raw, (balance, nonce) in accounts.items():
+            self.accounts[Address(raw)] = AccountRecord(balance=balance, nonce=nonce)
+        self._mirrors = {Address(raw) for raw in mirrors}
+        self.code_store.update(codes)
+
+    # -- coverage-checked read paths -----------------------------------
+
+    def _shared_balance(self, address: Address) -> int:
+        if address.raw not in self._covered:
+            raise SpeculationUnsupported(f"uncovered balance read at {address}")
+        return super()._shared_balance(address)
+
+    def contract(self, address: Address):
+        if address.raw not in self._covered:
+            raise SpeculationUnsupported(f"uncovered contract read at {address}")
+        return super().contract(address)
+
+    def is_mirror(self, address: Address) -> bool:
+        if address.raw not in self._covered:
+            raise SpeculationUnsupported(f"uncovered mirror check at {address}")
+        return super().is_mirror(address)
+
+    def has_code(self, code_hash: bytes) -> bool:
+        # Only deployment paths probe the code store, and deployments
+        # are barriers; a nonstandard caller falls back to the parent.
+        raise SpeculationUnsupported("code-store probe in a process worker")
+
+    def bump_nonce(self, address: Address) -> int:
+        # EOA nonces only move on CREATE-style deployments (barriers).
+        raise SpeculationUnsupported("nonce bump in a process worker")
+
+    def storage_get(self, address: Address, key: bytes) -> bytes:
+        record = self.require_contract(address)  # covered check above
+        frame = self._frame()
+        if frame is not None:
+            frame.reads.add(("s", address, key))
+            buffered = frame.storage_overlay(address, key)
+            if buffered is not None:
+                return buffered
+        cover = self._slot_cover.get(address)
+        if cover is not None and key not in cover:
+            raise SpeculationUnsupported(f"uncovered storage slot at {address}")
+        return record.storage.get(key, b"")
+
+
+# ----------------------------------------------------------------------
+# State-key / op / receipt transport
+# ----------------------------------------------------------------------
+
+
+def _encode_state_key(key: tuple) -> tuple:
+    if len(key) >= 2 and isinstance(key[1], Address):
+        return (key[0], key[1].raw) + tuple(key[2:])
+    return key
+
+
+def _decode_state_key(key: tuple) -> tuple:
+    if key[0] in ("b", "n", "c", "s", "s*"):
+        return (key[0], Address(key[1])) + tuple(key[2:])
+    return key
+
+
+def _encode_op(op: tuple) -> tuple:
+    # ("add_balance", addr, amt) | ("sub_balance", addr, amt)
+    # | ("bump_nonce", addr) | ("storage_set", addr, key, value)
+    return (op[0], op[1].raw) + tuple(op[2:])
+
+
+def _decode_op(op: tuple) -> tuple:
+    return (op[0], Address(op[1])) + tuple(op[2:])
+
+
+def _encode_receipt(receipt) -> tuple:
+    logs = tuple(
+        (name, tuple((key, _encode_value(val)) for key, val in fields.items()))
+        for name, fields in receipt.logs
+    )
+    return (
+        receipt.success,
+        receipt.gas_used,
+        receipt.error,
+        _encode_value(receipt.return_value),
+        logs,
+        tuple(receipt.gas_by_category.items()),
+        receipt.fee_paid,
+    )
+
+
+def _encode_outcome(receipt, frame: SpeculationFrame) -> tuple:
+    return (
+        _encode_receipt(receipt),
+        tuple(_encode_state_key(key) for key in frame.reads),
+        tuple(_encode_op(op) for op in frame.ops),
+    )
+
+
+def decode_outcome(element, tx: Transaction):
+    """Rebuild ``(receipt, frame, seconds)`` from a worker result.
+
+    The frame is reconstructed by replaying the decoded op log into a
+    fresh :class:`SpeculationFrame` — its overlay and write set come
+    out exactly as the worker's did — then the read set is restored.
+    ``(None, None, seconds)`` means the worker could not speculate the
+    transaction (coverage miss, unshippable result): the parent runs
+    it at commit position, identical to the thread backend's fallback.
+    """
+    from repro.statedb.receipts import Receipt
+
+    payload, seconds = element
+    if payload is None:
+        return None, None, seconds
+    receipt_fields, read_keys, ops = payload
+    success, gas_used, error, return_value, logs, by_category, fee_paid = receipt_fields
+    receipt = Receipt(
+        tx_id=tx.tx_id,
+        success=success,
+        gas_used=gas_used,
+        error=error,
+        return_value=_decode_value(return_value),
+        logs=[
+            (name, {key: _decode_value(val) for key, val in fields})
+            for name, fields in logs
+        ],
+        gas_by_category=dict(by_category),
+        fee_paid=fee_paid,
+    )
+    frame = SpeculationFrame()
+    for op in ops:
+        decoded = _decode_op(op)
+        getattr(frame, decoded[0])(*decoded[1:])
+    frame.reads = {_decode_state_key(key) for key in read_keys}
+    return receipt, frame, seconds
+
+
+# ----------------------------------------------------------------------
+# The worker entry point
+# ----------------------------------------------------------------------
+
+#: one-entry worker-side cache: chunks of the same wave share the same
+#: snapshot blob, so a worker that receives several chunks rebuilds the
+#: wave state once
+_WORKER_CACHE: dict = {"key": None, "executor": None, "env": None, "supported": True}
+
+
+def worker_init() -> None:
+    """Process-pool initializer for forked speculation workers.
+
+    A forked worker inherits the parent's whole heap — potentially a
+    multi-gigabyte world state.  The worker never touches those objects
+    (it executes against its own pickled coverage snapshot), but the
+    cyclic garbage collector would still *walk* them, and every visited
+    refcount write turns a shared copy-on-write page into a private
+    copy.  Freezing the inherited heap into the permanent generation
+    keeps the collector off it, so a worker forked next to a
+    million-account state stays cheap.
+    """
+    import gc
+
+    gc.freeze()
+
+
+def _worker_context(config_blob: bytes, snapshot_blob: bytes):
+    cache = _WORKER_CACHE
+    key = (config_blob, snapshot_blob)
+    if cache["key"] == key:
+        return cache["executor"], cache["env"], cache["supported"]
+    from repro.chain.executor import TransactionExecutor
+    from repro.runtime.registry import knows_code
+    from repro.runtime.runtime import Runtime
+
+    chain_id, tree_factory, schedule, verify, gas_limit, gas_price = pickle.loads(
+        config_blob
+    )
+    snapshot = pickle.loads(snapshot_blob)
+    env_fields, registered = snapshot[0], snapshot[6]
+    state = _WaveState(chain_id, tree_factory, snapshot)
+    runtime = Runtime(state, schedule)
+    executor = TransactionExecutor(
+        runtime,
+        _WorkerLightClient(),
+        None,  # registry: only Move2 needs it, and Move2 is a barrier
+        verify_signatures=verify,
+        tx_gas_limit=gas_limit,
+        gas_price=gas_price,
+        chain_id=chain_id,
+    )
+    from repro.runtime.context import BlockEnv
+
+    env = BlockEnv(chain_id=env_fields[0], height=env_fields[1], timestamp=env_fields[2])
+    # Stale-registry guard: the pool forked before a contract class was
+    # registered in the parent (possible when tests define contracts
+    # after the first parallel block).  Executing against a stale
+    # registry could turn a working call into a CodeNotFound fault, so
+    # the whole wave falls back to the parent's serial path instead.
+    supported = all(knows_code(code_hash) for code_hash in registered)
+    cache.update(key=key, executor=executor, env=env, supported=supported)
+    return executor, env, supported
+
+
+def execute_wave_chunk(
+    config_blob: bytes, snapshot_blob: bytes, txs_blob: bytes
+) -> List[tuple]:
+    """Process-pool entry point: speculate one chunk of a wave.
+
+    Returns one ``(payload | None, seconds)`` element per transaction,
+    in order; ``None`` payloads mean "could not speculate" and the
+    parent re-executes at commit position.
+    """
+    executor, env, supported = _worker_context(config_blob, snapshot_blob)
+    results: List[tuple] = []
+    for encoded in pickle.loads(txs_blob):
+        if encoded is None or not supported:
+            results.append((None, 0.0))
+            continue
+        tx = _decode_tx(encoded)
+        frame = SpeculationFrame()
+        start = perf_counter()
+        try:
+            receipt = executor.execute_speculative(tx, env, frame)
+        except SpeculationUnsupported:
+            results.append((None, perf_counter() - start))
+            continue
+        seconds = perf_counter() - start
+        try:
+            results.append((_encode_outcome(receipt, frame), seconds))
+        except _Unshippable:
+            # The execution worked but its result cannot travel as
+            # primitives; the parent's serial re-run produces the
+            # identical receipt.
+            results.append((None, seconds))
+    return results

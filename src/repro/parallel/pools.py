@@ -37,6 +37,16 @@ def _verify_triple(task) -> bool:
     return signer.verify(public_key, message, signature)
 
 
+def _verify_chunk(tasks) -> List[bool]:
+    """Top-level (picklable) worker: check a whole chunk of triples.
+
+    One IPC round-trip per chunk instead of per triple — with the
+    simulated single-hash signer the per-item dispatch overhead would
+    otherwise dwarf the verification itself.
+    """
+    return [signer.verify(pk, msg, sig) for signer, pk, msg, sig in tasks]
+
+
 class SignatureVerifierPool:
     """Batch signature pre-verification on a worker pool.
 
@@ -52,6 +62,8 @@ class SignatureVerifierPool:
         self.workers = max(1, workers)
         self.use_processes = use_processes
         self._pool = None
+        #: in-flight async batches: (txs, messages, signer, futures)
+        self._pending: List[tuple] = []
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -85,8 +97,66 @@ class SignatureVerifierPool:
             verdicts.append(verdict)
         return verdicts
 
+    def submit_prewarm(
+        self, txs: Sequence[Transaction], signer: Signer = DEFAULT_SIGNER
+    ) -> int:
+        """Start verifying a batch asynchronously; returns its size.
+
+        The batch ships to the pool in contiguous chunks (one pickle
+        per chunk) and verification overlaps whatever the caller does
+        next — typically the block interval.  :meth:`collect` harvests
+        the verdicts into the per-transaction memos; an uncollected
+        batch is harmless (``tx.verify()`` simply computes on demand).
+        """
+        if not txs:
+            return 0
+        pool = self._ensure_pool()
+        messages = [tx.signing_bytes() for tx in txs]
+        triples = [
+            (signer, tx.public_key, message, tx.signature)
+            for tx, message in zip(txs, messages)
+        ]
+        n_chunks = min(self.workers, len(triples))
+        base, extra = divmod(len(triples), n_chunks)
+        futures = []
+        start = 0
+        for chunk_index in range(n_chunks):
+            size = base + (1 if chunk_index < extra else 0)
+            futures.append(pool.submit(_verify_chunk, triples[start : start + size]))
+            start += size
+        self._pending.append((list(txs), messages, signer, futures))
+        return len(txs)
+
+    def collect(self) -> int:
+        """Harvest every in-flight batch into the verify memos.
+
+        Returns the number of transactions seeded.  A failed chunk is
+        skipped (its transactions verify in-line later) — the memo is
+        an accelerator, never a correctness dependency.
+        """
+        seeded = 0
+        for txs, messages, signer, futures in self._pending:
+            verdicts: List[bool] = []
+            broken = False
+            for future in futures:
+                try:
+                    verdicts.extend(future.result())
+                except Exception:
+                    broken = True
+                    break
+            if broken:
+                continue
+            for tx, message, ok in zip(txs, messages, verdicts):
+                verdict = ok and derive_address(tx.public_key) == tx.sender
+                tx._verify_cache = (tx.signature, message, signer, verdict)
+                seeded += 1
+        self._pending.clear()
+        return seeded
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent; in-flight prewarm
+        batches are dropped — verification falls back in-line)."""
+        self._pending.clear()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

@@ -124,13 +124,13 @@ class Slot:
 class _MapAccessor:
     """Live view over one contract's map slot."""
 
-    def __init__(self, contract: "Contract", base: bytes, value_kind: Type):
+    def __init__(self, contract: "Contract", slot: "MapSlot"):
         self._contract = contract
-        self._base = base
-        self._value_kind = value_kind
+        self._slot = slot
+        self._value_kind = slot.value_kind
 
     def _key(self, key: Any) -> bytes:
-        return keccak(self._base, encode_key(key))
+        return self._slot.derived_key(key)
 
     def __getitem__(self, key: Any) -> Any:
         return decode_value(self._contract._storage_read(self._key(key)), self._value_kind)
@@ -146,21 +146,51 @@ class _MapAccessor:
 
 
 class MapSlot:
-    """A mapping slot (``mapping(K => V)`` in Solidity terms)."""
+    """A mapping slot (``mapping(K => V)`` in Solidity terms).
+
+    Derived slot keys (``keccak(base, encode_key(k))``) are memoized on
+    the descriptor: the base key is fixed at class definition, so the
+    derivation is pure and one hot map key (SCoin allowance owners, a
+    kitty id) would otherwise re-hash on every single access.
+    """
+
+    #: derived-key memo bound (entries are 32-byte values keyed by small
+    #: primitives; 4096 keeps the worst case well under a megabyte)
+    _CACHE_LIMIT = 4096
 
     def __init__(self, key_kind: Type, value_kind: Type):
         self.key_kind = key_kind
         self.value_kind = value_kind
         self.base = b""
+        self._derived: dict = {}
 
     def __set_name__(self, owner: Type, name: str) -> None:
         self.name = name
         self.base = keccak(b"map", name.encode())
+        self._derived.clear()  # base changed: old derivations are stale
+
+    def derived_key(self, key: Any) -> bytes:
+        """The keccak-derived storage key for one mapping entry,
+        memoized per ``(type, key)`` — typed so bool/int stay apart
+        (``True == 1`` would otherwise alias two distinct encoded
+        keys).  The memo is bounded and cleared on re-registration."""
+        try:
+            memo_key = (key.__class__, key)
+            cached = self._derived.get(memo_key)
+            if cached is not None:
+                return cached
+            derived = keccak(self.base, encode_key(key))
+            if len(self._derived) >= self._CACHE_LIMIT:
+                self._derived.clear()
+            self._derived[memo_key] = derived
+            return derived
+        except TypeError:  # unhashable key type: derive uncached
+            return keccak(self.base, encode_key(key))
 
     def __get__(self, obj: Optional["Contract"], objtype: Type = None) -> Any:
         if obj is None:
             return self
-        return _MapAccessor(obj, self.base, self.value_kind)
+        return _MapAccessor(obj, self)
 
     def __set__(self, obj: "Contract", value: Any) -> None:
         raise AttributeError("assign through map[key] = value, not the map itself")

@@ -31,11 +31,35 @@ def _source_bytes(cls: Type) -> bytes:
         return f"{cls.__module__}.{cls.__qualname__}".encode()
 
 
+def _build_dispatch(cls: Type) -> Dict[str, tuple]:
+    """Specialize external-method dispatch at registration time.
+
+    ``Runtime.call`` otherwise pays a ``getattr`` plus three decorator
+    flag probes per call; the table precomputes
+    ``method -> (fn, is_view, is_payable)`` once.  Rebuilding it on
+    every (re-)registration is what invalidates stale entries when a
+    contract class is redefined and redeployed.
+    """
+    table: Dict[str, tuple] = {}
+    for name in dir(cls):
+        if name.startswith("_"):
+            continue
+        fn = getattr(cls, name, None)
+        if callable(fn) and getattr(fn, "_is_external", False):
+            table[name] = (
+                fn,
+                getattr(fn, "_is_view", False),
+                getattr(fn, "_is_payable", False),
+            )
+    return table
+
+
 def register_contract(cls: Type) -> Type:
     """Class decorator: compute CODE/CODE_HASH and register the class."""
     code = _source_bytes(cls)
     cls.CODE = code
     cls.CODE_HASH = keccak(code)
+    cls._RT_DISPATCH = _build_dispatch(cls)
     _REGISTRY[cls.CODE_HASH] = cls
     return cls
 
@@ -46,6 +70,11 @@ def lookup_code(code_hash: bytes) -> Type:
     if cls is None:
         raise CodeNotFound(f"unknown code hash {code_hash.hex()[:16]}…")
     return cls
+
+
+def knows_code(code_hash: bytes) -> bool:
+    """True when this process's registry can instantiate the class."""
+    return code_hash in _REGISTRY
 
 
 def code_for(cls: Type) -> bytes:

@@ -130,10 +130,22 @@ class Runtime:
         if record is None:
             raise Revert(f"no contract at {target}")
         cls = lookup_code(record.code_hash)
-        fn = getattr(cls, method, None)
-        if fn is None or not getattr(fn, "_is_external", False):
-            raise Revert(f"{cls.__name__} has no external method {method!r}")
-        is_view = getattr(fn, "_is_view", False)
+        # Specialized dispatch: registration precomputes
+        # ``method -> (fn, is_view, is_payable)`` so the hot call path
+        # skips the getattr + decorator-flag probes.  Own-class lookup
+        # only — a class not (re-)registered takes the generic path.
+        dispatch = cls.__dict__.get("_RT_DISPATCH")
+        if dispatch is not None:
+            entry = dispatch.get(method)
+            if entry is None:
+                raise Revert(f"{cls.__name__} has no external method {method!r}")
+            fn, is_view, is_payable = entry
+        else:
+            fn = getattr(cls, method, None)
+            if fn is None or not getattr(fn, "_is_external", False):
+                raise Revert(f"{cls.__name__} has no external method {method!r}")
+            is_view = getattr(fn, "_is_view", False)
+            is_payable = getattr(fn, "_is_payable", False)
         if self.state.is_locked(target) and not is_view:
             if self.state.is_mirror(target):
                 raise ReadOnlyReplicaError(
@@ -143,7 +155,7 @@ class Runtime:
             raise ContractLocked(
                 f"contract {target} moved to chain {record.location}"
             )
-        if value and not getattr(fn, "_is_payable", False):
+        if value and not is_payable:
             raise Revert(f"{method!r} is not payable")
         if value:
             self._transfer_value(sender, target, value)

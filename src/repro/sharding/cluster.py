@@ -46,6 +46,7 @@ class ShardedCluster:
         max_block_txs: int = 500,
         verify_signatures: bool = False,
         executor_workers: int = 0,
+        executor_backend: str = "thread",
     ):
         self.num_shards = num_shards
         self.sim = Simulator(seed=seed)
@@ -66,6 +67,7 @@ class ShardedCluster:
                 validator_count=validators_per_shard,
                 block_interval=block_interval,
                 executor_workers=executor_workers,
+                executor_backend=executor_backend,
             )
             chain = Chain(params, self.registry, verify_signatures=verify_signatures)
             self.shards.append(chain)
@@ -84,9 +86,16 @@ class ShardedCluster:
             engine.start()
 
     def stop(self) -> None:
-        """Stop consensus on every shard."""
+        """Stop consensus on every shard and release worker pools (the
+        pools recreate lazily, so a stopped cluster can restart)."""
         for engine in self.engines:
             engine.stop()
+        for shard in self.shards:
+            shard.close()
+
+    def close(self) -> None:
+        """Alias for :meth:`stop` — idiomatic for one-shot runs."""
+        self.stop()
 
     def run(self, until: float) -> None:
         """Advance the shared simulator to ``until`` seconds."""

@@ -34,9 +34,12 @@ WORKER_COUNTS = (1, 2, 4)
 # ----------------------------------------------------------------------
 
 
-def build_and_run(workers: int, ops):
+def build_and_run(workers: int, ops, backend: str = "thread"):
     """One chain, one SCoin deployment, then the drawn blocks."""
-    chain = Chain(burrow_params(1, executor_workers=workers), verify_signatures=True)
+    chain = Chain(
+        burrow_params(1, executor_workers=workers, executor_backend=backend),
+        verify_signatures=True,
+    )
     chain.fund({kp.address: 10**9 for kp in USERS})
     deploy = sign_transaction(USERS[0], DeployPayload(code_hash=SCoin.CODE_HASH), nonce=1)
     chain.submit(deploy)
@@ -122,25 +125,57 @@ def test_any_workload_is_worker_count_invariant(ops):
         )
 
 
-def test_self_transfer_and_hot_account_conflicts_stay_serial_equivalent():
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_self_transfer_and_hot_account_conflicts_stay_serial_equivalent(backend):
     # Everyone hammers user 0's balance and account: maximal conflict.
     ops = [[("transfer", i, 0, 7, False) for i in range(1, 10)]
            + [("call", i, 0, 1, False) for i in range(1, 10)]]
     root0, receipts0, stats0, _ = build_and_run(0, ops)
     for workers in WORKER_COUNTS:
-        root, receipts, stats, _ = build_and_run(workers, ops)
+        root, receipts, stats, _ = build_and_run(workers, ops, backend=backend)
         assert (root, receipts, stats) == (root0, receipts0, stats0)
 
 
-def test_universally_lying_footprints_stay_serial_equivalent():
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_universally_lying_footprints_stay_serial_equivalent(backend):
     # Every declaration is wrong — the validation/re-execution backstop
     # carries the whole block.
     ops = [[("call", i, (i + 1) % 10, 1, True) for i in range(10)] * 2]
     root0, receipts0, stats0, _ = build_and_run(0, ops)
     for workers in WORKER_COUNTS:
-        root, receipts, stats, report = build_and_run(workers, ops)
+        root, receipts, stats, report = build_and_run(workers, ops, backend=backend)
         assert (root, receipts, stats) == (root0, receipts0, stats0)
-        assert report.reexecuted > 0  # the lies actually collided
+        # The lies actually forced the backstop: thread frames read live
+        # state and fail validation (reexecuted); process workers get an
+        # empty coverage snapshot and bail out up front (unsupported).
+        # Either way every lying tx went through the serial path.
+        assert report.reexecuted + report.unsupported > 0
+
+
+def test_process_backend_is_worker_count_and_backend_invariant():
+    # A conflict-light mixed block (native transfers + token calls +
+    # deliberate aborts): the process workers must speculate it across
+    # pickled wave snapshots and still land byte-identical to serial
+    # AND to the thread backend at every worker count.
+    ops = [
+        [("call", i, (i + 3) % 10, 1, False) for i in range(10)]
+        + [("transfer", i, (i + 5) % 10, 7, False) for i in range(10)]
+        + [("transfer", 0, 1, 10**18, False), ("call", 2, 2, 1, True)],
+        [("call", i, (i + 1) % 10, 1, False) for i in range(10)],
+    ]
+    root0, receipts0, stats0, _ = build_and_run(0, ops)
+    for workers in WORKER_COUNTS:
+        for backend in ("thread", "process"):
+            root, receipts, stats, report = build_and_run(
+                workers, ops, backend=backend
+            )
+            assert (root, receipts, stats) == (root0, receipts0, stats0), (
+                f"{backend} backend diverged at {workers} workers"
+            )
+            assert (
+                report.committed + report.reexecuted + report.unsupported
+                == report.speculated
+            )
 
 
 # ----------------------------------------------------------------------
@@ -176,3 +211,31 @@ def test_chaos_seed_matrix_is_worker_count_invariant(seed, workload, pow_peer):
         assert asdict(reports[workers]) == serial, (
             f"chaos seed {seed} diverged at {workers} workers"
         )
+
+
+def test_chaos_replay_is_backend_invariant():
+    # One full fault schedule replayed serial / thread / process: the
+    # speculation backend must be as unobservable as the worker count,
+    # and the process pools must not outlive the run.
+    import multiprocessing
+
+    reports = {
+        label: run_chaos(
+            seed=1,
+            duration=60.0,
+            workload="scoin",
+            intensity=1.5,
+            executor_workers=workers,
+            executor_backend=backend,
+        )
+        for label, workers, backend in (
+            ("serial", 0, "thread"),
+            ("thread", 2, "thread"),
+            ("process", 2, "process"),
+        )
+    }
+    serial = asdict(reports["serial"])
+    assert serial["final_roots"], "chaos run produced no final roots"
+    assert asdict(reports["thread"]) == serial
+    assert asdict(reports["process"]) == serial
+    assert multiprocessing.active_children() == []

@@ -357,7 +357,15 @@ class TestParallelBlockExecutor:
             for i in range(4):
                 chain.submit(transfer(USERS[2 * i], USERS[2 * i + 1].address, nonce=i))
             chain.produce_block(timestamp=1.0)
-            return registry_to_prometheus(telemetry.metrics)
+            # The measured wall-clock instruments are real time and
+            # therefore the one deliberately nondeterministic part of
+            # the family (docs/PERFORMANCE.md); everything else must be
+            # byte-identical across worker counts.
+            return "\n".join(
+                line
+                for line in registry_to_prometheus(telemetry.metrics).splitlines()
+                if "executor_parallel_measured_" not in line
+            )
 
         assert run(1) == run(2) == run(4)
 

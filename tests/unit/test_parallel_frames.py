@@ -1,0 +1,441 @@
+"""Unit coverage for the process-backend wave serialization
+(:mod:`repro.parallel.frames`), the registration-time specialization
+pass, and the pool lifecycle fixes.
+
+The frames layer carries three invariants:
+
+* **round-trip fidelity** — transactions, receipts (logs and gas
+  included) and speculation frames survive encode/decode unchanged, so
+  a worker-produced outcome commits exactly like a thread-produced one;
+* **coverage honesty** — a worker-side read outside the shipped
+  coverage snapshot raises :class:`SpeculationUnsupported` instead of
+  inventing a value, so footprint under-approximation degrades to
+  serial re-execution, never to divergence;
+* **unshippable fallback** — payloads or results the primitive wire
+  format cannot express return ``None`` outcomes and the parent runs
+  those transactions at commit position.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.params import burrow_params
+from repro.chain.tx import (
+    CallPayload,
+    DEFAULT_SIGNER,
+    DeployPayload,
+    TransferPayload,
+    sign_transaction,
+)
+from repro.crypto.hashing import keccak
+from repro.crypto.keys import KeyPair
+from repro.errors import SpeculationUnsupported
+from repro.parallel import frames
+from repro.parallel.executor import ParallelBlockExecutor
+from repro.parallel.footprint import footprint_of
+from repro.runtime.context import BlockEnv
+from repro.runtime.contract import MapSlot
+from repro.statedb.state import SpeculationFrame, WorldState
+
+USERS = [KeyPair.from_name(f"frames-user-{i}") for i in range(6)]
+
+
+def _tx(payload, user=None, nonce=0):
+    return sign_transaction(user or USERS[0], payload, nonce=nonce)
+
+
+# ----------------------------------------------------------------------
+# Wire format round-trips
+# ----------------------------------------------------------------------
+
+
+class TestTransactionRoundTrip:
+    def test_transfer_round_trips(self):
+        tx = _tx(TransferPayload(to=USERS[1].address, amount=7), nonce=3)
+        encoded = frames.encode_wave_tx(tx, want_verdict=False)
+        decoded = frames._decode_tx(encoded)
+        assert decoded.sender == tx.sender
+        assert decoded.public_key == tx.public_key
+        assert decoded.nonce == tx.nonce
+        assert decoded.signature == tx.signature
+        assert decoded.tx_id == tx.tx_id
+        assert decoded.payload == tx.payload
+        assert decoded.signing_bytes() == tx.signing_bytes()
+
+    def test_call_with_mixed_args_round_trips(self):
+        payload = CallPayload(
+            target=USERS[1].address,
+            method="transfer_tokens",
+            args=(USERS[2].address, 5, "memo", b"\x01\x02", True, None),
+            value=9,
+        )
+        tx = _tx(payload, nonce=4)
+        decoded = frames._decode_tx(frames.encode_wave_tx(tx, want_verdict=False))
+        assert decoded.payload == payload
+
+    def test_deploy_payload_is_unshippable(self):
+        tx = _tx(DeployPayload(code_hash=b"\x11" * 32), nonce=5)
+        assert frames.encode_wave_tx(tx, want_verdict=False) is None
+
+    def test_unshippable_argument_is_unshippable(self):
+        # signable (canonical encoding sorts any dict) but outside the
+        # primitive wire format (non-string dict keys)
+        payload = CallPayload(
+            target=USERS[1].address, method="m", args=({1: 2},)
+        )
+        tx = _tx(payload, nonce=6)
+        assert frames.encode_wave_tx(tx, want_verdict=False) is None
+
+    def test_verdict_ships_only_from_default_signer_memo(self):
+        tx = _tx(TransferPayload(to=USERS[1].address, amount=1), nonce=7)
+        # no memo yet: nothing to ship
+        assert frames.encode_wave_tx(tx, want_verdict=True)[-1] is None
+        assert tx.verify()  # seeds the DEFAULT_SIGNER-keyed memo
+        encoded = frames.encode_wave_tx(tx, want_verdict=True)
+        assert encoded[-1] is True
+        # the decoded copy's memo makes verify() a cache hit
+        decoded = frames._decode_tx(encoded)
+        assert decoded._verify_cache[2] is DEFAULT_SIGNER
+        assert decoded.verify() is True
+
+    def test_bool_and_int_args_stay_distinct(self):
+        for value in (True, 1, False, 0):
+            decoded = frames._decode_value(frames._encode_value(value))
+            assert decoded == value and type(decoded) is type(value)
+
+
+class TestFrameRoundTrip:
+    def test_ops_and_reads_rebuild_identically(self):
+        frame = SpeculationFrame()
+        a, b = USERS[0].address, USERS[1].address
+        frame.add_balance(a, 10)
+        frame.sub_balance(b, 4)
+        frame.bump_nonce(a)
+        frame.storage_set(b, b"\x22" * 32, b"payload")
+        frame.reads.add(("b", a))
+        frame.reads.add(("s", b, b"\x22" * 32))
+        frame.reads.add(("code", b"\x33" * 32))
+
+        receipt_like = _make_receipt()
+        payload = frames._encode_outcome(receipt_like, frame)
+        tx = _tx(TransferPayload(to=b, amount=1), nonce=8)
+        receipt, rebuilt, _seconds = frames.decode_outcome((payload, 0.5), tx)
+        assert rebuilt.reads == frame.reads
+        assert rebuilt.writes == frame.writes
+        assert rebuilt.ops == frame.ops
+        assert rebuilt.balance_delta(a) == frame.balance_delta(a)
+        assert rebuilt.storage_overlay(b, b"\x22" * 32) == b"payload"
+        assert receipt.tx_id == tx.tx_id
+
+    def test_receipt_logs_and_gas_round_trip(self):
+        receipt = _make_receipt()
+        payload = frames._encode_outcome(receipt, SpeculationFrame())
+        tx = _tx(TransferPayload(to=USERS[1].address, amount=1), nonce=9)
+        decoded, _frame, _s = frames.decode_outcome((payload, 0.0), tx)
+        assert decoded.success == receipt.success
+        assert decoded.gas_used == receipt.gas_used
+        assert decoded.error == receipt.error
+        assert decoded.return_value == receipt.return_value
+        assert decoded.logs == receipt.logs
+        assert decoded.gas_by_category == receipt.gas_by_category
+        assert decoded.fee_paid == receipt.fee_paid
+
+    def test_none_payload_means_unsupported(self):
+        tx = _tx(TransferPayload(to=USERS[1].address, amount=1), nonce=10)
+        receipt, frame, seconds = frames.decode_outcome((None, 0.25), tx)
+        assert receipt is None and frame is None and seconds == 0.25
+
+
+def _make_receipt():
+    from repro.statedb.receipts import Receipt
+
+    return Receipt(
+        tx_id="ignored",
+        success=True,
+        gas_used=1234,
+        return_value=(True, USERS[2].address, [1, 2], {"k": b"v"}),
+        logs=[("Transfer", {"from": "a", "to": "b", "amount": 5})],
+        gas_by_category={"execution": 1000, "log": 234},
+        fee_paid=17,
+    )
+
+
+# ----------------------------------------------------------------------
+# Coverage snapshots and the worker-side state
+# ----------------------------------------------------------------------
+
+
+class TestWaveState:
+    def _snapshot_state(self):
+        from repro.merkle.iavl import IAVLTree
+
+        state = WorldState(1, IAVLTree)
+        a, b = USERS[0].address, USERS[1].address
+        state.fund = None  # not used; accounts created directly
+        state.add_balance(a, 100)
+        state.add_balance(b, 50)
+        return state, a, b
+
+    def test_covered_reads_see_prewave_values(self):
+        state, a, b = self._snapshot_state()
+        env = BlockEnv(chain_id=1, height=5, timestamp=9.0)
+        tx = _tx(TransferPayload(to=b, amount=1), user=USERS[0], nonce=11)
+        blob = frames.encode_snapshot(state, env, [footprint_of(tx)])
+        wave_state = frames._WaveState(1, state.tree_factory, pickle.loads(blob))
+        assert wave_state.balance_of(a) == 100
+        assert wave_state.balance_of(b) == 50
+
+    def test_uncovered_reads_raise(self):
+        state, a, b = self._snapshot_state()
+        env = BlockEnv(chain_id=1, height=5, timestamp=9.0)
+        tx = _tx(TransferPayload(to=b, amount=1), user=USERS[0], nonce=12)
+        blob = frames.encode_snapshot(state, env, [footprint_of(tx)])
+        wave_state = frames._WaveState(1, state.tree_factory, pickle.loads(blob))
+        outsider = USERS[3].address
+        with pytest.raises(SpeculationUnsupported):
+            wave_state.balance_of(outsider)
+        with pytest.raises(SpeculationUnsupported):
+            wave_state.contract(outsider)
+        with pytest.raises(SpeculationUnsupported):
+            wave_state.bump_nonce(a)
+        with pytest.raises(SpeculationUnsupported):
+            wave_state.has_code(b"\x00" * 32)
+
+    def test_junk_footprint_entries_are_skipped_not_fatal(self):
+        state, a, b = self._snapshot_state()
+        env = BlockEnv(chain_id=1, height=5, timestamp=9.0)
+        from repro.parallel.footprint import Footprint
+
+        junk = Footprint(
+            reads=frozenset({("b", a), ("b", "not-an-address"), ("weird",)}),
+            writes=frozenset({("b", a)}),
+        )
+        blob = frames.encode_snapshot(state, env, [junk])
+        wave_state = frames._WaveState(1, state.tree_factory, pickle.loads(blob))
+        assert wave_state.balance_of(a) == 100
+
+    def test_worker_light_client_aborts_speculation(self):
+        sentinel = frames._WorkerLightClient()
+        with pytest.raises(SpeculationUnsupported):
+            sentinel.store_for
+
+
+# ----------------------------------------------------------------------
+# End-to-end: execute_wave_chunk in-process
+# ----------------------------------------------------------------------
+
+
+class TestExecuteWaveChunk:
+    def test_chunk_matches_parent_execution(self):
+        chain = Chain(
+            burrow_params(1, executor_workers=2), verify_signatures=True
+        )
+        chain.fund({kp.address: 10**9 for kp in USERS})
+        txs = [
+            _tx(TransferPayload(to=USERS[i + 1].address, amount=5), USERS[i], nonce=20 + i)
+            for i in range(3)
+        ]
+        env = BlockEnv(chain_id=1, height=1, timestamp=1.0)
+        config_blob = frames.encode_config(chain.executor)
+        snapshot_blob = frames.encode_snapshot(
+            chain.state, env, [footprint_of(tx) for tx in txs]
+        )
+        encoded = [frames.encode_wave_tx(tx, want_verdict=False) for tx in txs]
+        results = frames.execute_wave_chunk(
+            config_blob, snapshot_blob, pickle.dumps(encoded)
+        )
+        assert len(results) == len(txs)
+        for tx, element in zip(txs, results):
+            receipt, frame, seconds = frames.decode_outcome(element, tx)
+            assert receipt is not None and receipt.success
+            assert frame.balance_delta(tx.payload.to) == 5
+            assert seconds >= 0.0
+        chain.close()
+
+    def test_stale_registry_degrades_to_unsupported(self):
+        chain = Chain(burrow_params(1, executor_workers=2), verify_signatures=False)
+        chain.fund({USERS[0].address: 10**9})
+        tx = _tx(TransferPayload(to=USERS[1].address, amount=1), nonce=30)
+        env = BlockEnv(chain_id=1, height=1, timestamp=1.0)
+        config_blob = frames.encode_config(chain.executor)
+        snapshot_blob = frames.encode_snapshot(chain.state, env, [footprint_of(tx)])
+        # Corrupt the shipped registered-hash set with a hash this
+        # process's registry cannot know: the whole chunk must fall
+        # back instead of executing against missing classes.
+        snapshot = list(pickle.loads(snapshot_blob))
+        snapshot[6] = frozenset({b"\xaa" * 32})
+        results = frames.execute_wave_chunk(
+            config_blob,
+            pickle.dumps(tuple(snapshot)),
+            pickle.dumps([frames.encode_wave_tx(tx, want_verdict=False)]),
+        )
+        assert results == [(None, 0.0)]
+        chain.close()
+
+
+# ----------------------------------------------------------------------
+# Specialization pass
+# ----------------------------------------------------------------------
+
+
+class TestSpecialization:
+    def test_dispatch_table_built_at_registration(self):
+        from repro.apps.scoin import SAccount, SCoin
+
+        for cls in (SAccount, SCoin):
+            table = cls.__dict__["_RT_DISPATCH"]
+            for name, (fn, is_view, is_payable) in table.items():
+                assert getattr(fn, "_is_external", False)
+                assert is_view == getattr(fn, "_is_view", False)
+                assert is_payable == getattr(fn, "_is_payable", False)
+        assert "transfer_tokens" in SAccount.__dict__["_RT_DISPATCH"]
+        assert "init" not in SAccount.__dict__["_RT_DISPATCH"]
+
+    def test_reregistration_rebuilds_the_table(self):
+        from repro.runtime.contract import Contract, external
+        from repro.runtime.registry import register_contract
+
+        @register_contract
+        class Widget(Contract):
+            @external
+            def ping(self) -> int:
+                return 1
+
+        first = Widget.__dict__["_RT_DISPATCH"]
+        assert set(first) == {"ping"}
+
+        # Redeploy scenario: the class is redefined (new methods) and
+        # re-registered — the table must reflect the new shape, not the
+        # stale one.
+        @register_contract
+        class Widget(Contract):  # noqa: F811
+            @external
+            def ping(self) -> int:
+                return 2
+
+            @external
+            def pong(self) -> int:
+                return 3
+
+        assert set(Widget.__dict__["_RT_DISPATCH"]) == {"ping", "pong"}
+
+    def test_mapslot_derived_key_matches_direct_derivation(self):
+        slot = MapSlot(int, int)
+        slot.__set_name__(None, "allowances")
+        from repro.runtime.contract import encode_key
+
+        key = USERS[0].address
+        assert slot.derived_key(key) == keccak(slot.base, encode_key(key))
+        # memoized path returns the same bytes
+        assert slot.derived_key(key) == slot.derived_key(key)
+
+    def test_mapslot_cache_keeps_bool_and_int_apart(self):
+        slot = MapSlot(bool, int)
+        slot.__set_name__(None, "flags")
+        assert slot.derived_key(True) != slot.derived_key(1)
+        assert slot.derived_key(False) != slot.derived_key(0)
+
+    def test_mapslot_rename_invalidates_cache(self):
+        slot = MapSlot(int, int)
+        slot.__set_name__(None, "first")
+        before = slot.derived_key(7)
+        slot.__set_name__(None, "second")
+        assert slot.derived_key(7) != before
+
+    def test_footprint_memo_is_sound_for_repeated_payloads(self):
+        tx1 = _tx(TransferPayload(to=USERS[1].address, amount=5), nonce=40)
+        tx2 = _tx(TransferPayload(to=USERS[1].address, amount=5), nonce=41)
+        assert footprint_of(tx1) == footprint_of(tx2)
+        assert footprint_of(tx1, gas_price=1) != footprint_of(tx1, gas_price=0)
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestPoolLifecycle:
+    def test_chain_close_is_idempotent_and_restart_safe(self):
+        chain = Chain(
+            burrow_params(
+                1, executor_workers=2, executor_backend="process"
+            ),
+            verify_signatures=True,
+        )
+        chain.fund({kp.address: 10**9 for kp in USERS})
+        for i in range(4):
+            chain.submit(
+                _tx(TransferPayload(to=USERS[i + 1].address, amount=1), USERS[i], nonce=50 + i)
+            )
+        chain.produce_block(timestamp=1.0)
+        chain.close()
+        chain.close()  # idempotent
+        assert not multiprocessing.active_children()
+        # pools recreate lazily: the chain still produces blocks
+        for i in range(4):
+            chain.submit(
+                _tx(TransferPayload(to=USERS[i + 1].address, amount=1), USERS[i], nonce=60 + i)
+            )
+        chain.produce_block(timestamp=2.0)
+        chain.close()
+        assert not multiprocessing.active_children()
+
+    def test_executor_close_shuts_both_pools(self):
+        chain = Chain(burrow_params(1, executor_workers=2), verify_signatures=False)
+        executor = ParallelBlockExecutor(
+            chain.executor, workers=2, chain_id=1, backend="process"
+        )
+        env = BlockEnv(chain_id=1, height=1, timestamp=1.0)
+        chain.fund({kp.address: 10**9 for kp in USERS})
+        txs = [
+            _tx(TransferPayload(to=USERS[i + 1].address, amount=1), USERS[i], nonce=70 + i)
+            for i in range(4)
+        ]
+        receipts, _report = executor.execute_block(txs, env)
+        assert all(r.success for r in receipts)
+        executor.close()
+        assert executor._pool is None and executor._process_pool is None
+        assert not multiprocessing.active_children()
+        chain.close()
+
+    def test_node_stop_releases_chain_pools(self):
+        from repro.node.node import Node
+
+        node = Node(
+            burrow_params(1, executor_workers=2, executor_backend="process"),
+            driver="timer",
+        )
+        node.start()
+        chain = node.chains[1]
+        chain.fund({kp.address: 10**9 for kp in USERS})
+        for i in range(4):
+            chain.submit(
+                _tx(TransferPayload(to=USERS[i + 1].address, amount=1), USERS[i], nonce=80 + i)
+            )
+        chain.produce_block(timestamp=1.0)
+        node.stop()
+        assert not multiprocessing.active_children()
+        # restart still works: pools come back lazily
+        node.start()
+        node.stop()
+
+    def test_verifier_pool_async_prewarm_seeds_memo(self):
+        from repro.parallel.pools import SignatureVerifierPool
+
+        txs = [
+            _tx(TransferPayload(to=USERS[1].address, amount=1), USERS[0], nonce=90 + i)
+            for i in range(5)
+        ]
+        with SignatureVerifierPool(workers=2, use_processes=True) as pool:
+            assert pool.submit_prewarm(txs) == 5
+            assert pool.collect() == 5
+        for tx in txs:
+            cached = tx._verify_cache
+            assert cached is not None and cached[3] is True
+            assert tx.verify() is True  # cache hit, still correct
+        assert not multiprocessing.active_children()
