@@ -1,0 +1,46 @@
+"""Facade section: transactions, identity and contract authoring.
+
+The wire layer (payload kinds, :func:`sign_transaction`,
+:class:`KeyPair` / :class:`Address`) and the Solidity-like authoring
+layer (:class:`MovableContract`, slots, the ``external`` / ``payable``
+/ ``view`` decorators, ``require``).
+
+Import from :mod:`repro.api`; this module only groups the re-exports.
+"""
+
+from __future__ import annotations
+
+from repro.chain.tx import (
+    CallPayload,
+    DeployPayload,
+    Move1Payload,
+    Move2Payload,
+    Transaction,
+    TransferPayload,
+    sign_transaction,
+)
+from repro.crypto.keys import Address, KeyPair
+from repro.lang import AccountI, MovableContract, STokenI, require
+from repro.runtime import MapSlot, Slot, external, payable, register_contract, view
+
+__all__ = [
+    "Transaction",
+    "sign_transaction",
+    "TransferPayload",
+    "DeployPayload",
+    "CallPayload",
+    "Move1Payload",
+    "Move2Payload",
+    "KeyPair",
+    "Address",
+    "MovableContract",
+    "AccountI",
+    "STokenI",
+    "register_contract",
+    "external",
+    "payable",
+    "view",
+    "Slot",
+    "MapSlot",
+    "require",
+]

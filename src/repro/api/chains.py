@@ -1,0 +1,52 @@
+"""Facade section: chains and the planes that connect them.
+
+The chain substrate (:class:`Chain`, :class:`ChainParams` and the
+paper's two presets), the cross-chain protocol layer (header relays,
+the lockstep :class:`IBCBridge` and its :class:`MovePhases` record),
+the discrete-event :class:`Simulator`, sharded clusters, the
+rebalancing control plane and read-only replication.
+
+Import from :mod:`repro.api`; this module only groups the re-exports.
+"""
+
+from __future__ import annotations
+
+from repro.chain.chain import Chain
+from repro.chain.params import ChainParams, burrow_params, ethereum_params
+from repro.core.registry import ChainRegistry
+from repro.ibc.bridge import IBCBridge, MovePhases
+from repro.ibc.headers import HeaderRelay, connect_chains
+from repro.net.sim import Simulator
+from repro.rebalance import (
+    RebalancePolicy,
+    Rebalancer,
+    ShardLoadView,
+    SignalPlane,
+)
+from repro.replicate import (
+    Mirror,
+    ReplicationManager,
+    ReplicationRelay,
+)
+from repro.sharding.cluster import ShardedCluster
+
+__all__ = [
+    "Chain",
+    "ChainParams",
+    "burrow_params",
+    "ethereum_params",
+    "ChainRegistry",
+    "HeaderRelay",
+    "connect_chains",
+    "IBCBridge",
+    "MovePhases",
+    "Simulator",
+    "ShardedCluster",
+    "SignalPlane",
+    "ShardLoadView",
+    "RebalancePolicy",
+    "Rebalancer",
+    "ReplicationManager",
+    "ReplicationRelay",
+    "Mirror",
+]

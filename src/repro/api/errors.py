@@ -1,0 +1,59 @@
+"""Facade section: the typed error taxonomy.
+
+Every failure an application can observe is a :class:`ReproError`
+subclass carrying a machine-readable ``code`` — clients branch on
+``error.code``, never on message strings.  Protocol-level failures
+root at :class:`TransactionAborted` / :class:`MoveError`;
+serving-level ones at :class:`GatewayError`, with load sheds under
+:class:`Overloaded` (:class:`ShedByClass` names the priority class and
+client actually dropped; :class:`RateLimited` the client past its
+bucket).
+
+Import from :mod:`repro.api`; this module only groups the re-exports.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ConfigError,
+    ContractLocked,
+    GatewayError,
+    InvalidRequest,
+    InvariantViolation,
+    MoveError,
+    OutOfGas,
+    Overloaded,
+    ProofError,
+    RateLimited,
+    ReadOnlyReplicaError,
+    ReplayError,
+    ReplicaUnavailable,
+    ReproError,
+    RequestTimeout,
+    Revert,
+    ShedByClass,
+    TransactionAborted,
+    UnknownChainError,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "TransactionAborted",
+    "Revert",
+    "OutOfGas",
+    "ContractLocked",
+    "MoveError",
+    "ReplayError",
+    "ProofError",
+    "InvariantViolation",
+    "GatewayError",
+    "Overloaded",
+    "ShedByClass",
+    "RateLimited",
+    "RequestTimeout",
+    "UnknownChainError",
+    "InvalidRequest",
+    "ReadOnlyReplicaError",
+    "ReplicaUnavailable",
+]

@@ -1,0 +1,29 @@
+"""Facade section: observation and adversity.
+
+:class:`Telemetry` (metrics + traces), deterministic fault injection
+(:class:`FaultPlan`), and the health plane (:class:`HealthMonitor`,
+SLO burn-rate alerting via :class:`SloSpec`, and the
+:class:`FlightRecorder` postmortem buffer).
+
+Import from :mod:`repro.api`; this module only groups the re-exports.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan
+from repro.health import (
+    FlightRecorder,
+    HealthMonitor,
+    SloSpec,
+    default_slos,
+)
+from repro.telemetry import Telemetry
+
+__all__ = [
+    "Telemetry",
+    "FaultPlan",
+    "HealthMonitor",
+    "SloSpec",
+    "FlightRecorder",
+    "default_slos",
+]

@@ -1,0 +1,40 @@
+"""Facade section: the serving tier.
+
+Everything needed to stand up a serving deployment and talk to it —
+the :class:`Node` runtime, the :class:`Gateway` (and the replicated
+:class:`GatewayFleet`) admission tier with its :class:`PriorityClass`
+model, the :class:`Client` SDK, the deterministic transports, the
+request/move futures, and the push-path :class:`Subscription`.
+
+Import from :mod:`repro.api`; this module only groups the re-exports.
+"""
+
+from __future__ import annotations
+
+from repro.gateway import (
+    Client,
+    Gateway,
+    GatewayFleet,
+    GatewayLimits,
+    InProcessTransport,
+    MoveHandle,
+    PriorityClass,
+    RequestHandle,
+    SimNetTransport,
+    Subscription,
+)
+from repro.node import Node
+
+__all__ = [
+    "Node",
+    "Gateway",
+    "GatewayFleet",
+    "GatewayLimits",
+    "PriorityClass",
+    "Client",
+    "InProcessTransport",
+    "SimNetTransport",
+    "RequestHandle",
+    "MoveHandle",
+    "Subscription",
+]

@@ -169,6 +169,8 @@ def _cmd_gateway(args) -> int:
     from repro.metrics.cdf import percentile
     from repro.workload.gateway import GatewayWorkload
 
+    if args.replicas > 1:
+        return _cmd_gateway_fleet(args)
     limits = GatewayLimits(
         max_queue_depth=args.queue,
         rate_limit=args.rate_limit,
@@ -199,6 +201,51 @@ def _cmd_gateway(args) -> int:
               f"p50 {percentile(samples, 0.5):5.1f}s "
               f"p99 {percentile(samples, 0.99):6.1f}s")
     print(f"  blocks     : {report.blocks}, final root {report.final_root[:16]}…")
+    return 0
+
+
+def _cmd_gateway_fleet(args) -> int:
+    from repro.api import GatewayLimits
+    from repro.workload.fleet import CLASS_LABELS, FleetWorkload
+
+    limits = GatewayLimits(
+        max_queue_depth=args.queue,
+        batch_size=16,
+        flush_interval=0.5,
+        rate_limit=args.rate_limit,
+        shed_policy=args.policy,
+        mempool_headroom=4,
+    )
+    workload = FleetWorkload(
+        clients=args.clients,
+        replicas=args.replicas,
+        total_rate=args.clients * args.rate,
+        seed=args.seed,
+        limits=limits,
+    )
+    report = workload.run(duration=args.duration)
+    if args.json:
+        _print_json(report.to_dict())
+        return 0
+    print(f"{report.clients} Zipf clients through {report.replicas} replicas, "
+          f"{report.offered_rate:.0f} tx/s aggregate for {report.duration:.0f}s, "
+          f"queue bound {args.queue}/replica, policy {args.policy}")
+    print(f"  submitted  : {report.submitted}")
+    print(f"  confirmed  : {report.confirmed} ({report.throughput:.1f} tx/s)")
+    shed = ", ".join(
+        f"{cls}={n}" for cls, n in sorted(report.shed_by_class.items())
+    ) or "none"
+    print(f"  shed       : {report.shed_total} by victim class — {shed}")
+    for label in CLASS_LABELS:
+        p99 = report.latency_p99(label)
+        print(f"  {label:<5} p99  : "
+              + (f"{p99:6.2f}s" if p99 is not None else "     —")
+              + f"  ({report.confirmed_by_class.get(label, 0)}"
+              f"/{report.offered_by_class.get(label, 0)} confirmed)")
+    print(f"  unresolved : {report.unresolved}")
+    print(f"  peak queue : {report.peak_queue_depth} (bound {args.queue})")
+    print(f"  blocks     : {report.blocks}, final root {report.final_root[:16]}…")
+    print(f"  log digest : {report.log_digest[:16]}… (replay witness)")
     return 0
 
 
@@ -556,6 +603,8 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--rate-limit", type=float, default=0.0,
                          help="per-client sustained tx/s (0 disables)")
     gateway.add_argument("--policy", choices=["shed", "block"], default="shed")
+    gateway.add_argument("--replicas", type=int, default=1,
+                         help="gateway replicas (>1 runs the Zipf fleet workload)")
     gateway.add_argument("--json", action="store_true", help="machine-readable output")
     gateway.set_defaults(fn=_cmd_gateway)
 

@@ -154,10 +154,53 @@ class Overloaded(GatewayError):
     code = "overloaded"
 
 
-class QueueFull(Overloaded):
-    """The target chain's bounded admission queue is at capacity."""
+class ShedByClass(Overloaded):
+    """The bounded admission queue shed work, attributed to the
+    priority class and client that actually lost their slot.
+
+    With classed admission (docs/SERVING.md) a full queue does not
+    simply refuse the newcomer: a higher-class arrival evicts the most
+    recent entry of the lowest backlogged class instead, so the victim
+    of a shed is not necessarily the enqueuer.  ``shed_class`` /
+    ``shed_client`` name the entry that was actually dropped and
+    ``chain_id`` the queue it was dropped from — accounting follows the
+    victim, never the trigger.  The wire code stays ``"queue_full"``
+    so existing clients keep branching correctly.
+
+    ``QueueFull`` is the pre-fleet name for this rejection and remains
+    an alias (deprecated at the :mod:`repro.api` facade).
+    """
 
     code = "queue_full"
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        code: str = None,
+        shed_class: str = None,
+        shed_client: str = None,
+        chain_id: int = None,
+    ):
+        super().__init__(message, code=code)
+        #: label of the priority class that lost the slot ("move" /
+        #: "view" / "bulk"), or None for un-classed queues
+        self.shed_class = shed_class
+        #: client whose entry was dropped (may differ from the caller)
+        self.shed_client = shed_client
+        self.chain_id = chain_id
+
+    def to_dict(self) -> dict:
+        """Wire shape; carries the victim attribution when known."""
+        payload = super().to_dict()
+        if self.shed_class is not None:
+            payload["shed_class"] = self.shed_class
+        return payload
+
+
+#: Deprecated alias (PR 5 name); importable plainly here for internal
+#: raisers, with a DeprecationWarning at the repro.api facade.
+QueueFull = ShedByClass
 
 
 class RateLimited(Overloaded):

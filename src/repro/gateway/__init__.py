@@ -1,20 +1,29 @@
-"""The request gateway: batched admission, backpressure, typed sheds.
+"""The serving tier: replicated gateways, classed admission, typed sheds.
 
 One audited, instrumented front door in front of a
-:class:`~repro.node.Node` — bounded per-chain admission queues,
-micro-batched mempool submission, per-client token-bucket rate
-limiting, shed-or-block backpressure with machine-readable
-:class:`~repro.errors.Overloaded` rejections, request deadlines with
-idempotent retry keys, and cross-chain moves tracked as
-:class:`MoveHandle` futures.  Two deterministic transports: in-process
-(synchronous) and simulated-network (seeded latency, so chaos seeds
-replay byte-identically).
+:class:`~repro.node.Node` — and, with :class:`GatewayFleet`, N of them
+sharing one admission budget.  Bounded per-chain classed queues
+(:class:`PriorityClass`: moves ahead of views ahead of bulk),
+deficit-round-robin fairness across clients, micro-batched mempool
+submission, per-client token-bucket rate limiting, shed-or-block
+backpressure with machine-readable :class:`~repro.errors.ShedByClass`
+rejections attributed to the entry actually dropped, request deadlines
+with idempotent retry keys, push subscriptions
+(:class:`Subscription` via ``watch_contract`` / ``watch_move``), and
+cross-chain moves tracked as :class:`MoveHandle` futures.  Two
+deterministic transports: in-process (synchronous) and
+simulated-network (seeded latency, so chaos seeds replay
+byte-identically).
 
 The stable import surface for applications is :mod:`repro.api`; this
 package is its implementation.
 """
 
+from repro.gateway.budget import AdmissionBudget
+from repro.gateway.classes import PriorityClass, classify
 from repro.gateway.client import Client
+from repro.gateway.fairqueue import ClassedFairQueue, QueueEntry
+from repro.gateway.fleet import GatewayFleet
 from repro.gateway.gateway import Gateway
 from repro.gateway.handles import (
     CONFIRMED,
@@ -26,17 +35,26 @@ from repro.gateway.handles import (
     RequestHandle,
 )
 from repro.gateway.limits import GatewayLimits, TokenBucket
+from repro.gateway.subscription import Subscription, SubscriptionHub
 from repro.gateway.transport import InProcessTransport, SimNetTransport
 
 __all__ = [
+    "AdmissionBudget",
     "Client",
+    "ClassedFairQueue",
     "Gateway",
+    "GatewayFleet",
     "GatewayLimits",
+    "PriorityClass",
+    "QueueEntry",
+    "Subscription",
+    "SubscriptionHub",
     "TokenBucket",
     "RequestHandle",
     "MoveHandle",
     "InProcessTransport",
     "SimNetTransport",
+    "classify",
     "PENDING",
     "QUEUED",
     "SUBMITTED",

@@ -1,0 +1,45 @@
+"""The shared admission budget: one mempool-headroom meter per tick.
+
+A single gateway meters its own flushes against the chain's mempool
+headroom.  A fleet of replicas cannot — each replica flushing its own
+``headroom - len(mempool)`` view would multiply the allowance by the
+replica count and relocate the backlog downstream, exactly what PR 5's
+end-to-end backpressure exists to prevent.  The fleet therefore
+refreshes **one** :class:`AdmissionBudget` per flush tick and threads
+it through every replica's flush: grants are first-come within the
+tick (the fleet rotates which replica flushes first, so no replica is
+structurally first every tick) and the *sum* of all replicas' flushes
+stays under the same bound one gateway would respect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class AdmissionBudget:
+    """Per-chain flush allowance, shared by every replica in one tick."""
+
+    def __init__(self, node, limits):
+        self.node = node
+        self.limits = limits
+        self._room: Dict[int, int] = {}
+
+    def refresh(self) -> None:
+        """Re-measure headroom from the live mempools (once per tick)."""
+        headroom_blocks = self.limits.mempool_headroom
+        for chain_id, chain in self.node.chains.items():
+            room = headroom_blocks * chain.params.max_block_txs - len(chain.mempool)
+            self._room[chain_id] = max(0, room)
+
+    def take(self, chain_id: int, want: int) -> int:
+        """Grant up to ``want`` flush slots on ``chain_id``; the grant
+        is deducted so later takers in the same tick see less."""
+        room = self._room.get(chain_id, 0)
+        grant = min(want, room)
+        self._room[chain_id] = room - grant
+        return grant
+
+    def remaining(self, chain_id: int) -> int:
+        """Unclaimed slots left on ``chain_id`` this tick."""
+        return self._room.get(chain_id, 0)

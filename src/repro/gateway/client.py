@@ -2,13 +2,18 @@
 
 A :class:`Client` owns a keypair and a transport, signs payloads, and
 exposes the operations applications actually perform — ``transfer`` /
-``deploy`` / ``call`` / ``move`` — as futures.  ``wait`` drives the
-node until a future resolves, so a script reads like blocking code:
+``deploy`` / ``call`` / ``move`` — as futures.  ``wait`` (on the client
+or directly on a handle) drives the node until a future resolves, so a
+script reads like blocking code:
 
     handle = client.deploy(GuestBook)
-    receipt = client.wait(handle)
+    receipt = handle.wait()
     book = receipt.return_value
-    done = client.wait(client.move(book, target_chain=2))
+    done = client.move(book, target_chain=2).wait()
+
+Every submit path takes ``priority=`` to re-tag the request's admission
+class (``"move"`` / ``"view"`` / ``"bulk"``), and ``watch_contract`` /
+``watch_move`` subscribe to pushed events instead of polling.
 
 Every rejection surfaces as a typed
 :class:`~repro.errors.GatewayError` from ``wait``/``result`` — clients
@@ -29,20 +34,41 @@ from repro.chain.tx import (
 )
 from repro.crypto.keys import Address, KeyPair
 from repro.errors import ConfigError, RequestTimeout
+from repro.gateway.gateway import PriorityLike
 from repro.gateway.handles import MoveHandle, RequestHandle
+from repro.gateway.subscription import Subscription
 from repro.ibc.bridge import CompletionFactory
 
 
 class Client:
-    """One application identity submitting through a gateway."""
+    """One application identity submitting through a gateway.
+
+    Configuration is keyword-only past the transport, and every field
+    is validated on construction with a :class:`ConfigError` naming the
+    offending field — a typo'd identity should fail at assembly, not as
+    a cryptic ``AttributeError`` mid-experiment.
+    """
 
     def __init__(
         self,
         transport,
+        *,
         keypair: Optional[KeyPair] = None,
         name: Optional[str] = None,
         default_chain: Optional[int] = None,
     ):
+        if keypair is not None and not isinstance(keypair, KeyPair):
+            raise ConfigError(
+                f"keypair must be a KeyPair, got {type(keypair).__name__}"
+            )
+        if name is not None and not isinstance(name, str):
+            raise ConfigError(f"name must be a str, got {type(name).__name__}")
+        if default_chain is not None and (
+            not isinstance(default_chain, int) or isinstance(default_chain, bool)
+        ):
+            raise ConfigError(
+                f"default_chain must be an int chain id, got {default_chain!r}"
+            )
         if keypair is None:
             if name is None:
                 raise ConfigError("a Client needs a keypair or a name to derive one")
@@ -81,11 +107,21 @@ class Client:
         payload: Payload,
         chain: Optional[int] = None,
         key: Optional[str] = None,
+        priority: Optional[PriorityLike] = None,
     ) -> RequestHandle:
-        """Sign and submit any payload kind; returns its future."""
+        """Sign and submit any payload kind; returns its future.
+
+        ``priority`` re-tags the admission class (a
+        :class:`~repro.gateway.classes.PriorityClass` or its label,
+        e.g. ``"view"``); omitted, the gateway classifies by payload.
+        """
         tx = sign_transaction(self.keypair, payload)
         return self.transport.submit(
-            tx, self._chain_id(chain), client_id=self.client_id, idempotency_key=key
+            tx,
+            self._chain_id(chain),
+            client_id=self.client_id,
+            idempotency_key=key,
+            priority=priority,
         )
 
     def transfer(
@@ -94,9 +130,12 @@ class Client:
         amount: int,
         chain: Optional[int] = None,
         key: Optional[str] = None,
+        priority: Optional[PriorityLike] = None,
     ) -> RequestHandle:
-        """Native-currency transfer."""
-        return self.submit_payload(TransferPayload(to=to, amount=amount), chain, key)
+        """Native-currency transfer (``BULK`` class unless re-tagged)."""
+        return self.submit_payload(
+            TransferPayload(to=to, amount=amount), chain, key, priority
+        )
 
     def deploy(
         self,
@@ -105,11 +144,15 @@ class Client:
         value: int = 0,
         chain: Optional[int] = None,
         key: Optional[str] = None,
+        priority: Optional[PriorityLike] = None,
     ) -> RequestHandle:
         """Deploy a registered contract class (or a raw code hash)."""
         code_hash = contract.CODE_HASH if isinstance(contract, type) else contract
         return self.submit_payload(
-            DeployPayload(code_hash=code_hash, args=tuple(args), value=value), chain, key
+            DeployPayload(code_hash=code_hash, args=tuple(args), value=value),
+            chain,
+            key,
+            priority,
         )
 
     def call(
@@ -120,10 +163,14 @@ class Client:
         value: int = 0,
         chain: Optional[int] = None,
         key: Optional[str] = None,
+        priority: Optional[PriorityLike] = None,
     ) -> RequestHandle:
         """Invoke an external contract method."""
         return self.submit_payload(
-            CallPayload(target=target, method=method, args=args, value=value), chain, key
+            CallPayload(target=target, method=method, args=args, value=value),
+            chain,
+            key,
+            priority,
         )
 
     def move(
@@ -134,7 +181,8 @@ class Client:
         completions: Sequence[CompletionFactory] = (),
         key: Optional[str] = None,
     ) -> MoveHandle:
-        """Move a contract cross-chain; returns the move's future."""
+        """Move a contract cross-chain; returns the move's future
+        (``MOVE`` class throughout — moves are never re-tagged down)."""
         return self.transport.move(
             self.keypair,
             contract,
@@ -144,6 +192,24 @@ class Client:
             client_id=self.client_id,
             idempotency_key=key,
         )
+
+    # ------------------------------------------------------------------
+    # Subscriptions (push, not poll)
+    # ------------------------------------------------------------------
+
+    def watch_contract(
+        self, target: Address, chain: Optional[int] = None
+    ) -> Subscription:
+        """Subscribe to committed transactions touching ``target`` —
+        events push from the gateway's block stream; no polling."""
+        return self.transport.watch_contract(
+            self._chain_id(chain), target, self.client_id
+        )
+
+    def watch_move(self, handle: MoveHandle) -> Subscription:
+        """Subscribe to a move's stage stream (stages already traversed
+        replay immediately, the rest push as the gateway advances them)."""
+        return self.transport.watch_move(handle, self.client_id)
 
     # ------------------------------------------------------------------
     # Reads and awaiting
@@ -170,7 +236,8 @@ class Client:
         result (receipt or :class:`~repro.ibc.bridge.MovePhases`).
         Raises the handle's typed error on rejection, or
         :class:`~repro.errors.RequestTimeout` if ``max_time`` simulated
-        seconds pass first."""
+        seconds pass first.  (``handle.wait(timeout=...)`` is the same
+        operation on the handle itself.)"""
         deadline = None if max_time is None else self.node.now + max_time
         resolved = self.node.run_until(lambda: handle.done, max_time=deadline)
         if not resolved:

@@ -4,18 +4,30 @@ Everything a client sends — transfers, deploys, calls, whole
 cross-chain moves — enters through :meth:`Gateway.submit` /
 :meth:`Gateway.move` and is subject to the same admission discipline:
 
-* **bounded queues** — each served chain gets one FIFO admission queue
-  bounded by ``limits.max_queue_depth``; memory stays bounded no
-  matter how many clients pile on;
+* **priority classes** — every request carries a
+  :class:`~repro.gateway.classes.PriorityClass` (moves/confirms ahead
+  of views/subscriptions ahead of bulk transfers).  Classes flush in
+  strict priority order and shed in reverse: an arrival that finds the
+  queue at bound evicts the most recent entry of the lowest backlogged
+  class below its own, so bulk bursts never crowd out a move;
+* **weighted-fair admission** — within a class, per-client FIFO lanes
+  served deficit-round-robin (``limits.drr_quantum`` per turn) replace
+  the PR 5 flat FIFO, so one aggressive client cannot monopolize a
+  replica (:mod:`repro.gateway.fairqueue`);
+* **bounded queues** — each served chain gets one classed queue bounded
+  by ``limits.max_queue_depth``; memory stays bounded no matter how
+  many clients pile on;
 * **micro-batching** — a flush loop pours queued transactions into the
   chain mempools every ``limits.flush_interval`` simulated seconds, up
-  to ``limits.batch_size`` per chain per flush, preserving admission
-  order (which is what makes gateway-routed workloads byte-identical
-  to direct mempool submission);
-* **backpressure** — past the bound the configured shed policy applies:
-  ``"shed"`` rejects immediately with a typed
-  :class:`~repro.errors.QueueFull`; ``"block"`` parks the request in a
-  bounded overflow lot that drains into the queue as blocks commit;
+  to ``limits.batch_size`` per chain per flush;
+* **backpressure** — past the bound the shed policy applies: ``"shed"``
+  rejects with a typed :class:`~repro.errors.ShedByClass` attributed to
+  the entry actually dropped (victim, not enqueuer); ``"block"`` parks
+  the request in a bounded overflow lot that drains as blocks commit.
+  Flushes are metered against the chain's mempool headroom — shared
+  fleet-wide through an :class:`~repro.gateway.budget.AdmissionBudget`
+  when this gateway is a :class:`~repro.gateway.fleet.GatewayFleet`
+  replica;
 * **rate limiting** — a per-client token bucket
   (:class:`~repro.gateway.limits.TokenBucket`) sheds with
   :class:`~repro.errors.RateLimited` past the configured rate;
@@ -23,30 +35,33 @@ cross-chain moves — enters through :meth:`Gateway.submit` /
   ``request_timeout`` fails with :class:`~repro.errors.RequestTimeout`
   if unresolved by then, and a retry carrying the same idempotency key
   reattaches to the original submission instead of double-submitting.
-  Keys bind only on successful admission (a shed or rejected request
-  never wedges its key), a retry after a timeout resolves to the
-  original transaction's eventual receipt, and records are evicted
-  ``limits.idempotency_retention`` seconds after resolution so the
-  table stays bounded (token buckets are LRU-capped at
-  ``limits.max_clients`` for the same reason);
+  Keys bind only on successful admission, a retry after a timeout
+  resolves to the original transaction's eventual receipt, and records
+  are evicted ``limits.idempotency_retention`` seconds after
+  resolution (token buckets are LRU-capped at ``limits.max_clients``);
+* **subscriptions** — :meth:`watch_contract` / :meth:`watch_move` push
+  contract events and move handle-state from the gateway's block
+  subscription instead of clients polling
+  (:mod:`repro.gateway.subscription`);
 * **error boundary** — raw ``KeyError``/``ValueError``/``TypeError``
-  escapes from request handling are mapped to
-  :class:`~repro.errors.InvalidRequest`, so every outcome a client can
-  observe is a :class:`~repro.errors.ReproError` subclass carrying a
-  machine-readable reason code.
+  escapes are mapped to :class:`~repro.errors.InvalidRequest`, so every
+  outcome a client can observe is a :class:`~repro.errors.ReproError`
+  subclass carrying a machine-readable reason code.
 
 The gateway also owns block production: ``start()`` starts the node's
-driver and the flush loop together, so "serving" is one call.
-Telemetry rides along — admissions, flushes and sheds feed the shared
-:class:`~repro.telemetry.metrics.MetricsRegistry`, and traced
-transactions get ``gateway.admit`` / ``gateway.flush`` events on their
-move traces (docs/OBSERVABILITY.md lists the names).
+driver and the flush loop together, so "serving" is one call (a fleet
+replica instead starts with its fleet).  Telemetry rides along —
+admissions, flushes and sheds feed the shared
+:class:`~repro.telemetry.metrics.MetricsRegistry` with per-class
+``gateway_class_*`` series, and traced transactions get
+``gateway.admit`` / ``gateway.flush`` events on their move traces
+(docs/OBSERVABILITY.md lists the names; docs/SERVING.md the tier).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Optional, Sequence, Tuple, Union
 
 from repro.chain.chain import Chain
 from repro.chain.tx import (
@@ -63,30 +78,33 @@ from repro.errors import (
     GatewayError,
     InvalidRequest,
     ProofError,
-    QueueFull,
     RateLimited,
     ReadOnlyReplicaError,
-    ReproError,
     RequestTimeout,
+    ShedByClass,
 )
+from repro.gateway.budget import AdmissionBudget
+from repro.gateway.classes import FLUSH_ORDER, PriorityClass, classify
+from repro.gateway.fairqueue import ClassedFairQueue, QueueEntry
 from repro.gateway.handles import (
-    CONFIRMED,
-    FAILED,
-    PENDING,
     QUEUED,
     SUBMITTED,
     MoveHandle,
     RequestHandle,
 )
 from repro.gateway.limits import GatewayLimits, TokenBucket
+from repro.gateway.subscription import Subscription, SubscriptionHub
 from repro.ibc.bridge import CompletionFactory, MovePhases
 from repro.node.node import Node
 from repro.statedb.receipts import Receipt
 from repro.telemetry import Telemetry
 
+#: accepted spellings of a priority override
+PriorityLike = Union[PriorityClass, str, int]
+
 
 class Gateway:
-    """Batched, rate-limited, backpressured admission to a node."""
+    """Batched, rate-limited, backpressured, classed admission to a node."""
 
     def __init__(
         self,
@@ -97,23 +115,28 @@ class Gateway:
         self.node = node
         self.limits = limits if limits is not None else GatewayLimits()
         self.telemetry = telemetry if telemetry is not None else node.telemetry
-        #: per-chain FIFO admission queues (the bounded stage)
-        self._queues: Dict[int, Deque[Tuple[Transaction, RequestHandle]]] = {
-            chain_id: deque() for chain_id in node.chains
+        #: per-chain classed fair queues (the bounded stage)
+        self._queues: Dict[int, ClassedFairQueue] = {
+            chain_id: ClassedFairQueue(
+                self.limits.max_queue_depth, self.limits.drr_quantum
+            )
+            for chain_id in node.chains
         }
         #: per-chain overflow lot for the "block" policy and mid-move txs
-        self._blocked: Dict[int, Deque[Tuple[Transaction, RequestHandle]]] = {
+        self._blocked: Dict[int, Deque[QueueEntry]] = {
             chain_id: deque() for chain_id in node.chains
         }
         self._buckets: Dict[str, TokenBucket] = {}
         #: (client_id, key) -> original handle, for idempotent retries
         self._by_key: Dict[Tuple[str, str], RequestHandle] = {}
         self._move_by_key: Dict[Tuple[str, str], MoveHandle] = {}
-        #: high-water mark per chain queue (bound audits read this)
-        self.peak_queue_depth: Dict[int, int] = {c: 0 for c in node.chains}
         self._started = False
         #: bumped on every start(); stale flush timers check it and die
         self._epoch = 0
+        #: set by GatewayFleet when this gateway serves as a replica
+        self.fleet = None
+        self.replica_index = 0
+        self.subscriptions = SubscriptionHub(self)
 
         metrics = self.telemetry.metrics
         self._m_requests = {
@@ -137,6 +160,35 @@ class Gateway:
         self._m_batch_size = {
             c: metrics.histogram("gateway_batch_size", chain=c) for c in node.chains
         }
+        self._m_class_admitted = {
+            (c, cls): metrics.counter(
+                "gateway_class_admitted_total", chain=c, cls=cls.label
+            )
+            for c in node.chains
+            for cls in FLUSH_ORDER
+        }
+        self._m_class_depth = {
+            (c, cls): metrics.gauge("gateway_class_depth", chain=c, cls=cls.label)
+            for c in node.chains
+            for cls in FLUSH_ORDER
+        }
+        self._m_class_flushed = {
+            (c, cls): metrics.counter(
+                "gateway_class_flushed_total", chain=c, cls=cls.label
+            )
+            for c in node.chains
+            for cls in FLUSH_ORDER
+        }
+        #: victim-attributed queue sheds: the class/client charged is the
+        #: entry actually dropped, whichever path (fresh admission,
+        #: class eviction, parked overflow) dropped it
+        self._m_class_shed = {
+            (c, cls): metrics.counter(
+                "gateway_queue_shed_total", chain=c, cls=cls.label
+            )
+            for c in node.chains
+            for cls in FLUSH_ORDER
+        }
         self._metrics = metrics
         self._m_idempotent = metrics.counter("gateway_idempotent_hits_total")
         self._m_request_seconds = metrics.histogram("gateway_request_seconds")
@@ -153,8 +205,15 @@ class Gateway:
         return self._started
 
     def start(self) -> None:
-        """Start serving: block production plus the flush loop."""
+        """Start serving: block production plus the flush loop.
+
+        Fleet replicas do not start themselves — their fleet owns the
+        (single, budget-shared) flush loop.
+        """
         if self._started:
+            return
+        if self.fleet is not None:
+            self.fleet.start()
             return
         self._started = True
         self._epoch += 1
@@ -166,6 +225,9 @@ class Gateway:
 
     def stop(self) -> None:
         """Stop the flush loop and block production."""
+        if self.fleet is not None:
+            self.fleet.stop()
+            return
         self._started = False
         self.node.stop()
 
@@ -180,19 +242,24 @@ class Gateway:
         client_id: str = "",
         idempotency_key: Optional[str] = None,
         handle: Optional[RequestHandle] = None,
+        priority: Optional[PriorityLike] = None,
     ) -> RequestHandle:
         """Admit one transaction; never raises — the handle carries the
         typed outcome (``handle.result()`` re-raises rejections).
 
-        ``handle`` lets a transport pre-create the future on the client
-        side of a simulated network hop; omitted, one is created here.
+        ``priority`` re-tags the request's admission class; omitted,
+        Move1/Move2 classify as ``MOVE`` and everything else as
+        ``BULK`` (:func:`repro.gateway.classes.classify`).  ``handle``
+        lets a transport pre-create the future on the client side of a
+        simulated network hop; omitted, one is created here.
         """
         if handle is None:
             handle = RequestHandle(
                 chain_id, client_id=client_id, idempotency_key=idempotency_key
             )
+        handle._node = self.node
         try:
-            self._admit(tx, chain_id, client_id, idempotency_key, handle)
+            self._admit(tx, chain_id, client_id, idempotency_key, handle, priority)
         except GatewayError as error:
             self._reject(handle, error)
         except (KeyError, ValueError, TypeError) as error:
@@ -211,6 +278,7 @@ class Gateway:
         client_id: str,
         idempotency_key: Optional[str],
         handle: RequestHandle,
+        priority: Optional[PriorityLike] = None,
     ) -> None:
         now = self.node.now
         chain = self.node.chain(chain_id)  # raises UnknownChainError
@@ -246,29 +314,14 @@ class Gateway:
             )
         if not tx.tx_id or not tx.signature:
             raise InvalidRequest("transaction is unsigned (no tx_id/signature)")
+        cls = PriorityClass.coerce(priority) if priority is not None else classify(tx)
         self._check_mirror_write(tx, chain)
-
-        if self.limits.rate_limit > 0:
-            # Re-insertion keeps the dict in recency order, so the cap
-            # evicts the least-recently-active client's bucket (an idle
-            # evictee simply starts over with a full burst allowance).
-            bucket = self._buckets.pop(client_id, None)
-            if bucket is None:
-                while len(self._buckets) >= self.limits.max_clients:
-                    self._buckets.pop(next(iter(self._buckets)))
-                bucket = TokenBucket(
-                    self.limits.rate_limit, self.limits.rate_burst, now=now
-                )
-            self._buckets[client_id] = bucket
-            if not bucket.take(now):
-                raise RateLimited(
-                    f"client {client_id or '<anonymous>'} exceeded "
-                    f"{self.limits.rate_limit}/s (burst {self.limits.rate_burst})"
-                )
+        self._charge_rate(client_id, now)
 
         handle.tx_id = tx.tx_id
         handle.admitted_at = now
-        self._enqueue(tx, chain_id, handle, park=self.limits.shed_policy == "block")
+        entry = QueueEntry(tx=tx, handle=handle, cls=cls, client=client_id, at=now)
+        self._enqueue(entry, chain_id, park=self.limits.shed_policy == "block")
         if key is not None:
             # Bind only after admission succeeded: a shed or rejected
             # request must not wedge its key, so a retry after a
@@ -277,11 +330,36 @@ class Gateway:
             handle.on_done(lambda h: self._retire_key(self._by_key, key, h))
         tracer = self.telemetry.tracer
         if tracer.enabled and tx.meta:
-            tracer.meta_event(tx.meta, "gateway.admit", chain=chain_id)
+            tracer.meta_event(
+                tx.meta, "gateway.admit", chain=chain_id, cls=cls.label,
+                replica=self.replica_index,
+            )
         if self.limits.request_timeout > 0:
             self.node.sim.schedule(
                 self.limits.request_timeout,
                 lambda: self._expire(handle),
+            )
+
+    def _charge_rate(self, client_id: str, now: float) -> None:
+        """Spend one token from the client's bucket (typed shed past the
+        rate).  Buckets are LRU-capped at ``limits.max_clients``."""
+        if self.limits.rate_limit <= 0:
+            return
+        # Re-insertion keeps the dict in recency order, so the cap
+        # evicts the least-recently-active client's bucket (an idle
+        # evictee simply starts over with a full burst allowance).
+        bucket = self._buckets.pop(client_id, None)
+        if bucket is None:
+            while len(self._buckets) >= self.limits.max_clients:
+                self._buckets.pop(next(iter(self._buckets)))
+            bucket = TokenBucket(
+                self.limits.rate_limit, self.limits.rate_burst, now=now
+            )
+        self._buckets[client_id] = bucket
+        if not bucket.take(now):
+            raise RateLimited(
+                f"client {client_id or '<anonymous>'} exceeded "
+                f"{self.limits.rate_limit}/s (burst {self.limits.rate_burst})"
             )
 
     def _check_mirror_write(self, tx: Transaction, chain: Chain) -> None:
@@ -324,39 +402,92 @@ class Gateway:
             f"replica of chain {source}; submit writes to the active copy"
         )
 
-    def _enqueue(
-        self, tx: Transaction, chain_id: int, handle: RequestHandle, park: bool
-    ) -> None:
-        """Queue admission under the bound; ``park=True`` uses the
-        overflow lot instead of shedding when the queue is full."""
+    def _enqueue(self, entry: QueueEntry, chain_id: int, park: bool) -> None:
+        """Classed admission under the bound; ``park=True`` uses the
+        overflow lot instead of shedding when even class-aware eviction
+        finds no lower-class victim."""
         queue = self._queues[chain_id]
-        if len(queue) >= self.limits.max_queue_depth:
+        result = queue.push(entry)
+        if not result.admitted:
             blocked = self._blocked[chain_id]
             if not park or len(blocked) >= self.limits.max_blocked:
-                raise QueueFull(
+                # Here the dropped entry IS the newcomer, so the shed
+                # metric charges its class/client — the same
+                # victim-attribution rule _shed_victim applies when an
+                # eviction drops somebody else instead.
+                self._m_class_shed[(chain_id, entry.cls)].inc()
+                self._note("shed", chain_id, entry)
+                raise ShedByClass(
                     f"chain {chain_id} admission queue at bound "
                     f"({self.limits.max_queue_depth} queued"
                     + (f", {len(blocked)} parked" if park else "")
-                    + "); retry after the next flush"
+                    + f") with no class below {entry.cls.label} to evict; "
+                    "retry after the next flush",
+                    shed_class=entry.cls.label,
+                    shed_client=entry.client,
+                    chain_id=chain_id,
                 )
-            blocked.append((tx, handle))
-            handle.status = QUEUED
+            blocked.append(entry)
+            entry.handle.status = QUEUED
             self._m_parked[chain_id].inc()
             self._m_blocked_depth[chain_id].set(len(blocked))
+            self._note("park", chain_id, entry)
             return
-        queue.append((tx, handle))
-        handle.status = QUEUED
+        if result.victim is not None:
+            self._shed_victim(result.victim, chain_id, evicted_by=entry)
+        entry.handle.status = QUEUED
         self._m_admitted[chain_id].inc()
+        self._m_class_admitted[(chain_id, entry.cls)].inc()
+        self._note("admit", chain_id, entry)
         self._note_depth(chain_id)
 
+    def _shed_victim(
+        self, victim: QueueEntry, chain_id: int, evicted_by: QueueEntry
+    ) -> None:
+        """Fail an evicted entry with the shed attributed to *it* — the
+        class/client that actually lost the slot — not to the higher-
+        class arrival that triggered the eviction.  (The PR 5 parked-
+        drain path charged the enqueuer; the classed queue unifies the
+        accounting with the peak-depth bookkeeping: whoever leaves the
+        queue without flushing is whom the shed metric names.)"""
+        self._m_class_shed[(chain_id, victim.cls)].inc()
+        self._note("shed", chain_id, victim)
+        self._reject(
+            victim.handle,
+            ShedByClass(
+                f"chain {chain_id} queue slot reclaimed by a "
+                f"{evicted_by.cls.label}-class arrival "
+                f"({self.limits.max_queue_depth} queued); retry after the "
+                "next flush",
+                shed_class=victim.cls.label,
+                shed_client=victim.client,
+                chain_id=chain_id,
+            ),
+        )
+
+    def _note(self, kind: str, chain_id: int, entry: QueueEntry) -> None:
+        """Record one admission decision on the fleet's admission log
+        (standalone gateways skip this — the log is the fleet's
+        replayable evidence)."""
+        if self.fleet is not None:
+            self.fleet._record(
+                kind, self.replica_index, chain_id, entry.cls.label, entry.client
+            )
+
     def _note_depth(self, chain_id: int) -> None:
-        """Record the current queue depth on the gauge and the
-        high-water mark (one helper so every path that grows a queue —
-        admission or parked-drain — keeps the audits honest)."""
-        depth = len(self._queues[chain_id])
-        self._m_depth[chain_id].set(depth)
-        if depth > self.peak_queue_depth[chain_id]:
-            self.peak_queue_depth[chain_id] = depth
+        """Refresh the depth gauges (total and per class).  Peaks are
+        tracked inside the queue itself, so every path that grows or
+        shrinks a lane — admission, eviction, parked-drain, flush —
+        shares one accounting."""
+        queue = self._queues[chain_id]
+        self._m_depth[chain_id].set(queue.depth)
+        for cls in FLUSH_ORDER:
+            self._m_class_depth[(chain_id, cls)].set(queue.class_depth[cls])
+
+    @property
+    def peak_queue_depth(self) -> Dict[int, int]:
+        """High-water mark per chain queue (bound audits read this)."""
+        return {c: q.peak_depth for c, q in self._queues.items()}
 
     def _retire_key(self, table: Dict, key: Tuple[str, str], handle) -> None:
         """Evict an idempotency record ``idempotency_retention`` seconds
@@ -389,6 +520,28 @@ class Gateway:
         )
 
     # ------------------------------------------------------------------
+    # Subscriptions (the push path)
+    # ------------------------------------------------------------------
+
+    def watch_contract(
+        self, chain_id: int, target: Address, client_id: str = ""
+    ) -> Subscription:
+        """Subscribe to committed transactions touching ``target``.
+
+        VIEW-class work: creating the subscription spends one token
+        from the client's rate bucket (typed :class:`RateLimited` past
+        it) — the pushed events themselves are free.
+        """
+        self.node.chain(chain_id)  # raises UnknownChainError
+        self._charge_rate(client_id, self.node.now)
+        return self.subscriptions.watch_contract(chain_id, target, client_id)
+
+    def watch_move(self, handle: MoveHandle, client_id: str = "") -> Subscription:
+        """Subscribe to a served move's handle-state transitions."""
+        self._charge_rate(client_id, self.node.now)
+        return self.subscriptions.watch_move(handle, client_id)
+
+    # ------------------------------------------------------------------
     # Micro-batch flushing
     # ------------------------------------------------------------------
 
@@ -400,58 +553,83 @@ class Gateway:
             self.limits.flush_interval, lambda: self._flush_tick(epoch)
         )
 
-    def flush(self) -> int:
+    def flush(self, budget: Optional[AdmissionBudget] = None) -> int:
         """Pour one micro-batch per chain into the mempools; returns the
-        number of transactions submitted.  (The running gateway calls
-        this on its own clock; tests may call it directly.)"""
+        number of transactions submitted.
+
+        ``budget`` is the fleet-shared mempool-headroom meter; a
+        standalone gateway meters itself (same bound, private meter).
+        The running gateway calls this on its own clock; tests may call
+        it directly.
+        """
+        if budget is None:
+            budget = AdmissionBudget(self.node, self.limits)
+            budget.refresh()
         submitted = 0
         for chain_id in sorted(self._queues):
             queue = self._queues[chain_id]
             blocked = self._blocked[chain_id]
             # Drain the overflow lot into freed queue slots first:
-            # parked requests precede fresh arrivals (FIFO overall).
-            if blocked:
-                while blocked and len(queue) < self.limits.max_queue_depth:
-                    queue.append(blocked.popleft())
-                    self._m_admitted[chain_id].inc()
-                self._note_depth(chain_id)
+            # parked requests enter their class lanes before this
+            # flush's pop, so a parked move still outranks queued bulk.
+            self._promote_parked(chain_id)
             chain = self.node.chains[chain_id]
             # End-to-end backpressure: never hold more than the headroom
             # worth of blocks pending in the mempool — the backlog must
             # stay in the bounded queue (and shed), not leak downstream.
-            headroom = (
-                self.limits.mempool_headroom * chain.params.max_block_txs
-                - len(chain.mempool)
-            )
-            budget = min(self.limits.batch_size, max(0, headroom))
-            batch = 0
+            want = min(self.limits.batch_size, queue.depth + len(blocked))
+            grant = budget.take(chain_id, want)
+            batch = []
+            while len(batch) < grant and queue.depth:
+                batch.extend(queue.pop(grant - len(batch)))
+                # Popping freed slots: promote more parked entries so
+                # the overflow lot drains in this same flush (their
+                # class lanes still decide the order of the next pop).
+                self._promote_parked(chain_id)
             tracer = self.telemetry.tracer
-            while batch < budget:
-                if queue:
-                    tx, handle = queue.popleft()
-                elif blocked:
-                    tx, handle = blocked.popleft()
-                    self._m_admitted[chain_id].inc()
-                else:
-                    break
+            for entry in batch:
+                handle = entry.handle
                 if not handle.done:
                     handle.status = SUBMITTED
                 # A handle that expired while queued is submitted
                 # anyway: its timeout promised "the transaction may
                 # still execute", and the late receipt is what a retry
                 # under the same idempotency key reattaches to.
-                chain.wait_for(tx.tx_id, lambda r, h=handle: self._resolve(h, r))
-                chain.submit(tx)
-                if tracer.enabled and tx.meta:
-                    tracer.meta_event(tx.meta, "gateway.flush", chain=chain_id)
-                batch += 1
+                chain.wait_for(
+                    entry.tx.tx_id, lambda r, h=handle: self._resolve(h, r)
+                )
+                chain.submit(entry.tx)
+                self._m_class_flushed[(chain_id, entry.cls)].inc()
+                if tracer.enabled and entry.tx.meta:
+                    tracer.meta_event(
+                        entry.tx.meta, "gateway.flush", chain=chain_id,
+                        cls=entry.cls.label, replica=self.replica_index,
+                    )
             if batch:
                 self._m_batches[chain_id].inc()
-                self._m_batch_size[chain_id].observe(batch)
-            self._m_depth[chain_id].set(len(queue))
-            self._m_blocked_depth[chain_id].set(len(blocked))
-            submitted += batch
+                self._m_batch_size[chain_id].observe(len(batch))
+                if self.fleet is not None:
+                    self.fleet._record(
+                        "flush", self.replica_index, chain_id, "", "", len(batch)
+                    )
+            self._note_depth(chain_id)
+            submitted += len(batch)
         return submitted
+
+    def _promote_parked(self, chain_id: int) -> None:
+        """Move parked entries into free queue slots (FIFO from the lot,
+        then their class lanes take over)."""
+        blocked = self._blocked[chain_id]
+        if not blocked:
+            return
+        queue = self._queues[chain_id]
+        while blocked and queue.depth < self.limits.max_queue_depth:
+            entry = blocked.popleft()
+            queue.push(entry)
+            self._m_admitted[chain_id].inc()
+            self._m_class_admitted[(chain_id, entry.cls)].inc()
+            self._note("admit", chain_id, entry)
+        self._m_blocked_depth[chain_id].set(len(blocked))
 
     def _resolve(self, handle: RequestHandle, receipt: Receipt) -> None:
         now = self.node.now
@@ -485,7 +663,8 @@ class Gateway:
         identical phase records and telemetry span names — but every
         transaction goes through queues, batching and backpressure, and
         the caller gets a :class:`MoveHandle` future.  Mid-move
-        transactions use the parking (``"block"``) path so a momentary
+        transactions are ``MOVE``-class (they evict bulk under
+        pressure) and use the parking path besides, so a momentary
         burst does not strand a contract in its locked state; if even
         the overflow lot is full, the move fails with the typed shed
         error in ``handle.error``.
@@ -502,6 +681,7 @@ class Gateway:
             started_at=self.node.now,
         )
         handle = MoveHandle(phases, idempotency_key=idempotency_key)
+        handle._node = self.node
         try:
             source = self.node.chain(source_chain)
             target = self.node.chain(target_chain)
@@ -554,12 +734,21 @@ class Gateway:
             handle._fail(error)
 
         def admit_internal(chain_id: int, tx: Transaction, on_receipt) -> None:
-            """Admit a mid-move transaction (parked past the bound)."""
+            """Admit a mid-move transaction (MOVE class, parked past the
+            bound rather than shed)."""
             inner = RequestHandle(chain_id, client_id=client_id)
+            inner._node = self.node
             inner.tx_id = tx.tx_id
             inner.admitted_at = self.node.now
+            entry = QueueEntry(
+                tx=tx,
+                handle=inner,
+                cls=PriorityClass.MOVE,
+                client=client_id,
+                at=self.node.now,
+            )
             try:
-                self._enqueue(tx, chain_id, inner, park=True)
+                self._enqueue(entry, chain_id, park=True)
             except GatewayError as error:
                 self._metrics.counter(
                     "gateway_rejected_total", reason=error.code
@@ -693,21 +882,27 @@ class Gateway:
 
     def queue_depth(self, chain_id: int) -> int:
         """Currently queued (unflushed) requests for one chain."""
-        return len(self._queues[chain_id]) + len(self._blocked[chain_id])
+        return self._queues[chain_id].depth + len(self._blocked[chain_id])
 
-    def stats(self) -> Dict[str, Dict[int, int]]:
-        """Queue depths and high-water marks per chain (for audits)."""
+    def class_depths(self, chain_id: int) -> Dict[str, int]:
+        """Current queue depth per priority class for one chain."""
+        return self._queues[chain_id].depths_by_class()
+
+    def stats(self) -> Dict[str, Dict]:
+        """Queue depths, class splits and high-water marks (audits)."""
         return {
-            "queued": {c: len(q) for c, q in self._queues.items()},
+            "queued": {c: q.depth for c, q in self._queues.items()},
             "parked": {c: len(q) for c, q in self._blocked.items()},
             "peak_queue_depth": dict(self.peak_queue_depth),
+            "classes": {c: q.depths_by_class() for c, q in self._queues.items()},
         }
 
     def health(self) -> Dict[str, object]:
         """Serving/degraded-mode status a client can poll.
 
         Always reports the gateway's own view — whether it is serving
-        and how full each admission queue is; when the node hosts a
+        and how full each admission queue is (with the per-class
+        split); when the node hosts a
         :class:`~repro.health.monitor.HealthMonitor`
         (:meth:`~repro.node.node.Node.attach_health`), the monitor's
         per-target health map and currently firing alerts ride along.
@@ -717,6 +912,7 @@ class Gateway:
         """
         bound = self.limits.max_queue_depth
         queues = {c: self.queue_depth(c) for c in sorted(self._queues)}
+        classes = {c: self.class_depths(c) for c in sorted(self._queues)}
         monitor = self.node.health
         targets: Dict[str, str] = {}
         alerts: list = []
@@ -732,6 +928,7 @@ class Gateway:
             "serving": self._started,
             "degraded": degraded,
             "queues": queues,
+            "classes": classes,
             "queue_bound": bound,
             "targets": targets,
             "alerts": alerts,

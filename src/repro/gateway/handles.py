@@ -50,6 +50,8 @@ class RequestHandle:
         self.resolved_at: Optional[float] = None
         self._callbacks: List[Callable[["RequestHandle"], None]] = []
         self._late_callbacks: List[Callable[["RequestHandle"], None]] = []
+        #: bound by the gateway at admission; lets ``wait`` drive the sim
+        self._node = None
 
     # -- observation ---------------------------------------------------
 
@@ -85,6 +87,19 @@ class RequestHandle:
             callback(self)
             return
         self._callbacks.append(callback)
+
+    def wait(self, timeout: Optional[float] = None) -> Receipt:
+        """Drive the node until this handle resolves; return the receipt.
+
+        ``timeout`` bounds the *simulated* driving from now; it composes
+        with the gateway's admission deadline — whichever fires first
+        wins, and either way the caller gets a typed
+        :class:`~repro.errors.RequestTimeout` (the gateway's from
+        :meth:`result`, this one raised directly).  Only handles that
+        went through a gateway can wait (the gateway binds the node at
+        admission).
+        """
+        return _wait(self, timeout)
 
     # -- resolution (gateway-internal) ---------------------------------
 
@@ -169,6 +184,11 @@ class MoveHandle:
         self.stage = "move1"
         self.error: Optional[GatewayError] = None
         self._callbacks: List[Callable[["MoveHandle"], None]] = []
+        self._stage_callbacks: List[Callable[[str], None]] = []
+        #: stages already traversed, in order (subscriptions replay these)
+        self.stage_history: List[str] = ["move1"]
+        #: bound by the gateway at admission; lets ``wait`` drive the sim
+        self._node = None
 
     @property
     def done(self) -> bool:
@@ -197,13 +217,39 @@ class MoveHandle:
             return
         self._callbacks.append(callback)
 
+    def on_stage(self, callback: Callable[[str], None]) -> None:
+        """Invoke ``callback(stage)`` for every stage this move has
+        already traversed (replayed in order) and every future
+        transition, terminal ``done``/``failed`` included.  This is the
+        hook :meth:`~repro.gateway.gateway.Gateway.watch_move` pushes
+        subscription events from."""
+        for stage in self.stage_history:
+            callback(stage)
+        if not self.done:
+            self._stage_callbacks.append(callback)
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Drive the node until the move resolves; return its
+        :class:`~repro.ibc.bridge.MovePhases`.  ``timeout`` bounds the
+        simulated driving and composes with per-request deadlines the
+        same way :meth:`RequestHandle.wait` does."""
+        return _wait(self, timeout)
+
     # -- resolution (gateway-internal) ---------------------------------
 
     def _advance(self, stage: str) -> None:
         if not self.done:
             self.stage = stage
+            self._note_stage(stage)
+
+    def _note_stage(self, stage: str) -> None:
+        self.stage_history.append(stage)
+        for callback in list(self._stage_callbacks):
+            callback(stage)
 
     def _settle(self) -> None:
+        self._note_stage(self.stage)
+        self._stage_callbacks = []
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
             callback(self)
@@ -220,3 +266,23 @@ class MoveHandle:
         self.stage = "failed"
         self.error = error
         self._settle()
+
+
+def _wait(handle, timeout: Optional[float]):
+    """Shared driver behind both handles' ``wait``."""
+    node = handle._node
+    if node is None:
+        raise GatewayError(
+            "handle is not bound to a node (it never went through a "
+            "gateway); drive the simulation yourself or use Client.wait",
+            code="pending",
+        )
+    from repro.errors import RequestTimeout
+
+    deadline = None if timeout is None else node.now + timeout
+    resolved = node.run_until(lambda: handle.done, max_time=deadline)
+    if not resolved:
+        raise RequestTimeout(
+            f"handle unresolved after timeout={timeout}s of simulated driving"
+        )
+    return handle.result()

@@ -46,7 +46,7 @@ class GatewayLimits:
     #: bounded admission queue would simply relocate the unbounded
     #: backlog into the mempool.
     mempool_headroom: int = 4
-    #: ``"shed"`` rejects with :class:`~repro.errors.QueueFull` the
+    #: ``"shed"`` rejects with :class:`~repro.errors.ShedByClass` the
     #: instant a queue is at bound; ``"block"`` parks the request in the
     #: bounded overflow lot and admits it as the queue drains
     shed_policy: str = "shed"
@@ -60,6 +60,12 @@ class GatewayLimits:
     #: least-recently-active client's bucket is evicted (that client
     #: simply starts over with a full burst allowance if it returns)
     max_clients: int = 4096
+    #: deficit-round-robin quantum: entries one backlogged client may
+    #: pour into a flush before the next client's lane is served.
+    #: Small values interleave clients tightly (fairest); large values
+    #: amortize per-turn work (fastest).  Per-client FIFO order is
+    #: preserved either way.
+    drr_quantum: int = 8
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
@@ -100,6 +106,11 @@ class GatewayLimits:
             )
         if self.max_clients < 1:
             raise ConfigError(f"max_clients must be >= 1, got {self.max_clients}")
+        if self.drr_quantum < 1:
+            raise ConfigError(
+                f"drr_quantum must be >= 1, got {self.drr_quantum} — a zero "
+                "quantum would never serve any client's lane"
+            )
 
 
 class TokenBucket:

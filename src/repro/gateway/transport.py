@@ -11,7 +11,9 @@ Two implementations, one contract:
 
 Both return the request's future immediately — on a discrete-event
 clock there is nothing to block on; the gateway resolves the handle as
-events fire.
+events fire.  A transport's ``gateway`` may equally be a
+:class:`~repro.gateway.fleet.GatewayFleet` — the fleet exposes the
+same serving surface and routes each client to its pinned replica.
 """
 
 from __future__ import annotations
@@ -21,13 +23,14 @@ from typing import Optional, Sequence
 from repro.chain.tx import Transaction
 from repro.crypto.keys import Address, KeyPair
 from repro.errors import ConfigError
-from repro.gateway.gateway import Gateway
+from repro.gateway.gateway import Gateway, PriorityLike
 from repro.gateway.handles import MoveHandle, RequestHandle
+from repro.gateway.subscription import Subscription
 from repro.ibc.bridge import CompletionFactory
 
 
 class InProcessTransport:
-    """Synchronous, zero-latency path into the gateway."""
+    """Synchronous, zero-latency path into the gateway (or fleet)."""
 
     def __init__(self, gateway: Gateway):
         self.gateway = gateway
@@ -38,10 +41,15 @@ class InProcessTransport:
         chain_id: int,
         client_id: str = "",
         idempotency_key: Optional[str] = None,
+        priority: Optional[PriorityLike] = None,
     ) -> RequestHandle:
         """Hand the transaction to the gateway now; returns its future."""
         return self.gateway.submit(
-            tx, chain_id, client_id=client_id, idempotency_key=idempotency_key
+            tx,
+            chain_id,
+            client_id=client_id,
+            idempotency_key=idempotency_key,
+            priority=priority,
         )
 
     def move(
@@ -64,6 +72,16 @@ class InProcessTransport:
             client_id=client_id,
             idempotency_key=idempotency_key,
         )
+
+    def watch_contract(
+        self, chain_id: int, target: Address, client_id: str = ""
+    ) -> Subscription:
+        """Subscribe to a contract's committed events (push, not poll)."""
+        return self.gateway.watch_contract(chain_id, target, client_id)
+
+    def watch_move(self, handle: MoveHandle, client_id: str = "") -> Subscription:
+        """Subscribe to a move's stage stream (push, not poll)."""
+        return self.gateway.watch_move(handle, client_id)
 
     def health(self) -> dict:
         """The gateway's serving/degraded status (see
@@ -98,11 +116,13 @@ class SimNetTransport:
         chain_id: int,
         client_id: str = "",
         idempotency_key: Optional[str] = None,
+        priority: Optional[PriorityLike] = None,
     ) -> RequestHandle:
         """Submit after a seeded network delay; the future exists now."""
         handle = RequestHandle(
             chain_id, client_id=client_id, idempotency_key=idempotency_key
         )
+        handle._node = self.gateway.node
         self.gateway.node.sim.schedule(
             self._delay(),
             lambda: self.gateway.submit(
@@ -111,6 +131,7 @@ class SimNetTransport:
                 client_id=client_id,
                 idempotency_key=idempotency_key,
                 handle=handle,
+                priority=priority,
             ),
         )
         return handle
@@ -140,6 +161,7 @@ class SimNetTransport:
             ),
             idempotency_key=idempotency_key,
         )
+        proxy._node = self.gateway.node
 
         def deliver() -> None:
             real = self.gateway.move(
@@ -153,6 +175,17 @@ class SimNetTransport:
             )
             proxy.phases = real.phases
 
+            def forward(stage: str) -> None:
+                # Mirror intermediate stage transitions onto the proxy
+                # (the replayed "move1" it already holds and the
+                # terminal stage, which copy() below settles, excluded)
+                # so watch_move on the client-side handle streams too.
+                if stage in ("done", "failed") or stage == proxy.stage:
+                    return
+                proxy._advance(stage)
+
+            real.on_stage(forward)
+
             def copy(done_handle: MoveHandle) -> None:
                 proxy.phases = done_handle.phases
                 proxy.stage = done_handle.stage
@@ -163,6 +196,20 @@ class SimNetTransport:
 
         self.gateway.node.sim.schedule(self._delay(), deliver)
         return proxy
+
+    def watch_contract(
+        self, chain_id: int, target: Address, client_id: str = ""
+    ) -> Subscription:
+        """Subscribe to a contract's committed events.  Registration is
+        immediate (a control-plane operation like ``health``): events
+        are pushed from block commits either way, so the hop would only
+        risk missing the first block after the call."""
+        return self.gateway.watch_contract(chain_id, target, client_id)
+
+    def watch_move(self, handle: MoveHandle, client_id: str = "") -> Subscription:
+        """Subscribe to a move's stage stream (immediate registration;
+        the handle replays stages already traversed)."""
+        return self.gateway.watch_move(handle, client_id)
 
     def health(self) -> dict:
         """The gateway's serving/degraded status.  Served immediately

@@ -206,6 +206,13 @@ class GatewayQueueProbe:
     Per served chain, the queued+parked depth as a fraction of the
     configured bound; plus one aggregate ``gateway:shed`` target whose
     value is the shed fraction of requests since the previous sample.
+
+    When the gateway exposes per-class depths (the PR 10 classed
+    queue), each chain also emits ``gateway:<chain>:<class>`` samples.
+    The move class gets a much tighter threshold: moves flush ahead of
+    everything else, so a move backlog at even a quarter of the bound
+    means the priority plane itself is failing, long before the
+    aggregate depth probe would fire.
     """
 
     kind = GATEWAY
@@ -215,10 +222,12 @@ class GatewayQueueProbe:
         gateway,
         depth_threshold: float = 0.9,
         shed_threshold: float = 0.5,
+        move_threshold: float = 0.25,
     ):
         self.gateway = gateway
         self.depth_threshold = depth_threshold
         self.shed_threshold = shed_threshold
+        self.move_threshold = move_threshold
         self._prev_requests = 0.0
         self._prev_rejected = 0.0
 
@@ -226,6 +235,7 @@ class GatewayQueueProbe:
         """Per-chain depth judgements plus the aggregate shed target."""
         samples = []
         bound = self.gateway.limits.max_queue_depth
+        class_depths = getattr(self.gateway, "class_depths", None)
         for chain_id in sorted(self.gateway.node.chains):
             depth = self.gateway.queue_depth(chain_id)
             fraction = depth / bound if bound else 0.0
@@ -237,6 +247,23 @@ class GatewayQueueProbe:
                     detail=f"{depth}/{bound} queued",
                 )
             )
+            if class_depths is None:
+                continue
+            for label, class_depth in class_depths(chain_id).items():
+                class_fraction = class_depth / bound if bound else 0.0
+                threshold = (
+                    self.move_threshold
+                    if label == "move"
+                    else self.depth_threshold
+                )
+                samples.append(
+                    ProbeSample(
+                        target=f"gateway:{chain_id}:{label}",
+                        healthy=class_fraction < threshold,
+                        value=class_fraction,
+                        detail=f"{class_depth}/{bound} queued in {label}",
+                    )
+                )
         totals = self.gateway.telemetry.metrics.totals(
             ("gateway_requests_total", "gateway_rejected_total")
         )

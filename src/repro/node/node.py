@@ -252,6 +252,23 @@ class Node:
             monitor.start()
         return monitor
 
+    def serve(self, replicas: int = 1, limits=None):
+        """Stand up a serving tier over this node and return it.
+
+        ``replicas=1`` returns a plain
+        :class:`~repro.gateway.gateway.Gateway`; more returns a
+        :class:`~repro.gateway.fleet.GatewayFleet` whose replicas share
+        one admission budget.  Either way the result is not yet
+        started — call ``.start()`` (which starts this node too) when
+        the experiment begins.
+        """
+        from repro.gateway.fleet import GatewayFleet
+        from repro.gateway.gateway import Gateway
+
+        if replicas == 1:
+            return Gateway(self, limits=limits)
+        return GatewayFleet(self, replicas=replicas, limits=limits)
+
     def _schedule_tick(self, chain: Chain, epoch: int) -> None:
         self.sim.schedule(chain.params.block_interval, lambda: self._tick(chain, epoch))
 

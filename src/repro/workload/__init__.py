@@ -8,6 +8,7 @@ a retry mode with randomized backoff (Section VII-B.1).
 """
 
 from repro.workload.clients import ScoinWorkload, WorkloadReport
+from repro.workload.fleet import FleetWorkload, FleetWorkloadReport
 from repro.workload.generators import OpenLoopReport, OpenLoopTransferWorkload
 
 __all__ = [
@@ -15,4 +16,6 @@ __all__ = [
     "WorkloadReport",
     "OpenLoopTransferWorkload",
     "OpenLoopReport",
+    "FleetWorkload",
+    "FleetWorkloadReport",
 ]

@@ -5,7 +5,16 @@ the CLI import only from :mod:`repro.api`, so its surface may only
 change deliberately.  The golden list below is that contract written
 down: a failing diff here means a reviewed decision to grow the API
 (add the name to the golden list too) or a breaking change (don't).
+
+Since the fleet PR the facade is a package of documented sections
+(``serving`` / ``chains`` / ``authoring`` / ``observation`` /
+``errors``) re-exported flat; the section split and the deprecation
+shim for retired names are part of the contract and tested here too.
 """
+
+import warnings
+
+import pytest
 
 from repro import api
 
@@ -14,12 +23,15 @@ GOLDEN_SURFACE = sorted([
     # serving
     "Node",
     "Gateway",
+    "GatewayFleet",
     "GatewayLimits",
+    "PriorityClass",
     "Client",
     "InProcessTransport",
     "SimNetTransport",
     "RequestHandle",
     "MoveHandle",
+    "Subscription",
     # chains
     "Chain",
     "ChainParams",
@@ -82,7 +94,7 @@ GOLDEN_SURFACE = sorted([
     "InvariantViolation",
     "GatewayError",
     "Overloaded",
-    "QueueFull",
+    "ShedByClass",
     "RateLimited",
     "RequestTimeout",
     "UnknownChainError",
@@ -90,6 +102,9 @@ GOLDEN_SURFACE = sorted([
     "ReadOnlyReplicaError",
     "ReplicaUnavailable",
 ])
+
+#: the sectioned facade: every name lives in exactly one section module
+SECTIONS = ("serving", "chains", "authoring", "observation", "errors")
 
 
 def test_api_surface_is_golden():
@@ -105,6 +120,19 @@ def test_no_duplicates():
     assert len(api.__all__) == len(set(api.__all__))
 
 
+def test_sections_partition_the_surface():
+    # Every public name belongs to exactly one documented section, and
+    # the flat re-export is the very same object.
+    seen = {}
+    for section in SECTIONS:
+        module = getattr(api, section)
+        for name in module.__all__:
+            assert name not in seen, f"{name} in both {seen.get(name)} and {section}"
+            seen[name] = section
+            assert getattr(api, name) is getattr(module, name), name
+    assert sorted(seen) == GOLDEN_SURFACE
+
+
 def test_error_taxonomy_roots_at_reproerror():
     for name in api.__all__:
         obj = getattr(api, name)
@@ -116,6 +144,37 @@ def test_error_taxonomy_roots_at_reproerror():
 
 def test_gateway_rejections_are_overloaded():
     # Clients catch one type to back off under pressure.
-    assert issubclass(api.QueueFull, api.Overloaded)
+    assert issubclass(api.ShedByClass, api.Overloaded)
     assert issubclass(api.RateLimited, api.Overloaded)
     assert issubclass(api.Overloaded, api.GatewayError)
+
+
+def test_retired_names_alias_with_deprecation_warning():
+    # One deprecation cycle: the old spelling imports, warns, and is
+    # the replacement object (so isinstance/except clauses still work).
+    with pytest.warns(DeprecationWarning, match="ShedByClass"):
+        old = api.QueueFull
+    assert old is api.ShedByClass
+    # The wire code is unchanged — clients branching on error.code
+    # ("queue_full") are unaffected by the rename.
+    assert api.ShedByClass.code == "queue_full"
+    with pytest.raises(AttributeError):
+        api.NoSuchName
+
+
+def test_deprecated_names_stay_out_of_all():
+    assert "QueueFull" not in api.__all__
+
+
+def test_shed_by_class_carries_attribution():
+    error = api.ShedByClass(
+        "shed", shed_class="bulk", shed_client="alice", chain_id=1
+    )
+    assert error.shed_class == "bulk"
+    assert error.shed_client == "alice"
+    assert error.chain_id == 1
+    assert error.to_dict()["shed_class"] == "bulk"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # plain errors alias must not warn
+        from repro.errors import QueueFull as internal_alias
+    assert internal_alias is api.ShedByClass

@@ -18,7 +18,7 @@ from repro.api import (
     InvalidRequest,
     Node,
     Overloaded,
-    QueueFull,
+    ShedByClass,
     RateLimited,
     RequestTimeout,
     TransferPayload,
@@ -61,7 +61,7 @@ def test_queue_bound_sheds_typed_queue_full():
     shed = [h for h in handles if h.done]
     assert len(admitted) == 4 and len(shed) == 6
     for handle in shed:
-        with pytest.raises(QueueFull) as excinfo:
+        with pytest.raises(ShedByClass) as excinfo:
             handle.result()
         assert excinfo.value.code == "queue_full"
         assert isinstance(excinfo.value, Overloaded)
@@ -197,7 +197,7 @@ def test_shed_retry_with_same_key_is_readmitted():
     gateway = Gateway(node, GatewayLimits(max_queue_depth=1))
     gateway.submit(transfer(), 1, client_id="a", idempotency_key="k1")
     shed = gateway.submit(transfer(nonce=2), 1, client_id="a", idempotency_key="k2")
-    assert isinstance(shed.error, QueueFull)
+    assert isinstance(shed.error, ShedByClass)
     gateway.flush()  # frees the queue slot, as the shed message promises
     retry = gateway.submit(transfer(nonce=2), 1, client_id="a", idempotency_key="k2")
     assert not retry.done  # fresh admission, not a mirror of the shed
@@ -326,6 +326,7 @@ def test_rejections_carry_machine_readable_dict():
         {"shed_policy": "panic"},
         {"idempotency_retention": -1.0},
         {"max_clients": 0},
+        {"drr_quantum": 0},
     ],
 )
 def test_gateway_limits_validation(kwargs):

@@ -205,6 +205,27 @@ class TestGatewayQueue:
         ).sample(0.0)
         assert not samples[0].healthy
 
+    def test_classed_gateway_emits_per_class_samples(self):
+        gateway = _gateway({1: 30}, bound=100)
+        gateway.class_depths = lambda c: {"move": 0, "view": 5, "bulk": 25}
+        samples = GatewayQueueProbe(gateway).sample(0.0)
+        by_target = {s.target: s for s in samples}
+        assert by_target["gateway:1:move"].value == 0.0
+        assert by_target["gateway:1:bulk"].value == 0.25
+        assert by_target["gateway:1:bulk"].healthy
+        assert "5/100 queued in view" in by_target["gateway:1:view"].detail
+
+    def test_move_class_backlog_trips_the_tight_threshold(self):
+        # 30/100 queued moves is far under the 90% aggregate threshold
+        # but means the priority plane is broken: moves flush first, so
+        # any sustained move backlog is alarming.
+        gateway = _gateway({1: 30}, bound=100)
+        gateway.class_depths = lambda c: {"move": 30, "view": 0, "bulk": 0}
+        samples = GatewayQueueProbe(gateway, move_threshold=0.25).sample(0.0)
+        by_target = {s.target: s for s in samples}
+        assert by_target["gateway:1"].healthy
+        assert not by_target["gateway:1:move"].healthy
+
     def test_shed_rate_is_delta_based(self):
         metrics = MetricsRegistry()
         probe = GatewayQueueProbe(
